@@ -1,0 +1,130 @@
+// Command pktbench reproduces the paper's evaluation: every table and
+// figure, plus the projection and agenda experiments (see DESIGN.md's
+// experiment index and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	pktbench -experiment table1|figure2|table2|ablation|figure3|recovery|metasize|all \
+//	         [-profile paper|fast|off] [-requests N] [-duration D] [-conns 1,25,50,75,100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"packetstore/internal/bench"
+	"packetstore/internal/calib"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "table1|figure2|table2|ablation|figure3|recovery|metasize|all")
+		profile    = flag.String("profile", "paper", "latency profile: paper|fast|off")
+		requests   = flag.Int("requests", 4000, "requests per RTT measurement")
+		duration   = flag.Duration("duration", time.Second, "measurement window per throughput point")
+		connsFlag  = flag.String("conns", "1,25,50,75,100", "connection counts for figure sweeps")
+	)
+	flag.Parse()
+
+	prof, ok := calib.ByName(*profile)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+	var conns []int
+	for _, f := range strings.Split(*connsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "bad -conns entry %q\n", f)
+			os.Exit(2)
+		}
+		conns = append(conns, n)
+	}
+
+	run := func(name string, fn func() error) {
+		fmt.Printf("=== %s (profile %s) ===\n", name, prof.Name)
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %s done in %v ---\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *experiment == "all" || *experiment == name }
+
+	if want("table1") {
+		run("E1 table1", func() error {
+			res, err := bench.RunTable1(prof, *requests)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+	if want("figure2") {
+		run("E2 figure2", func() error {
+			res, err := bench.RunFigure2(prof, conns, *duration, false)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+	if want("table2") {
+		run("E3 table2", func() error {
+			res, err := bench.RunTable2(prof, *requests)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+	if want("ablation") {
+		run("E4 ablation", func() error {
+			res, err := bench.RunAblation(prof, *requests)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+	if want("figure3") {
+		run("E5 figure3", func() error {
+			res, err := bench.RunFigure2(prof, conns, *duration, true)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+	if want("recovery") {
+		run("E6 recovery", func() error {
+			res, err := bench.RunRecovery(prof, nil)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+	if want("metasize") {
+		run("E7 metasize", func() error {
+			res, err := bench.RunMetaSize(prof, *requests, nil)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			return nil
+		})
+	}
+}

@@ -1,0 +1,135 @@
+// Command pmkv operates a packetstore over a file-backed persistent-
+// memory image: a durable key-value store in a single file, with the
+// store's crash-consistent on-media format.
+//
+// Usage:
+//
+//	pmkv -pm store.img put <key> <value>
+//	pmkv -pm store.img get <key>
+//	pmkv -pm store.img del <key>
+//	pmkv -pm store.img range <start> <end> [limit]
+//	pmkv -pm store.img stats
+//	pmkv -pm store.img verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"packetstore/internal/calib"
+	"packetstore/internal/core"
+	"packetstore/internal/pmem"
+)
+
+func main() {
+	var (
+		pmPath    = flag.String("pm", "pmkv.img", "persistent-memory image file")
+		metaSlots = flag.Int("meta-slots", 4096, "metadata slots (fixed at image creation)")
+		dataSlots = flag.Int("data-slots", 4096, "data slots (fixed at image creation)")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+
+	cfg := core.Config{
+		MetaSlots: *metaSlots, DataSlots: *dataSlots, VerifyOnGet: true,
+	}
+	r, err := pmem.OpenFile(*pmPath, cfg.RegionSize(), calib.Off())
+	if err != nil {
+		fatal(err)
+	}
+	defer r.Close()
+	s, err := core.Open(r, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch args[0] {
+	case "put":
+		need(args, 3)
+		if err := s.Put([]byte(args[1]), []byte(args[2])); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok")
+	case "get":
+		need(args, 2)
+		v, ok, err := s.Get([]byte(args[1]))
+		if err != nil {
+			fatal(err)
+		}
+		if !ok {
+			fmt.Fprintln(os.Stderr, "not found")
+			os.Exit(1)
+		}
+		os.Stdout.Write(v)
+		fmt.Println()
+	case "del":
+		need(args, 2)
+		found, err := s.Delete([]byte(args[1]))
+		if err != nil {
+			fatal(err)
+		}
+		if !found {
+			fmt.Fprintln(os.Stderr, "not found")
+			os.Exit(1)
+		}
+		fmt.Println("deleted")
+	case "range":
+		need(args, 3)
+		limit := 0
+		if len(args) > 3 {
+			fmt.Sscanf(args[3], "%d", &limit)
+		}
+		var end []byte
+		if args[2] != "-" {
+			end = []byte(args[2])
+		}
+		recs, err := s.Range([]byte(args[1]), end, limit)
+		if err != nil {
+			fatal(err)
+		}
+		for _, rec := range recs {
+			fmt.Printf("%s\t%s\n", rec.Key, rec.Value)
+		}
+	case "stats":
+		st := s.Stats()
+		fmt.Printf("records: %d\nputs: %d\ngets: %d (hits %d)\ndeletes: %d\n"+
+			"bytes stored: %d\nchecksums reused: %d, computed: %d\n",
+			st.Records, st.Puts, st.Gets, st.Hits, st.Deletes,
+			st.BytesStored, st.ChecksumReused, st.ChecksumComputed)
+	case "verify":
+		bad, err := s.Verify()
+		if err != nil {
+			fatal(err)
+		}
+		if len(bad) == 0 {
+			fmt.Println("all records intact")
+		} else {
+			for _, k := range bad {
+				fmt.Printf("CORRUPT: %s\n", k)
+			}
+			os.Exit(1)
+		}
+	default:
+		usage()
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pmkv [-pm file] put <k> <v> | get <k> | del <k> | range <start> <end|-> [limit] | stats | verify")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pmkv:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Recovery: the paper's §5.1 requirement — persisted packet metadata must
+// be locatable and consistent after a reboot.
+//
+// The example loads a store over the network, power-fails the machine
+// mid-run (losing every cache line that was not flushed and fenced),
+// "reboots", recovers the store by rescanning the persistent packet
+// metadata, and proves three properties:
+//
+//  1. every acknowledged write survived,
+//  2. the transport-derived checksums verify every record's bytes,
+//  3. deliberately corrupted media is detected, not served.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"packetstore"
+)
+
+func main() {
+	cluster, err := packetstore.NewCluster(packetstore.ClusterConfig{
+		Profile: packetstore.PaperProfile(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	client, err := cluster.Dial()
+	if err != nil {
+		log.Fatal(err)
+	}
+	value := make([]byte, 1024)
+	rand.New(rand.NewSource(7)).Read(value)
+	const n = 500
+	fmt.Printf("writing %d records over the network...\n", n)
+	for i := 0; i < n; i++ {
+		if err := client.Put([]byte(fmt.Sprintf("key%06d", i)), value); err != nil {
+			log.Fatal(err)
+		}
+	}
+	region := cluster.Region
+	cluster.Close()
+
+	fmt.Println("POWER FAILURE: unflushed cache lines are lost")
+	region.Crash(rand.New(rand.NewSource(time.Now().UnixNano() % 1000)))
+
+	fmt.Println("rebooting: rescanning persistent packet metadata...")
+	t0 := time.Now()
+	cluster2, err := packetstore.NewCluster(packetstore.ClusterConfig{Region: region})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster2.Close()
+	fmt.Printf("recovered %d/%d records in %v\n",
+		cluster2.Store.Len(), n, time.Since(t0).Round(time.Microsecond))
+	if cluster2.Store.Len() != n {
+		log.Fatalf("LOST %d acknowledged records", n-cluster2.Store.Len())
+	}
+
+	// 2. Integrity: the stored checksums came from the NIC on the
+	// original writes; they still verify every byte.
+	bad, err := cluster2.Store.Verify()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("integrity scrub after crash: %d corrupt records\n", len(bad))
+
+	// Reads over the network still return the original bytes.
+	client2, err := cluster2.Dial()
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, ok, err := client2.Get([]byte("key000123"))
+	if err != nil || !ok || !bytes.Equal(got, value) {
+		log.Fatalf("post-crash read wrong: ok=%v err=%v", ok, err)
+	}
+	fmt.Println("post-crash network read: intact")
+
+	// 3. Silent media corruption: flip one bit inside a stored value and
+	// scrub again — the transport-derived checksum catches it.
+	ref, _, _ := cluster2.Store.GetRef([]byte("key000200"))
+	cluster2.Store.Slice(ref.Extents[0].Off, 1)[0] ^= 0x01
+	bad, _ = cluster2.Store.Verify()
+	fmt.Printf("after injecting a bit flip: scrub reports %d corrupt record(s): %q\n",
+		len(bad), bad)
+	if len(bad) != 1 {
+		log.Fatal("corruption was not detected")
+	}
+	fmt.Println("done: durability, recovery and integrity all hold")
+}

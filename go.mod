@@ -1,0 +1,3 @@
+module packetstore
+
+go 1.22

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"io"
+	"time"
+
+	"packetstore/internal/calib"
+	"packetstore/internal/core"
+)
+
+// AblationRow is one configuration of experiment E4.
+type AblationRow struct {
+	Name     string
+	MeanRTT  time.Duration
+	Checksum time.Duration // per-request software checksum time in the store
+	DataCopy time.Duration // per-request copy time in the store
+}
+
+// AblationResult quantifies each packetstore mechanism by disabling it.
+type AblationResult struct {
+	Requests int
+	Rows     []AblationRow
+}
+
+// RunAblation executes experiment E4: full packetstore, checksum reuse
+// off, and zero-copy off (DRAM receive pool, values copied into PM).
+func RunAblation(profile calib.Profile, requests int) (AblationResult, error) {
+	if requests <= 0 {
+		requests = 2000
+	}
+	out := AblationResult{Requests: requests}
+	cases := []struct {
+		name     string
+		cfg      core.Config
+		zeroCopy bool
+	}{
+		{"full (reuse+zero-copy)", storeCfgLarge(), true},
+		{"checksum reuse off", func() core.Config {
+			c := storeCfgLarge()
+			c.ChecksumReuse = false
+			return c
+		}(), true},
+		{"zero-copy off (rx in DRAM)", storeCfgLarge(), false},
+	}
+	for _, cs := range cases {
+		d, err := deploy(deployOptions{
+			profile: profile, kind: kindPktStore,
+			storeCfg: cs.cfg, zeroCopy: cs.zeroCopy,
+		})
+		if err != nil {
+			return out, err
+		}
+		d.store.ResetBreakdown()
+		rtt, err := measureRTT(d, requests, 1024)
+		bd := d.store.Breakdown()
+		d.close()
+		if err != nil {
+			return out, err
+		}
+		row := AblationRow{Name: cs.name, MeanRTT: rtt}
+		if bd.Ops > 0 {
+			ops := time.Duration(bd.Ops)
+			row.Checksum = bd.Checksum / ops
+			row.DataCopy = bd.Copy / ops
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Print renders the ablation table.
+func (r AblationResult) Print(w io.Writer) {
+	fprintf(w, "Ablation (E4): packetstore mechanisms, 1KB writes (%d requests)\n", r.Requests)
+	fprintf(w, "%-30s %12s %14s %12s\n", "configuration", "RTT [us]", "checksum [us]", "copy [us]")
+	for _, row := range r.Rows {
+		fprintf(w, "%-30s %12.2f %14.2f %12.2f\n",
+			row.Name, us(row.MeanRTT), us(row.Checksum), us(row.DataCopy))
+	}
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"io"
+	"time"
+
+	"packetstore/internal/calib"
+	"packetstore/internal/core"
+	"packetstore/internal/wrkgen"
+)
+
+// Fig2Series is one configuration's curve.
+type Fig2Series struct {
+	Name       string
+	Throughput []float64       // req/s per connection count
+	MeanLat    []time.Duration // per connection count
+	P99Lat     []time.Duration
+}
+
+// Fig2Result reproduces Figure 2: latency and throughput of continual 1KB
+// writes over parallel persistent TCP connections, with and without data
+// management (and, for Figure 3 / E5, the packetstore).
+type Fig2Result struct {
+	Conns    []int
+	Duration time.Duration
+	Series   []Fig2Series
+}
+
+// RunFigure2 executes experiment E2 (and E5 when withPktStore is set).
+func RunFigure2(profile calib.Profile, conns []int, duration time.Duration, withPktStore bool) (Fig2Result, error) {
+	if len(conns) == 0 {
+		conns = []int{1, 25, 50, 75, 100}
+	}
+	if duration <= 0 {
+		duration = time.Second
+	}
+	out := Fig2Result{Conns: conns, Duration: duration}
+
+	kinds := []struct {
+		name string
+		opt  deployOptions
+	}{
+		{"Net.+persist.", deployOptions{profile: profile, kind: kindRawPM}},
+		{"Net.+data mgmt.+persist.", deployOptions{profile: profile, kind: kindNoveLSM, pmBytes: 256 << 20}},
+	}
+	if withPktStore {
+		kinds = append(kinds, struct {
+			name string
+			opt  deployOptions
+		}{"Packetstore (ours)", deployOptions{profile: profile, kind: kindPktStore, zeroCopy: true,
+			storeCfg: storeCfgLarge()}})
+	}
+
+	for _, k := range kinds {
+		series := Fig2Series{Name: k.name}
+		for _, nc := range conns {
+			d, err := deploy(k.opt)
+			if err != nil {
+				return out, err
+			}
+			res, err := wrkgen.Run(wrkgen.Config{
+				Conns: nc, Duration: duration, Warmup: duration / 5,
+				ValueSize: 1024, KeySpace: 1 << 16, KeyDist: wrkgen.DistSeq,
+				PutPct: 100, Seed: 7,
+			}, d.dial)
+			d.close()
+			if err != nil {
+				return out, err
+			}
+			series.Throughput = append(series.Throughput, res.Throughput())
+			series.MeanLat = append(series.MeanLat, res.Hist.Mean())
+			series.P99Lat = append(series.P99Lat, res.Hist.Percentile(99))
+		}
+		out.Series = append(out.Series, series)
+	}
+	return out, nil
+}
+
+func storeCfgLarge() core.Config {
+	return core.Config{
+		MetaSlots: 1 << 17, DataSlots: 1 << 17, ChecksumReuse: true,
+	}
+}
+
+// Print renders both panels of the figure as tables.
+func (r Fig2Result) Print(w io.Writer) {
+	fprintf(w, "Figure 2: continual 1KB writes over parallel persistent TCP connections (%v per point)\n", r.Duration)
+	fprintf(w, "\nLatency (mean, us):\n%-28s", "series \\ conns")
+	for _, c := range r.Conns {
+		fprintf(w, "%10d", c)
+	}
+	fprintf(w, "\n")
+	for _, s := range r.Series {
+		fprintf(w, "%-28s", s.Name)
+		for _, l := range s.MeanLat {
+			fprintf(w, "%10.1f", us(l))
+		}
+		fprintf(w, "\n")
+	}
+	fprintf(w, "\nThroughput (k req/s):\n%-28s", "series \\ conns")
+	for _, c := range r.Conns {
+		fprintf(w, "%10d", c)
+	}
+	fprintf(w, "\n")
+	for _, s := range r.Series {
+		fprintf(w, "%-28s", s.Name)
+		for _, t := range s.Throughput {
+			fprintf(w, "%10.1f", t/1000)
+		}
+		fprintf(w, "\n")
+	}
+	// The paper's headline deltas, when both baseline series are present.
+	if len(r.Series) >= 2 {
+		a, b := r.Series[0], r.Series[1]
+		fprintf(w, "\nData management cost (series 2 vs 1):\n")
+		for i, c := range r.Conns {
+			if a.Throughput[i] <= 0 || a.MeanLat[i] <= 0 {
+				continue
+			}
+			tputDelta := (b.Throughput[i]/a.Throughput[i] - 1) * 100
+			latDelta := (float64(b.MeanLat[i])/float64(a.MeanLat[i]) - 1) * 100
+			fprintf(w, "  %3d conns: throughput %+.0f%%, latency %+.0f%%\n", c, tputDelta, latDelta)
+		}
+	}
+}

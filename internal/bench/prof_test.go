@@ -1,0 +1,18 @@
+package bench
+
+import (
+	"testing"
+
+	"packetstore/internal/calib"
+)
+
+func BenchmarkProfNoveLSMPut(b *testing.B) {
+	d, err := deploy(deployOptions{profile: calib.Off(), kind: kindNoveLSM})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.close()
+	if _, err := measureRTT(d, b.N, 1024); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"packetstore/internal/calib"
+	"packetstore/internal/core"
+	"packetstore/internal/pmem"
+)
+
+// RecoveryPoint is one (record count, recovery time) measurement.
+type RecoveryPoint struct {
+	Records     int
+	RecoverTime time.Duration
+	VerifyTime  time.Duration
+}
+
+// RecoveryResult is experiment E6: locating persisted packet metadata
+// after a crash (§5.1's recovery requirement), as a function of store
+// size.
+type RecoveryResult struct {
+	Points []RecoveryPoint
+}
+
+// RunRecovery loads each record count, crashes the region, and times
+// core.Open's scan-and-rebuild plus a full integrity scrub.
+func RunRecovery(profile calib.Profile, counts []int) (RecoveryResult, error) {
+	if len(counts) == 0 {
+		counts = []int{1000, 10000, 100000}
+	}
+	var out RecoveryResult
+	for _, n := range counts {
+		slots := 1
+		for slots < n*2 {
+			slots *= 2
+		}
+		cfg := core.Config{MetaSlots: slots, DataSlots: slots, ChecksumReuse: true}
+		r := pmem.New(cfg.RegionSize(), profile)
+		s, err := core.Open(r, cfg)
+		if err != nil {
+			return out, err
+		}
+		val := make([]byte, 1024)
+		for i := 0; i < n; i++ {
+			if err := s.Put([]byte(fmt.Sprintf("key%012d", i)), val); err != nil {
+				return out, fmt.Errorf("load %d/%d: %w", i, n, err)
+			}
+		}
+		r.Crash(rand.New(rand.NewSource(int64(n))))
+
+		t0 := time.Now()
+		s2, err := core.Open(r, cfg)
+		if err != nil {
+			return out, err
+		}
+		recoverTime := time.Since(t0)
+		if s2.Len() != n {
+			return out, fmt.Errorf("recovered %d of %d records", s2.Len(), n)
+		}
+		t1 := time.Now()
+		bad, err := s2.Verify()
+		if err != nil || len(bad) != 0 {
+			return out, fmt.Errorf("verify: %d bad, %v", len(bad), err)
+		}
+		out.Points = append(out.Points, RecoveryPoint{
+			Records: n, RecoverTime: recoverTime, VerifyTime: time.Since(t1),
+		})
+	}
+	return out, nil
+}
+
+// Print renders the recovery scaling table.
+func (r RecoveryResult) Print(w io.Writer) {
+	fprintf(w, "Recovery (E6): crash, rescan, rebuild index, scrub integrity\n")
+	fprintf(w, "%12s %15s %15s\n", "records", "recover [ms]", "verify [ms]")
+	for _, p := range r.Points {
+		fprintf(w, "%12d %15.2f %15.2f\n", p.Records,
+			float64(p.RecoverTime.Microseconds())/1000,
+			float64(p.VerifyTime.Microseconds())/1000)
+	}
+}
+
+// MetaSizePoint is one slot-size measurement of experiment E7.
+type MetaSizePoint struct {
+	SlotSize int
+	PutRTT   time.Duration
+	GetRTT   time.Duration
+}
+
+// MetaSizeResult is experiment E7: metadata compactness vs operation
+// latency (§5.1 argues compact, cache-friendly metadata matters more on
+// PM than on DRAM).
+type MetaSizeResult struct {
+	Requests int
+	Points   []MetaSizePoint
+}
+
+// RunMetaSize sweeps the persistent metadata slot size.
+func RunMetaSize(profile calib.Profile, requests int, sizes []int) (MetaSizeResult, error) {
+	if requests <= 0 {
+		requests = 1500
+	}
+	if len(sizes) == 0 {
+		sizes = []int{128, 256, 512}
+	}
+	out := MetaSizeResult{Requests: requests}
+	for _, sz := range sizes {
+		cfg := storeCfgLarge()
+		cfg.SlotSize = sz
+		cfg.MetaSlots = 1 << 16
+		cfg.DataSlots = 1 << 16
+		d, err := deploy(deployOptions{profile: profile, kind: kindPktStore,
+			storeCfg: cfg, zeroCopy: true})
+		if err != nil {
+			return out, err
+		}
+		putRTT, err := measureRTT(d, requests, 1024)
+		if err != nil {
+			d.close()
+			return out, err
+		}
+		getRTT, err := measureGetRTT(d, requests)
+		d.close()
+		if err != nil {
+			return out, err
+		}
+		out.Points = append(out.Points, MetaSizePoint{SlotSize: sz, PutRTT: putRTT, GetRTT: getRTT})
+	}
+	return out, nil
+}
+
+// Print renders the slot-size sweep.
+func (r MetaSizeResult) Print(w io.Writer) {
+	fprintf(w, "Metadata size (E7): persistent packet-metadata slot size vs RTT (%d requests)\n", r.Requests)
+	fprintf(w, "%12s %14s %14s\n", "slot [B]", "PUT RTT [us]", "GET RTT [us]")
+	for _, p := range r.Points {
+		fprintf(w, "%12d %14.2f %14.2f\n", p.SlotSize, us(p.PutRTT), us(p.GetRTT))
+	}
+}

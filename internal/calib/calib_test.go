@@ -1,0 +1,42 @@
+package calib
+
+import "testing"
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"paper", "fast", "off"} {
+		p, ok := ByName(name)
+		if !ok || p.Name != name {
+			t.Errorf("ByName(%q) = %+v, %v", name, p, ok)
+		}
+	}
+	if _, ok := ByName("bogus"); ok {
+		t.Error("ByName accepted bogus profile")
+	}
+	if p, ok := ByName(""); !ok || p.Name != "off" {
+		t.Error("empty name should resolve to off")
+	}
+}
+
+func TestOffIsAllZero(t *testing.T) {
+	p := Off()
+	if p.WireLatency != 0 || p.NICPerPacket != 0 || p.StackPerPacket != 0 ||
+		p.PMReadLine != 0 || p.PMWriteLine != 0 || p.PMFlushLine != 0 || p.PMFence != 0 ||
+		p.WireBandwidth != 0 {
+		t.Fatalf("Off profile has nonzero delays: %+v", p)
+	}
+}
+
+func TestPaperRoughCalibration(t *testing.T) {
+	p := Paper()
+	// 1KB = 16 lines; flushing must land in the neighbourhood of the
+	// paper's 1.94µs persistence row.
+	flush := 16*p.PMFlushLine + p.PMFence
+	if flush.Nanoseconds() < 1200 || flush.Nanoseconds() > 2800 {
+		t.Errorf("1KB flush cost %v outside [1.2µs, 2.8µs]", flush)
+	}
+	// Round trip fabric alone: 2x wire must be well under the paper's
+	// 26.71µs networking figure, leaving room for stack costs.
+	if rt := 2 * p.WireLatency; rt.Microseconds() > 15 {
+		t.Errorf("wire RTT %v too large", rt)
+	}
+}

@@ -1,0 +1,89 @@
+package checksum
+
+// CRC32C (Castagnoli polynomial, reflected 0x82f63b78) in table-driven pure
+// Go. Two variants are provided:
+//
+//   - CRC32C: byte-at-a-time table lookup. Roughly 0.5-0.8 GB/s, matching
+//     the throughput implied by the paper's measured 1.77µs per 1KB value.
+//     The baseline LSM store uses this, so the "checksum calculation" row
+//     of Table 1 is real measured work of comparable magnitude.
+//   - CRC32CFast: slicing-by-8, several times faster; used where checksum
+//     speed is not itself the quantity under measurement.
+//
+// Both produce identical CRC values. Mask/Unmask implement LevelDB's CRC
+// masking, which guards against the pathology of storing a CRC of data
+// that itself embeds CRCs.
+
+const crcPoly = 0x82f63b78
+
+var crcTable [8][256]uint32
+
+func init() {
+	for i := 0; i < 256; i++ {
+		c := uint32(i)
+		for k := 0; k < 8; k++ {
+			if c&1 != 0 {
+				c = crcPoly ^ (c >> 1)
+			} else {
+				c >>= 1
+			}
+		}
+		crcTable[0][i] = c
+	}
+	for i := 0; i < 256; i++ {
+		c := crcTable[0][i]
+		for t := 1; t < 8; t++ {
+			c = crcTable[0][c&0xff] ^ (c >> 8)
+			crcTable[t][i] = c
+		}
+	}
+}
+
+// CRC32C computes the CRC32C of b using the simple byte-at-a-time table
+// method. Use UpdateCRC32C to extend an existing CRC.
+func CRC32C(b []byte) uint32 { return UpdateCRC32C(0, b) }
+
+// UpdateCRC32C extends crc with the bytes of b (byte-at-a-time).
+func UpdateCRC32C(crc uint32, b []byte) uint32 {
+	c := ^crc
+	for _, x := range b {
+		c = crcTable[0][byte(c)^x] ^ (c >> 8)
+	}
+	return ^c
+}
+
+// CRC32CFast computes the CRC32C of b using slicing-by-8.
+func CRC32CFast(b []byte) uint32 { return UpdateCRC32CFast(0, b) }
+
+// UpdateCRC32CFast extends crc with the bytes of b (slicing-by-8).
+func UpdateCRC32CFast(crc uint32, b []byte) uint32 {
+	c := ^crc
+	for len(b) >= 8 {
+		c ^= uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+		c = crcTable[7][byte(c)] ^
+			crcTable[6][byte(c>>8)] ^
+			crcTable[5][byte(c>>16)] ^
+			crcTable[4][byte(c>>24)] ^
+			crcTable[3][b[4]] ^
+			crcTable[2][b[5]] ^
+			crcTable[1][b[6]] ^
+			crcTable[0][b[7]]
+		b = b[8:]
+	}
+	for _, x := range b {
+		c = crcTable[0][byte(c)^x] ^ (c >> 8)
+	}
+	return ^c
+}
+
+const maskDelta = 0xa282ead8
+
+// Mask returns a masked representation of crc, per LevelDB: rotate right by
+// 15 bits and add a constant. Stored CRCs are always masked.
+func Mask(crc uint32) uint32 { return ((crc >> 15) | (crc << 17)) + maskDelta }
+
+// Unmask inverts Mask.
+func Unmask(masked uint32) uint32 {
+	r := masked - maskDelta
+	return (r << 15) | (r >> 17)
+}

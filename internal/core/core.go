@@ -1,0 +1,496 @@
+// Package core implements the paper's proposal: packets as persistent
+// in-memory data structures.
+//
+// A Store lays a PM region out as a superblock, an array of fixed-size
+// persistent packet-metadata slots, and a data area that doubles as the
+// NIC's receive buffer pool (the PASTE configuration). A stored value IS
+// the received packet bytes, in place: the NIC DMAs the request into the
+// data area, the server flushes those lines, and commit is a metadata
+// slot describing where the key and value extents live — no allocation in
+// a storage-stack allocator, no data copy, and, when checksum reuse is
+// on, no integrity pass over the data, because the NIC already verified
+// the TCP checksum and exported the payload's ones-complement partial
+// sum, which combines and subtracts algebraically into a per-extent
+// value checksum (§4.2 of the paper).
+//
+// The metadata slot is deliberately compact (two cache lines by default,
+// §5.1): magic, commit sequence, NIC hardware timestamp, value checksum,
+// key prefix for cache-efficient comparisons, a skip-list tower, and up
+// to two inline value extents with a chain for more. The slots form a
+// persistent skip list ordered by key; the level-0 links are flushed and
+// fenced, upper levels are best-effort, and recovery never depends on
+// either: it rescans the slot array and rebuilds the index from committed
+// slots alone.
+//
+// Crash-consistency protocol per put:
+//
+//	write extents' data lines were DMAed earlier  -> Flush(data), Fence
+//	write slot image with seq=0                   -> Flush(slot), Fence
+//	write seq (8-byte atomic commit word)         -> Flush(line0), Fence
+//	link into level 0 (4-byte atomic)             -> Flush, Fence
+//
+// A crash between any two steps either loses the record entirely (never
+// acknowledged) or recovers it by scan; acknowledged writes are always
+// recovered. Deletes clear the commit word first, then unlink, so a crash
+// can never resurrect a deleted key.
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"packetstore/internal/pkt"
+	"packetstore/internal/pmem"
+)
+
+// Geometry constants.
+const (
+	superblockSize = 4096
+	slotMagic      = 0x656d4b50         // "PKme"
+	chainMagic     = 0x74784b50         // "PKxt"
+	sbMagic        = 0x31524f54534b5250 // "PKSTOR1" + '1'
+
+	maxHeight   = 8
+	minSlotSize = 128
+
+	// Slot field offsets.
+	oMagic   = 0
+	oFlags   = 4
+	oHeight  = 6
+	oExtCnt  = 7
+	oSeq     = 8
+	oHWTime  = 16
+	oVCsum   = 24
+	oKLen    = 28
+	oKPrefix = 32
+	oKOff    = 40
+	oVLen    = 44
+	oTower   = 48 // 8 * u32
+	oExt     = 80 // 2 * {off,len,sum u32}
+	oChain   = 104
+
+	extSize       = 12
+	inlineExtents = 2
+	chainExtents  = 9
+	oChainCnt     = 4
+	oChainExt     = 8
+	oChainNext    = 116
+
+	// Superblock field offsets.
+	sbOMagic     = 0
+	sbOMetaBase  = 16
+	sbOMetaSlots = 24
+	sbOSlotSize  = 32
+	sbODataBase  = 40
+	sbODataSlots = 48
+	sbOBufSize   = 56
+	sbOTower     = 128 // head tower, 8 * u32
+)
+
+// Errors.
+var (
+	ErrFull       = errors.New("pktstore: out of metadata or data slots")
+	ErrKeyTooLong = errors.New("pktstore: key exceeds 64KB")
+	ErrCorrupt    = errors.New("pktstore: corrupt store")
+)
+
+// Config tunes a Store.
+type Config struct {
+	// MetaSlots is the number of persistent packet-metadata slots.
+	MetaSlots int
+	// SlotSize is the metadata slot size in bytes (>= 128; ablation E7
+	// studies 128 vs 256).
+	SlotSize int
+	// DataSlots and DataBufSize shape the data area / NIC receive pool.
+	DataSlots   int
+	DataBufSize int
+	// ChecksumReuse accepts NIC-provided partial sums instead of
+	// computing CRC-style integrity sums in software (ablation E3).
+	ChecksumReuse bool
+	// VerifyOnGet recomputes and checks the value checksum on every read.
+	VerifyOnGet bool
+}
+
+func (c *Config) fill() {
+	if c.MetaSlots == 0 {
+		c.MetaSlots = 4096
+	}
+	if c.SlotSize == 0 {
+		c.SlotSize = minSlotSize
+	}
+	if c.SlotSize < minSlotSize {
+		panic("pktstore: slot size below minimum")
+	}
+	if c.DataSlots == 0 {
+		c.DataSlots = 4096
+	}
+	if c.DataBufSize == 0 {
+		c.DataBufSize = 2048
+	}
+}
+
+// RegionSize returns the PM region size the configuration needs.
+func (c Config) RegionSize() int {
+	cc := c
+	cc.fill()
+	return superblockSize + cc.MetaSlots*cc.SlotSize + cc.DataSlots*cc.DataBufSize
+}
+
+// Extent locates value bytes in the data area, with their unfolded
+// Internet-checksum partial sum.
+type Extent struct {
+	Off int
+	Len int
+	Sum uint32
+}
+
+// Stats counts store operations.
+type Stats struct {
+	Puts, Gets, Deletes, Ranges uint64
+	Hits                        uint64
+	ChecksumReused              uint64
+	ChecksumComputed            uint64
+	BytesStored                 uint64
+	Records                     int
+}
+
+// Breakdown accumulates per-phase put time for the Table 2 reproduction.
+type Breakdown struct {
+	Ops      uint64
+	Parse    time.Duration // reserved for server-side accounting
+	Checksum time.Duration // software checksum when reuse is off
+	Copy     time.Duration // data copies (copy-path puts only)
+	Alloc    time.Duration // slot allocation (volatile free lists)
+	Meta     time.Duration // slot image construction + search + link
+	Flush    time.Duration // cache-line write-backs and fences
+}
+
+// Store is the packetstore.
+type Store struct {
+	mu  sync.Mutex
+	r   *pmem.Region
+	cfg Config
+
+	metaBase int
+	dataBase int
+
+	pool     *pkt.Pool // data-area packet pool (shared with the NIC)
+	metaFree []int     // free metadata slot indices
+	dataRefs []int32   // per data slot: -1 pool-owned, >=0 store refs
+	seq      uint64
+	count    int
+
+	rng   *rand.Rand
+	stats Stats
+	bd    Breakdown
+}
+
+// Open formats (fresh region) or recovers (existing) a Store over r.
+func Open(r *pmem.Region, cfg Config) (*Store, error) {
+	cfg.fill()
+	if cfg.RegionSize() > r.Size() {
+		return nil, fmt.Errorf("pktstore: region %d bytes, need %d", r.Size(), cfg.RegionSize())
+	}
+	s := &Store{
+		r: r, cfg: cfg,
+		metaBase: superblockSize,
+		rng:      rand.New(rand.NewSource(0x9e3779b9)),
+	}
+	s.dataBase = s.metaBase + cfg.MetaSlots*cfg.SlotSize
+	s.dataRefs = make([]int32, cfg.DataSlots)
+	for i := range s.dataRefs {
+		s.dataRefs[i] = -1
+	}
+	s.pool = pkt.NewPMPool(r, s.dataBase, cfg.DataBufSize, cfg.DataSlots)
+
+	if r.ReadUint64(sbOMagic) == sbMagic {
+		if err := s.validateSuperblock(); err != nil {
+			return nil, err
+		}
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	s.format()
+	return s, nil
+}
+
+// Pool returns the data-area packet pool; the NIC uses it as its receive
+// pool so request payloads land directly in the store's persistent data
+// area.
+func (s *Store) Pool() *pkt.Pool { return s.pool }
+
+// Region returns the backing PM region.
+func (s *Store) Region() *pmem.Region { return s.r }
+
+// Len returns the number of live records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Stats returns a snapshot of operation counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Records = s.count
+	return st
+}
+
+// Breakdown returns cumulative put-phase timings.
+func (s *Store) Breakdown() Breakdown {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bd
+}
+
+// ResetBreakdown zeroes the phase timings.
+func (s *Store) ResetBreakdown() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bd = Breakdown{}
+}
+
+func (s *Store) format() {
+	r := s.r
+	zero := make([]byte, superblockSize)
+	r.Write(0, zero)
+	r.WriteUint64(sbOMetaBase, uint64(s.metaBase))
+	r.WriteUint64(sbOMetaSlots, uint64(s.cfg.MetaSlots))
+	r.WriteUint64(sbOSlotSize, uint64(s.cfg.SlotSize))
+	r.WriteUint64(sbODataBase, uint64(s.dataBase))
+	r.WriteUint64(sbODataSlots, uint64(s.cfg.DataSlots))
+	r.WriteUint64(sbOBufSize, uint64(s.cfg.DataBufSize))
+	r.WriteUint64(sbOMagic, sbMagic)
+	r.Persist(0, superblockSize)
+	s.metaFree = make([]int, 0, s.cfg.MetaSlots)
+	for i := s.cfg.MetaSlots - 1; i >= 0; i-- {
+		s.metaFree = append(s.metaFree, i)
+	}
+}
+
+func (s *Store) validateSuperblock() error {
+	r := s.r
+	if int(r.ReadUint64(sbOMetaBase)) != s.metaBase ||
+		int(r.ReadUint64(sbOMetaSlots)) != s.cfg.MetaSlots ||
+		int(r.ReadUint64(sbOSlotSize)) != s.cfg.SlotSize ||
+		int(r.ReadUint64(sbODataBase)) != s.dataBase ||
+		int(r.ReadUint64(sbODataSlots)) != s.cfg.DataSlots ||
+		int(r.ReadUint64(sbOBufSize)) != s.cfg.DataBufSize {
+		return fmt.Errorf("%w: geometry mismatch with configuration", ErrCorrupt)
+	}
+	return nil
+}
+
+// --- slot accessors (idx is a slot index; links store idx+1) ---
+
+func (s *Store) slotOff(idx int) int { return s.metaBase + idx*s.cfg.SlotSize }
+
+func (s *Store) slot(idx int) []byte { return s.r.Slice(s.slotOff(idx), s.cfg.SlotSize) }
+
+func (s *Store) headNext(level int) int {
+	return int(s.r.ReadUint32(sbOTower+4*level)) - 1
+}
+
+func (s *Store) setHeadNext(level, idx int) {
+	s.r.WriteUint32(sbOTower+4*level, uint32(idx+1))
+}
+
+func slotNext(sl []byte, level int) int {
+	return int(binary.LittleEndian.Uint32(sl[oTower+4*level:])) - 1
+}
+
+// keyPrefix packs the first 8 bytes of key big-endian (zero padded) so
+// integer comparison matches bytes.Compare on the prefix.
+func keyPrefix(key []byte) uint64 {
+	var p [8]byte
+	copy(p[:], key)
+	return binary.BigEndian.Uint64(p[:])
+}
+
+// slotKey reads a slot's key bytes from the data area.
+func (s *Store) slotKey(sl []byte) []byte {
+	klen := int(binary.LittleEndian.Uint32(sl[oKLen:]))
+	koff := int(binary.LittleEndian.Uint32(sl[oKOff:]))
+	return s.r.Slice(koff, klen)
+}
+
+// compareKey orders key against the slot's key, using the inline prefix
+// to avoid touching the data area when possible. charge controls whether
+// a full key read bills PM latency (index walks bill only near the
+// bottom of the tower, where reads miss caches).
+func (s *Store) compareKey(key []byte, kp uint64, sl []byte, charge bool) int {
+	sp := binary.LittleEndian.Uint64(sl[oKPrefix:])
+	if kp != sp {
+		if kp < sp {
+			return -1
+		}
+		return 1
+	}
+	klen := int(binary.LittleEndian.Uint32(sl[oKLen:]))
+	if len(key) <= 8 && klen <= 8 {
+		// Prefix equal and both fit: compare lengths.
+		switch {
+		case len(key) == klen:
+			return 0
+		case len(key) < klen:
+			return -1
+		default:
+			return 1
+		}
+	}
+	koff := int(binary.LittleEndian.Uint32(sl[oKOff:]))
+	if charge {
+		s.r.Touch(koff, min(klen, 64))
+	}
+	return bytes.Compare(key, s.r.Slice(koff, klen))
+}
+
+// findGE walks the persistent skip list to the first slot with key >=
+// key, charging PM read latency per visited slot.
+func (s *Store) findGE(key []byte, prev *[maxHeight]int) int {
+	kp := keyPrefix(key)
+	x := -1 // head
+	level := maxHeight - 1
+	for {
+		var nxt int
+		if x < 0 {
+			nxt = s.headNext(level)
+		} else {
+			nxt = slotNext(s.slot(x), level)
+		}
+		if nxt >= 0 {
+			// Model warm caches at the upper tower levels (few, hot
+			// nodes); PM read latency bills at the bottom two levels.
+			if level <= 1 {
+				s.r.Touch(s.slotOff(nxt), 64)
+			}
+			if s.compareKey(key, kp, s.slot(nxt), level <= 1) > 0 {
+				x = nxt
+				continue
+			}
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+		if level == 0 {
+			return nxt
+		}
+		level--
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// dataSlotIndex maps a region offset into the data area to its slot.
+func (s *Store) dataSlotIndex(off int) int {
+	d := off - s.dataBase
+	if d < 0 || d >= s.cfg.DataSlots*s.cfg.DataBufSize {
+		panic("pktstore: offset outside data area")
+	}
+	return d / s.cfg.DataBufSize
+}
+
+// AdoptBuf transfers a PM-pool packet buffer's data slot from the NIC
+// pool to the store (refcount 0 until a record references it). It returns
+// the slot's base offset. The kvserver adopts each received buffer whose
+// bytes may become stored data, then calls ReleaseUnused when done
+// parsing.
+func (s *Store) AdoptBuf(b *pkt.Buf) int {
+	base := s.pool.TakeOver(b)
+	s.mu.Lock()
+	s.dataRefs[s.dataSlotIndex(base)] = 0
+	s.mu.Unlock()
+	return base
+}
+
+// ReleaseUnused returns an adopted data slot to the pool if no record
+// ended up referencing it (e.g. the packet held only GET requests).
+func (s *Store) ReleaseUnused(base int) {
+	s.mu.Lock()
+	idx := s.dataSlotIndex(base)
+	unused := s.dataRefs[idx] == 0
+	if unused {
+		s.dataRefs[idx] = -1
+	}
+	s.mu.Unlock()
+	if unused {
+		s.pool.ReturnSlot(base)
+	}
+}
+
+func (s *Store) refDataLocked(off int) {
+	idx := s.dataSlotIndex(off)
+	if s.dataRefs[idx] < 0 {
+		panic("pktstore: referencing data in an unadopted slot")
+	}
+	s.dataRefs[idx]++
+}
+
+func (s *Store) unrefDataLocked(off int) {
+	idx := s.dataSlotIndex(off)
+	s.dataRefs[idx]--
+	if s.dataRefs[idx] == 0 {
+		s.dataRefs[idx] = -1
+		s.pool.ReturnSlot(s.dataBase + idx*s.cfg.DataBufSize)
+	}
+}
+
+// PinExtents adds a reference to every data slot an extent list touches —
+// used to lend stored data to the transport for zero-copy transmission.
+// The returned release function drops the references (safe to call from
+// packet-buffer fragment hooks).
+func (s *Store) PinExtents(exts []Extent) func() {
+	s.mu.Lock()
+	for _, e := range exts {
+		s.refDataLocked(e.Off)
+	}
+	s.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.mu.Lock()
+			for _, e := range exts {
+				s.unrefDataLocked(e.Off)
+			}
+			s.mu.Unlock()
+		})
+	}
+}
+
+// Slice exposes data-area bytes (zero-copy read path).
+func (s *Store) Slice(off, n int) []byte { return s.r.Slice(off, n) }
+
+// AllocDataSlot reserves a data slot for store-side use (for example the
+// server's key arena) and marks it adopted with zero references. It
+// returns -1 when the data area is exhausted. Pair with ReleaseUnused (or
+// let record references recycle it).
+func (s *Store) AllocDataSlot() int {
+	off := s.pool.Slab().Alloc()
+	if off < 0 {
+		return -1
+	}
+	s.mu.Lock()
+	s.dataRefs[s.dataSlotIndex(off)] = 0
+	s.mu.Unlock()
+	return off
+}
+
+// WriteData writes bytes into the data area (key-arena writes).
+func (s *Store) WriteData(off int, b []byte) { s.r.Write(off, b) }
+
+// DataBufSize returns the data slot size.
+func (s *Store) DataBufSize() int { return s.cfg.DataBufSize }

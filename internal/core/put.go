@@ -1,0 +1,468 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"packetstore/internal/checksum"
+)
+
+// PutOptions carries the zero-copy ingest description.
+type PutOptions struct {
+	// Extents locate the value bytes inside the data area. When nil, the
+	// value is passed by copy via Put.
+	Extents []Extent
+	// KeyOff is the region offset of the key bytes inside the data area.
+	KeyOff int
+	// HasSum marks the extents' Sum fields as NIC-derived partial sums
+	// (CHECKSUM_COMPLETE harvest); with Config.ChecksumReuse the store
+	// then never reads the value bytes.
+	HasSum bool
+	// HWTime is the NIC hardware receive timestamp to persist as the
+	// record's storage timestamp.
+	HWTime time.Time
+}
+
+// PutExtents commits key -> value where the value (and key) bytes already
+// live in the data area — the zero-copy ingest path. The data slots
+// holding the extents and key must have been adopted (AdoptBuf).
+func (s *Store) PutExtents(key []byte, vlen int, opt PutOptions) error {
+	if len(key) == 0 || len(key) > 0xffff {
+		return ErrKeyTooLong
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.putLocked(key, vlen, opt)
+}
+
+// Put stores key -> value by copying both into freshly allocated data
+// slots — the path for callers outside the network fast path (CLI tools,
+// examples, tests). Integrity sums are computed in software.
+func (s *Store) Put(key, value []byte) error {
+	if len(key) == 0 || len(key) > 0xffff {
+		return ErrKeyTooLong
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	t0 := time.Now()
+	// Lay key then value into data slots: key always fits one slot
+	// (<=64KB keys would span; restrict keys to one slot).
+	if len(key) > s.cfg.DataBufSize {
+		return ErrKeyTooLong
+	}
+	need := len(key) + len(value)
+	var slots []int
+	for covered := 0; covered < need || len(slots) == 0; {
+		off := s.pool.Slab().Alloc()
+		if off < 0 {
+			for _, o := range slots {
+				s.pool.Slab().Free(o)
+			}
+			return ErrFull
+		}
+		slots = append(slots, off)
+		covered += s.cfg.DataBufSize
+	}
+	// The key occupies the head of the first slot; value bytes follow and
+	// spill into subsequent slots.
+	var exts []Extent
+	s.r.Write(slots[0], key)
+	vOffInSlot := len(key)
+	rest := value
+	for i, base := range slots {
+		room := s.cfg.DataBufSize
+		start := base
+		if i == 0 {
+			room -= vOffInSlot
+			start += vOffInSlot
+		}
+		n := min(room, len(rest))
+		if n > 0 {
+			s.r.Write(start, rest[:n])
+			exts = append(exts, Extent{Off: start, Len: n})
+			rest = rest[n:]
+		}
+	}
+	s.bd.Copy += time.Since(t0)
+
+	// Mark the slots store-owned (refcounts incremented by putLocked).
+	for _, base := range slots {
+		s.dataRefs[s.dataSlotIndex(base)] = 0
+	}
+	err := s.putLocked(key, len(value), PutOptions{
+		Extents: exts, KeyOff: slots[0], HasSum: false, HWTime: time.Now(),
+	})
+	if err != nil {
+		for _, base := range slots {
+			s.dataRefs[s.dataSlotIndex(base)] = -1
+			s.pool.Slab().Free(base)
+		}
+		return err
+	}
+	// Slots with no references (value smaller than reserved space never
+	// happens here: key slot always referenced) — nothing to release.
+	return nil
+}
+
+// putLocked is the commit protocol shared by both ingest paths.
+func (s *Store) putLocked(key []byte, vlen int, opt PutOptions) error {
+	s.bd.Ops++
+	tAlloc := time.Now()
+	nChains := 0
+	if n := len(opt.Extents); n > inlineExtents {
+		nChains = (n - inlineExtents + chainExtents - 1) / chainExtents
+	}
+	if len(s.metaFree) < 1+nChains {
+		return ErrFull
+	}
+	slotIdx := s.metaFree[len(s.metaFree)-1]
+	s.metaFree = s.metaFree[:len(s.metaFree)-1]
+	chains := make([]int, nChains)
+	for i := range chains {
+		chains[i] = s.metaFree[len(s.metaFree)-1]
+		s.metaFree = s.metaFree[:len(s.metaFree)-1]
+	}
+	s.bd.Alloc += time.Since(tAlloc)
+
+	// Integrity: reuse NIC sums or compute in software.
+	tCsum := time.Now()
+	exts := opt.Extents
+	var acc checksum.Accumulator
+	if opt.HasSum && s.cfg.ChecksumReuse {
+		for i := range exts {
+			if !acc.AddPartial(exts[i].Sum, exts[i].Len) {
+				// Odd alignment: fold this extent in by reading it.
+				acc.Add(s.r.Slice(exts[i].Off, exts[i].Len))
+			}
+		}
+		s.stats.ChecksumReused++
+	} else {
+		for i := range exts {
+			exts[i].Sum = checksum.Partial(0, s.r.Slice(exts[i].Off, exts[i].Len))
+			if !acc.AddPartial(exts[i].Sum, exts[i].Len) {
+				acc.Add(s.r.Slice(exts[i].Off, exts[i].Len))
+			}
+		}
+		s.stats.ChecksumComputed++
+	}
+	combined := acc.Sum()
+	s.bd.Checksum += time.Since(tCsum)
+
+	tMeta := time.Now()
+	var prev [maxHeight]int
+	ge := s.findGE(key, &prev)
+	var old int = -1
+	var oldHeight int
+	if ge >= 0 && s.compareKey(key, keyPrefix(key), s.slot(ge), false) == 0 {
+		old = ge
+		oldHeight = int(s.slot(ge)[oHeight])
+	}
+
+	height := s.randomHeightLocked()
+	// Build the slot image with seq=0 (uncommitted).
+	img := make([]byte, s.cfg.SlotSize)
+	binary.LittleEndian.PutUint32(img[oMagic:], slotMagic)
+	img[oHeight] = byte(height)
+	img[oExtCnt] = byte(len(exts))
+	binary.LittleEndian.PutUint64(img[oSeq:], 0)
+	binary.LittleEndian.PutUint64(img[oHWTime:], uint64(opt.HWTime.UnixNano()))
+	binary.LittleEndian.PutUint32(img[oVCsum:], combined)
+	binary.LittleEndian.PutUint32(img[oKLen:], uint32(len(key)))
+	binary.LittleEndian.PutUint64(img[oKPrefix:], keyPrefix(key))
+	binary.LittleEndian.PutUint32(img[oKOff:], uint32(opt.KeyOff))
+	binary.LittleEndian.PutUint32(img[oVLen:], uint32(vlen))
+	for l := 0; l < height; l++ {
+		var succ int
+		switch {
+		case old >= 0 && l < oldHeight:
+			// Bypass the old version: link directly to its successor.
+			succ = slotNext(s.slot(old), l)
+		case prev[l] < 0:
+			succ = s.headNext(l)
+		default:
+			succ = slotNext(s.slot(prev[l]), l)
+		}
+		binary.LittleEndian.PutUint32(img[oTower+4*l:], uint32(succ+1))
+	}
+	// Inline extents + chain slots.
+	inline := exts
+	if len(inline) > inlineExtents {
+		inline = inline[:inlineExtents]
+	}
+	for i, e := range inline {
+		base := oExt + i*extSize
+		binary.LittleEndian.PutUint32(img[base:], uint32(e.Off))
+		binary.LittleEndian.PutUint32(img[base+4:], uint32(e.Len))
+		binary.LittleEndian.PutUint32(img[base+8:], e.Sum)
+	}
+	if nChains > 0 {
+		binary.LittleEndian.PutUint32(img[oChain:], uint32(chains[0]+1))
+		s.writeChainsLocked(chains, exts[inlineExtents:])
+	}
+	s.bd.Meta += time.Since(tMeta)
+
+	// Persist. Ordering needs three fences: (1) the data lines, key bytes
+	// and the uncommitted slot image have no mutual order, so they share
+	// one flush batch and one fence; (2) the commit word; (3) the level-0
+	// link (issued after linking below).
+	tFlush := time.Now()
+	off := s.slotOff(slotIdx)
+	s.r.Write(off, img)
+	for _, e := range exts {
+		s.r.Flush(e.Off, e.Len)
+	}
+	s.r.Flush(opt.KeyOff, len(key))
+	s.r.Flush(off, s.cfg.SlotSize)
+	s.r.Fence()
+	s.seq++
+	s.r.WriteUint64(off+oSeq, s.seq)
+	s.r.Persist(off+oSeq, 8)
+	s.bd.Flush += time.Since(tFlush)
+
+	// Link into the index; reference the data slots.
+	tLink := time.Now()
+	maxH := height
+	if old >= 0 && oldHeight > maxH {
+		maxH = oldHeight
+	}
+	for l := 0; l < maxH; l++ {
+		switch {
+		case l < height:
+			if prev[l] < 0 {
+				s.setHeadNext(l, slotIdx)
+			} else {
+				s.writeSlotNextLocked(prev[l], l, slotIdx)
+			}
+		default: // l >= height, old linked at this level: bypass it.
+			var bypass int
+			bypass = slotNext(s.slot(old), l)
+			if prev[l] < 0 {
+				s.setHeadNext(l, bypass)
+			} else {
+				s.writeSlotNextLocked(prev[l], l, bypass)
+			}
+		}
+	}
+	s.bd.Meta += time.Since(tLink)
+	// Persist the level-0 link (the durable chain).
+	tLinkFlush := time.Now()
+	if prev[0] < 0 {
+		s.r.Persist(sbOTower, 4)
+	} else {
+		s.r.Persist(s.slotOff(prev[0])+oTower, 4)
+	}
+	s.bd.Flush += time.Since(tLinkFlush)
+
+	for _, e := range exts {
+		s.refDataLocked(e.Off)
+	}
+	s.refDataLocked(opt.KeyOff)
+
+	// Retire the old version (after the new one is durable).
+	if old >= 0 {
+		s.freeRecordLocked(old)
+	} else {
+		s.count++
+	}
+	s.stats.Puts++
+	s.stats.BytesStored += uint64(vlen)
+	return nil
+}
+
+func (s *Store) writeSlotNextLocked(idx, level, next int) {
+	s.r.WriteUint32(s.slotOff(idx)+oTower+4*level, uint32(next+1))
+}
+
+// writeChainsLocked persists extent-continuation slots (before the parent
+// commits, so recovery only ever follows complete chains).
+func (s *Store) writeChainsLocked(chains []int, exts []Extent) {
+	for ci, idx := range chains {
+		img := make([]byte, s.cfg.SlotSize)
+		binary.LittleEndian.PutUint32(img[oMagic:], chainMagic)
+		n := min(chainExtents, len(exts)-ci*chainExtents)
+		binary.LittleEndian.PutUint32(img[oChainCnt:], uint32(n))
+		for i := 0; i < n; i++ {
+			e := exts[ci*chainExtents+i]
+			base := oChainExt + i*extSize
+			binary.LittleEndian.PutUint32(img[base:], uint32(e.Off))
+			binary.LittleEndian.PutUint32(img[base+4:], uint32(e.Len))
+			binary.LittleEndian.PutUint32(img[base+8:], e.Sum)
+		}
+		if ci+1 < len(chains) {
+			binary.LittleEndian.PutUint32(img[oChainNext:], uint32(chains[ci+1]+1))
+		}
+		off := s.slotOff(idx)
+		s.r.Write(off, img)
+		s.r.Flush(off, s.cfg.SlotSize)
+	}
+	s.r.Fence()
+}
+
+// readExtentsLocked collects a record's extents (inline + chains).
+func (s *Store) readExtentsLocked(sl []byte) ([]Extent, error) {
+	n := int(sl[oExtCnt])
+	exts := make([]Extent, 0, n)
+	for i := 0; i < min(n, inlineExtents); i++ {
+		base := oExt + i*extSize
+		exts = append(exts, Extent{
+			Off: int(binary.LittleEndian.Uint32(sl[base:])),
+			Len: int(binary.LittleEndian.Uint32(sl[base+4:])),
+			Sum: binary.LittleEndian.Uint32(sl[base+8:]),
+		})
+	}
+	chain := int(binary.LittleEndian.Uint32(sl[oChain:])) - 1
+	for chain >= 0 {
+		cs := s.slot(chain)
+		if binary.LittleEndian.Uint32(cs[oMagic:]) != chainMagic {
+			return nil, fmt.Errorf("%w: broken extent chain", ErrCorrupt)
+		}
+		cnt := int(binary.LittleEndian.Uint32(cs[oChainCnt:]))
+		if cnt > chainExtents {
+			return nil, fmt.Errorf("%w: chain count %d", ErrCorrupt, cnt)
+		}
+		for i := 0; i < cnt; i++ {
+			base := oChainExt + i*extSize
+			exts = append(exts, Extent{
+				Off: int(binary.LittleEndian.Uint32(cs[base:])),
+				Len: int(binary.LittleEndian.Uint32(cs[base+4:])),
+				Sum: binary.LittleEndian.Uint32(cs[base+8:]),
+			})
+		}
+		chain = int(binary.LittleEndian.Uint32(cs[oChainNext:])) - 1
+	}
+	if len(exts) != n {
+		return nil, fmt.Errorf("%w: extent count mismatch", ErrCorrupt)
+	}
+	return exts, nil
+}
+
+// freeRecordLocked retires a committed record: clear the commit word
+// first (crash-safe: the record simply disappears from the scan), then
+// recycle slots and data references. The caller has already unlinked it
+// from (or replaced it in) the index.
+func (s *Store) freeRecordLocked(idx int) {
+	sl := s.slot(idx)
+	exts, err := s.readExtentsLocked(sl)
+	koff := int(binary.LittleEndian.Uint32(sl[oKOff:]))
+	off := s.slotOff(idx)
+	s.r.WriteUint64(off+oSeq, 0)
+	s.r.Persist(off+oSeq, 8)
+	// Collect chain slots before recycling the parent.
+	chain := int(binary.LittleEndian.Uint32(sl[oChain:])) - 1
+	for chain >= 0 {
+		cs := s.slot(chain)
+		next := int(binary.LittleEndian.Uint32(cs[oChainNext:])) - 1
+		s.r.WriteUint32(s.slotOff(chain)+oMagic, 0)
+		s.metaFree = append(s.metaFree, chain)
+		chain = next
+	}
+	s.metaFree = append(s.metaFree, idx)
+	if err == nil {
+		for _, e := range exts {
+			s.unrefDataLocked(e.Off)
+		}
+	}
+	s.unrefDataLocked(koff)
+}
+
+func (s *Store) randomHeightLocked() int {
+	h := 1
+	for h < maxHeight && s.rng.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// Ref describes a stored record without copying its value — the zero-copy
+// read result handed to the transport.
+type Ref struct {
+	Extents []Extent
+	VLen    int
+	Csum    uint32 // combined unfolded partial sum of the value
+	HWTime  time.Time
+	Seq     uint64
+}
+
+// GetRef locates key and returns extent references. The referenced data
+// is only guaranteed stable while pinned (PinExtents) or under the
+// caller's own synchronization with deletes.
+func (s *Store) GetRef(key []byte) (Ref, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Gets++
+	idx := s.findGE(key, nil)
+	if idx < 0 || s.compareKey(key, keyPrefix(key), s.slot(idx), false) != 0 {
+		return Ref{}, false, nil
+	}
+	sl := s.slot(idx)
+	exts, err := s.readExtentsLocked(sl)
+	if err != nil {
+		return Ref{}, false, err
+	}
+	s.stats.Hits++
+	return Ref{
+		Extents: exts,
+		VLen:    int(binary.LittleEndian.Uint32(sl[oVLen:])),
+		Csum:    binary.LittleEndian.Uint32(sl[oVCsum:]),
+		HWTime:  time.Unix(0, int64(binary.LittleEndian.Uint64(sl[oHWTime:]))),
+		Seq:     binary.LittleEndian.Uint64(sl[oSeq:]),
+	}, true, nil
+}
+
+// Get returns a copy of the value stored under key, verifying its
+// checksum when configured.
+func (s *Store) Get(key []byte) ([]byte, bool, error) {
+	ref, ok, err := s.GetRef(key)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	out := make([]byte, 0, ref.VLen)
+	var acc checksum.Accumulator
+	for _, e := range ref.Extents {
+		b := s.r.Slice(e.Off, e.Len)
+		s.r.Touch(e.Off, e.Len)
+		out = append(out, b...)
+		if s.cfg.VerifyOnGet {
+			acc.Add(b)
+		}
+	}
+	if s.cfg.VerifyOnGet && checksum.Norm16(checksum.Fold(acc.Sum())) != checksum.Norm16(checksum.Fold(ref.Csum)) {
+		return nil, false, fmt.Errorf("%w: checksum mismatch for key %q", ErrCorrupt, key)
+	}
+	return out, true, nil
+}
+
+// Delete removes key. Crash-safe: the commit word is cleared (and fenced)
+// before the record is unlinked and recycled, so a crash can never
+// resurrect the key.
+func (s *Store) Delete(key []byte) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Deletes++
+	var prev [maxHeight]int
+	idx := s.findGE(key, &prev)
+	if idx < 0 || s.compareKey(key, keyPrefix(key), s.slot(idx), false) != 0 {
+		return false, nil
+	}
+	sl := s.slot(idx)
+	height := int(sl[oHeight])
+	// Unlink from every level it occupies.
+	for l := 0; l < height; l++ {
+		next := slotNext(sl, l)
+		if prev[l] < 0 {
+			s.setHeadNext(l, next)
+		} else {
+			s.writeSlotNextLocked(prev[l], l, next)
+		}
+	}
+	if prev[0] < 0 {
+		s.r.Persist(sbOTower, 4)
+	} else {
+		s.r.Persist(s.slotOff(prev[0])+oTower, 4)
+	}
+	s.freeRecordLocked(idx)
+	s.count--
+	return true, nil
+}

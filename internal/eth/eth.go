@@ -1,0 +1,58 @@
+// Package eth implements Ethernet II framing.
+package eth
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// HeaderLen is the Ethernet II header length (no VLAN tag support).
+const HeaderLen = 14
+
+// EtherType values used by the stack.
+const (
+	TypeIPv4 = 0x0800
+	TypeARP  = 0x0806
+)
+
+// Addr is a MAC address.
+type Addr [6]byte
+
+// Broadcast is the all-ones MAC address.
+var Broadcast = Addr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// String formats the address in colon-hex.
+func (a Addr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// HostAddr derives a stable locally-administered unicast MAC for host id n.
+func HostAddr(n int) Addr {
+	return Addr{0x02, 0x50, 0x4d, byte(n >> 16), byte(n >> 8), byte(n)}
+}
+
+// Header is a decoded Ethernet header.
+type Header struct {
+	Dst  Addr
+	Src  Addr
+	Type uint16
+}
+
+// Encode writes the header into b, which must be at least HeaderLen bytes.
+func (h Header) Encode(b []byte) {
+	copy(b[0:6], h.Dst[:])
+	copy(b[6:12], h.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], h.Type)
+}
+
+// Decode parses an Ethernet header from b.
+func Decode(b []byte) (Header, error) {
+	if len(b) < HeaderLen {
+		return Header{}, fmt.Errorf("eth: frame too short (%d bytes)", len(b))
+	}
+	var h Header
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.Type = binary.BigEndian.Uint16(b[12:14])
+	return h, nil
+}

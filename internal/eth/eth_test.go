@@ -1,0 +1,49 @@
+package eth
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(dst, src [6]byte, typ uint16) bool {
+		h := Header{Dst: Addr(dst), Src: Addr(src), Type: typ}
+		b := make([]byte, HeaderLen)
+		h.Encode(b)
+		got, err := Decode(b)
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeShort(t *testing.T) {
+	if _, err := Decode(make([]byte, 13)); err == nil {
+		t.Fatal("short frame accepted")
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	a := Addr{0x02, 0x50, 0x4d, 0, 0, 0x2a}
+	if a.String() != "02:50:4d:00:00:2a" {
+		t.Fatalf("got %s", a)
+	}
+}
+
+func TestHostAddrUnique(t *testing.T) {
+	seen := map[Addr]bool{}
+	for i := 0; i < 1000; i++ {
+		a := HostAddr(i)
+		if seen[a] {
+			t.Fatalf("duplicate MAC for host %d", i)
+		}
+		seen[a] = true
+		if a[0]&0x01 != 0 {
+			t.Fatalf("host MAC %s is multicast", a)
+		}
+		if a == Broadcast {
+			t.Fatal("host MAC equals broadcast")
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package hdrhist provides a compact log-bucketed latency histogram for
+// the benchmark harness (the role wrk's HdrHistogram plays on the paper's
+// testbed).
+//
+// Values are durations recorded in nanoseconds into buckets of ~3%
+// relative width, giving percentile error well below the run-to-run noise
+// of the experiments while keeping the histogram a few kilobytes.
+package hdrhist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// subBuckets is the number of buckets per power of two; 32 gives ~3.1%
+// maximum relative error.
+const subBuckets = 32
+
+// numBuckets covers 1ns to ~2^40ns (~18 minutes).
+const numBuckets = 41 * subBuckets
+
+// Hist is a latency histogram. The zero value is ready to use. Hist is not
+// safe for concurrent use; each load-generating connection records into
+// its own and the harness merges them.
+type Hist struct {
+	counts [numBuckets]uint64
+	total  uint64
+	sum    float64
+	min    int64
+	max    int64
+}
+
+func bucketOf(ns int64) int {
+	if ns < 1 {
+		ns = 1
+	}
+	exp := 63 - leadingZeros(uint64(ns))
+	var sub int
+	if exp <= 5 { // values below 2^5 map by value
+		return int(ns) - 1
+	}
+	sub = int((ns - (1 << exp)) >> (exp - 5))
+	b := (exp-5)*subBuckets + 31 + sub
+	if b >= numBuckets {
+		b = numBuckets - 1
+	}
+	return b
+}
+
+// bucketMid returns a representative value (ns) for bucket b.
+func bucketMid(b int) int64 {
+	if b < 31 {
+		return int64(b + 1)
+	}
+	exp := (b-31)/subBuckets + 5
+	sub := (b - 31) % subBuckets
+	lo := int64(1)<<exp + int64(sub)<<(exp-5)
+	width := int64(1) << (exp - 5)
+	return lo + width/2
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Record adds one observation.
+func (h *Hist) Record(d time.Duration) {
+	ns := d.Nanoseconds()
+	h.counts[bucketOf(ns)]++
+	if h.total == 0 || ns < h.min {
+		h.min = ns
+	}
+	if ns > h.max {
+		h.max = ns
+	}
+	h.total++
+	h.sum += float64(ns)
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() uint64 { return h.total }
+
+// Mean returns the arithmetic mean.
+func (h *Hist) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / float64(h.total))
+}
+
+// Min returns the smallest recorded value.
+func (h *Hist) Min() time.Duration { return time.Duration(h.min) }
+
+// Max returns the largest recorded value.
+func (h *Hist) Max() time.Duration { return time.Duration(h.max) }
+
+// Percentile returns the q-th percentile (0 < q <= 100) with ~3% value
+// resolution.
+func (h *Hist) Percentile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q / 100 * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for b, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			mid := bucketMid(b)
+			if int64(mid) > h.max {
+				return time.Duration(h.max)
+			}
+			if int64(mid) < h.min {
+				return time.Duration(h.min)
+			}
+			return time.Duration(mid)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Merge adds all of o's observations into h.
+func (h *Hist) Merge(o *Hist) {
+	if o.total == 0 {
+		return
+	}
+	for b, c := range o.counts {
+		h.counts[b] += c
+	}
+	if h.total == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.total += o.total
+	h.sum += o.sum
+}
+
+// Reset clears the histogram.
+func (h *Hist) Reset() { *h = Hist{} }
+
+// String summarizes the distribution for harness output.
+func (h *Hist) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.total, h.Mean().Round(10*time.Nanosecond),
+		h.Percentile(50).Round(10*time.Nanosecond),
+		h.Percentile(99).Round(10*time.Nanosecond),
+		h.Max().Round(10*time.Nanosecond))
+}
+
+// Sorted is a helper for exact small-sample percentiles in tests.
+func Sorted(ds []time.Duration) []time.Duration {
+	out := append([]time.Duration(nil), ds...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,145 @@
+package hdrhist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmpty(t *testing.T) {
+	var h Hist
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestSingleValue(t *testing.T) {
+	var h Hist
+	h.Record(42 * time.Microsecond)
+	if h.Count() != 1 {
+		t.Fatal("count")
+	}
+	for _, q := range []float64{1, 50, 99, 100} {
+		got := h.Percentile(q)
+		if relErr(got, 42*time.Microsecond) > 0.05 {
+			t.Fatalf("p%v = %v, want ~42µs", q, got)
+		}
+	}
+	if h.Min() != 42*time.Microsecond || h.Max() != 42*time.Microsecond {
+		t.Fatal("min/max")
+	}
+}
+
+func relErr(a, b time.Duration) float64 {
+	d := float64(a - b)
+	if d < 0 {
+		d = -d
+	}
+	return d / float64(b)
+}
+
+func TestPercentilesUniform(t *testing.T) {
+	var h Hist
+	// 1..10000 µs uniformly.
+	for i := 1; i <= 10000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	cases := map[float64]time.Duration{
+		50: 5000 * time.Microsecond,
+		90: 9000 * time.Microsecond,
+		99: 9900 * time.Microsecond,
+	}
+	for q, want := range cases {
+		if got := h.Percentile(q); relErr(got, want) > 0.05 {
+			t.Errorf("p%v = %v, want ~%v", q, got, want)
+		}
+	}
+	if relErr(h.Mean(), 5000500*time.Nanosecond) > 0.01 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b, whole Hist
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(rng.Intn(1000000)) * time.Nanosecond
+		whole.Record(d)
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() {
+		t.Fatalf("merged count %d want %d", a.Count(), whole.Count())
+	}
+	for _, q := range []float64{10, 50, 90, 99} {
+		if a.Percentile(q) != whole.Percentile(q) {
+			t.Errorf("p%v differs after merge: %v vs %v", q, a.Percentile(q), whole.Percentile(q))
+		}
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Error("min/max differ after merge")
+	}
+	var empty Hist
+	a.Merge(&empty) // no-op
+	if a.Count() != whole.Count() {
+		t.Error("merging empty changed count")
+	}
+}
+
+func TestQuickBucketMonotone(t *testing.T) {
+	// Property: bucketOf is monotone non-decreasing and bucketMid(b) lands
+	// within ~7% of any value mapping to b.
+	f := func(rawA, rawB uint32) bool {
+		a, b := int64(rawA)+1, int64(rawB)+1
+		if a > b {
+			a, b = b, a
+		}
+		if bucketOf(a) > bucketOf(b) {
+			return false
+		}
+		mid := bucketMid(bucketOf(a))
+		d := float64(mid - a)
+		if d < 0 {
+			d = -d
+		}
+		return d <= 0.07*float64(a)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetAndString(t *testing.T) {
+	var h Hist
+	h.Record(time.Millisecond)
+	if s := h.String(); s == "" {
+		t.Fatal("empty String")
+	}
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestSortedHelper(t *testing.T) {
+	in := []time.Duration{3, 1, 2}
+	out := Sorted(in)
+	if out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Fatal("not sorted")
+	}
+	if in[0] != 3 {
+		t.Fatal("input mutated")
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	var h Hist
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i%1000000) * time.Nanosecond)
+	}
+}

@@ -1,0 +1,62 @@
+package ipv4
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(totalLenRaw uint16, id uint16, df, mf bool, fragOff uint16, ttl, proto uint8, src, dst [4]byte) bool {
+		totalLen := HeaderLen + totalLenRaw%1500
+		h := Header{
+			TotalLen: totalLen, ID: id, DF: df, MF: mf,
+			FragOff: fragOff & 0x1fff, TTL: ttl, Proto: proto,
+			Src: Addr(src), Dst: Addr(dst),
+		}
+		b := make([]byte, totalLen)
+		h.Encode(b)
+		got, err := Decode(b)
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	h := Header{TotalLen: 40, TTL: 64, Proto: ProtoTCP, Src: HostAddr(1), Dst: HostAddr(2)}
+	b := make([]byte, 40)
+	h.Encode(b)
+	if _, err := Decode(b); err != nil {
+		t.Fatalf("pristine header rejected: %v", err)
+	}
+	for _, corrupt := range []func([]byte){
+		func(b []byte) { b[0] = 0x55 },             // version 5
+		func(b []byte) { b[0] = 0x46 },             // IHL 6
+		func(b []byte) { b[8]++ },                  // TTL flips -> checksum fails
+		func(b []byte) { b[2], b[3] = 0xff, 0xff }, // absurd total length
+		func(b []byte) { b[2], b[3] = 0, 1 },       // total length < header
+	} {
+		c := append([]byte(nil), b...)
+		corrupt(c)
+		if _, err := Decode(c); err == nil {
+			t.Fatal("corrupted header accepted")
+		}
+	}
+	if _, err := Decode(b[:19]); err == nil {
+		t.Fatal("short packet accepted")
+	}
+}
+
+func TestPayloadLen(t *testing.T) {
+	h := Header{TotalLen: 120}
+	if h.PayloadLen() != 100 {
+		t.Fatalf("PayloadLen=%d", h.PayloadLen())
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if HostAddr(7).String() != "10.0.0.7" {
+		t.Fatalf("got %s", HostAddr(7))
+	}
+}

@@ -1,0 +1,131 @@
+// Package kvclient is the client side of the KV-over-HTTP protocol: a
+// synchronous request/response client over any stream connection (the
+// simulated TCP stack or a real net.Conn).
+package kvclient
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"packetstore/internal/httpmsg"
+	"packetstore/internal/kvproto"
+)
+
+// Conn is the transport the client runs on.
+type Conn interface {
+	io.Reader
+	io.Writer
+	Close() error
+}
+
+// Client issues storage requests over one persistent connection. Not safe
+// for concurrent use; open one Client per connection.
+type Client struct {
+	c      Conn
+	parser *httpmsg.ResponseParser
+	rbuf   []byte
+	pend   []byte // unconsumed response bytes
+	wbuf   []byte
+}
+
+// ErrStatus wraps an unexpected HTTP status.
+var ErrStatus = errors.New("kvclient: unexpected status")
+
+// New wraps a connection.
+func New(c Conn) *Client {
+	return &Client{
+		c:      c,
+		parser: httpmsg.NewResponseParser(),
+		rbuf:   make([]byte, 64<<10),
+	}
+}
+
+// Close closes the underlying connection.
+func (cl *Client) Close() error { return cl.c.Close() }
+
+// roundTrip sends a request and reads one full response.
+func (cl *Client) roundTrip(method, path string, body []byte) (int, []byte, error) {
+	cl.wbuf = httpmsg.AppendRequest(cl.wbuf[:0], method, path, len(body))
+	cl.wbuf = append(cl.wbuf, body...)
+	if _, err := cl.c.Write(cl.wbuf); err != nil {
+		return 0, nil, err
+	}
+	cl.parser.Reset()
+	var respBody []byte
+	for {
+		chunk := cl.pend
+		if len(chunk) == 0 {
+			n, err := cl.c.Read(cl.rbuf)
+			if err != nil {
+				return 0, nil, err
+			}
+			chunk = cl.rbuf[:n]
+		}
+		res := cl.parser.Feed(chunk)
+		if res.Err != nil {
+			return 0, nil, res.Err
+		}
+		respBody = append(respBody, chunk[res.Body.Off:res.Body.Off+res.Body.Len]...)
+		rest := chunk[res.Consumed:]
+		if res.Done {
+			cl.pend = append(cl.pend[:0], rest...)
+			return cl.parser.Response().Status, respBody, nil
+		}
+		cl.pend = cl.pend[:0]
+	}
+}
+
+// Put stores key -> value.
+func (cl *Client) Put(key, value []byte) error {
+	status, _, err := cl.roundTrip("PUT", kvproto.KeyPath(key), value)
+	if err != nil {
+		return err
+	}
+	if status != 200 && status != 201 {
+		return fmt.Errorf("%w: PUT %d", ErrStatus, status)
+	}
+	return nil
+}
+
+// Get fetches key's value; ok=false on 404.
+func (cl *Client) Get(key []byte) ([]byte, bool, error) {
+	status, body, err := cl.roundTrip("GET", kvproto.KeyPath(key), nil)
+	if err != nil {
+		return nil, false, err
+	}
+	switch status {
+	case 200:
+		return body, true, nil
+	case 404:
+		return nil, false, nil
+	}
+	return nil, false, fmt.Errorf("%w: GET %d", ErrStatus, status)
+}
+
+// Delete removes key; found=false on 404.
+func (cl *Client) Delete(key []byte) (bool, error) {
+	status, _, err := cl.roundTrip("DELETE", kvproto.KeyPath(key), nil)
+	if err != nil {
+		return false, err
+	}
+	switch status {
+	case 200, 204:
+		return true, nil
+	case 404:
+		return false, nil
+	}
+	return false, fmt.Errorf("%w: DELETE %d", ErrStatus, status)
+}
+
+// Range queries [start, end) up to limit records.
+func (cl *Client) Range(start, end []byte, limit int) ([]kvproto.KV, error) {
+	status, body, err := cl.roundTrip("GET", kvproto.RangePath(start, end, limit), nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != 200 {
+		return nil, fmt.Errorf("%w: RANGE %d", ErrStatus, status)
+	}
+	return kvproto.DecodeRangeBody(body)
+}

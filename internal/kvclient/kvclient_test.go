@@ -1,0 +1,134 @@
+package kvclient
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// scriptConn feeds canned response bytes in configurable chunk sizes and
+// records what the client wrote.
+type scriptConn struct {
+	wrote  bytes.Buffer
+	resp   []byte
+	chunk  int
+	closed bool
+}
+
+func (c *scriptConn) Write(p []byte) (int, error) {
+	c.wrote.Write(p)
+	return len(p), nil
+}
+
+func (c *scriptConn) Read(p []byte) (int, error) {
+	if len(c.resp) == 0 {
+		return 0, io.EOF
+	}
+	n := len(c.resp)
+	if c.chunk > 0 && n > c.chunk {
+		n = c.chunk
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, c.resp[:n])
+	c.resp = c.resp[n:]
+	return n, nil
+}
+
+func (c *scriptConn) Close() error { c.closed = true; return nil }
+
+func TestPutFormatsRequest(t *testing.T) {
+	conn := &scriptConn{resp: []byte("HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n")}
+	cl := New(conn)
+	if err := cl.Put([]byte("k1"), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	want := "PUT /k/k1 HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello"
+	if conn.wrote.String() != want {
+		t.Fatalf("wrote %q", conn.wrote.String())
+	}
+}
+
+func TestGetParsesBodyAcrossChunks(t *testing.T) {
+	for chunk := 1; chunk < 40; chunk += 7 {
+		conn := &scriptConn{
+			resp:  []byte("HTTP/1.1 200 OK\r\nContent-Length: 11\r\n\r\nhello world"),
+			chunk: chunk,
+		}
+		cl := New(conn)
+		v, ok, err := cl.Get([]byte("k"))
+		if err != nil || !ok || string(v) != "hello world" {
+			t.Fatalf("chunk=%d: %q %v %v", chunk, v, ok, err)
+		}
+	}
+}
+
+func TestGet404(t *testing.T) {
+	conn := &scriptConn{resp: []byte("HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n")}
+	cl := New(conn)
+	_, ok, err := cl.Get([]byte("k"))
+	if err != nil || ok {
+		t.Fatalf("%v %v", ok, err)
+	}
+}
+
+func TestUnexpectedStatus(t *testing.T) {
+	conn := &scriptConn{resp: []byte("HTTP/1.1 500 Internal Server Error\r\nContent-Length: 0\r\n\r\n")}
+	cl := New(conn)
+	if err := cl.Put([]byte("k"), nil); !errors.Is(err, ErrStatus) {
+		t.Fatalf("want ErrStatus, got %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	conn := &scriptConn{resp: []byte("HTTP/1.1 204 No Content\r\nContent-Length: 0\r\n\r\n" +
+		"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n")}
+	cl := New(conn)
+	found, err := cl.Delete([]byte("k"))
+	if err != nil || !found {
+		t.Fatalf("%v %v", found, err)
+	}
+	found, err = cl.Delete([]byte("k"))
+	if err != nil || found {
+		t.Fatalf("second delete: %v %v", found, err)
+	}
+	if !strings.Contains(conn.wrote.String(), "DELETE /k/k HTTP/1.1") {
+		t.Fatalf("wrote %q", conn.wrote.String())
+	}
+}
+
+func TestPipelinedResponsesStaySplit(t *testing.T) {
+	// Two responses arriving in one read must be consumed one at a time.
+	conn := &scriptConn{resp: []byte(
+		"HTTP/1.1 200 OK\r\nContent-Length: 1\r\n\r\nA" +
+			"HTTP/1.1 200 OK\r\nContent-Length: 1\r\n\r\nB")}
+	cl := New(conn)
+	v1, _, err := cl.Get([]byte("k1"))
+	if err != nil || string(v1) != "A" {
+		t.Fatalf("%q %v", v1, err)
+	}
+	v2, _, err := cl.Get([]byte("k2"))
+	if err != nil || string(v2) != "B" {
+		t.Fatalf("%q %v", v2, err)
+	}
+}
+
+func TestCloseClosesConn(t *testing.T) {
+	conn := &scriptConn{}
+	cl := New(conn)
+	cl.Close()
+	if !conn.closed {
+		t.Fatal("underlying conn not closed")
+	}
+}
+
+func TestReadError(t *testing.T) {
+	conn := &scriptConn{} // immediate EOF
+	cl := New(conn)
+	if err := cl.Put([]byte("k"), nil); err == nil {
+		t.Fatal("EOF not surfaced")
+	}
+}

@@ -1,0 +1,147 @@
+// Package kvproto defines the storage request protocol the paper's
+// workload speaks: key-value operations carried over HTTP/1.1 on
+// persistent TCP connections.
+//
+//	PUT    /k/<key>                       body = value -> 200
+//	GET    /k/<key>                       -> 200 + value | 404
+//	DELETE /k/<key>                       -> 204 | 404
+//	GET    /range?start=<s>&end=<e>&limit=<n> -> 200 + encoded records
+//
+// Range results use a length-prefixed binary body: repeated
+// (u32 key length, key bytes, u32 value length, value bytes), little
+// endian.
+package kvproto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Op identifies a request's operation.
+type Op int
+
+// Operations.
+const (
+	OpInvalid Op = iota
+	OpPut
+	OpGet
+	OpDelete
+	OpRange
+)
+
+// Request is a decoded KV request (body handled separately).
+type Request struct {
+	Op    Op
+	Key   []byte
+	Start []byte // range
+	End   []byte // range
+	Limit int    // range
+}
+
+// KeyPath builds the request path for a key.
+func KeyPath(key []byte) string { return "/k/" + url.PathEscape(string(key)) }
+
+// RangePath builds a range query path.
+func RangePath(start, end []byte, limit int) string {
+	q := url.Values{}
+	q.Set("start", string(start))
+	if end != nil {
+		q.Set("end", string(end))
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	return "/range?" + q.Encode()
+}
+
+// Parse decodes method+path into a Request.
+func Parse(method, path string) (Request, error) {
+	switch {
+	case strings.HasPrefix(path, "/k/"):
+		key, err := url.PathUnescape(path[3:])
+		if err != nil || key == "" {
+			return Request{}, fmt.Errorf("kvproto: bad key in %q", path)
+		}
+		switch method {
+		case "PUT", "POST":
+			return Request{Op: OpPut, Key: []byte(key)}, nil
+		case "GET":
+			return Request{Op: OpGet, Key: []byte(key)}, nil
+		case "DELETE":
+			return Request{Op: OpDelete, Key: []byte(key)}, nil
+		}
+		return Request{}, fmt.Errorf("kvproto: method %s not allowed on %q", method, path)
+	case strings.HasPrefix(path, "/range"):
+		if method != "GET" {
+			return Request{}, fmt.Errorf("kvproto: method %s not allowed on range", method)
+		}
+		req := Request{Op: OpRange}
+		if i := strings.IndexByte(path, '?'); i >= 0 {
+			q, err := url.ParseQuery(path[i+1:])
+			if err != nil {
+				return Request{}, fmt.Errorf("kvproto: bad range query: %v", err)
+			}
+			req.Start = []byte(q.Get("start"))
+			if e := q.Get("end"); e != "" {
+				req.End = []byte(e)
+			}
+			if l := q.Get("limit"); l != "" {
+				n, err := strconv.Atoi(l)
+				if err != nil || n < 0 {
+					return Request{}, fmt.Errorf("kvproto: bad limit %q", l)
+				}
+				req.Limit = n
+			}
+		}
+		return req, nil
+	}
+	return Request{}, fmt.Errorf("kvproto: unknown path %q", path)
+}
+
+// KV is one record in a range result.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// AppendRangeBody serializes records into dst.
+func AppendRangeBody(dst []byte, kvs []KV) []byte {
+	var tmp [4]byte
+	for _, kv := range kvs {
+		binary.LittleEndian.PutUint32(tmp[:], uint32(len(kv.Key)))
+		dst = append(dst, tmp[:]...)
+		dst = append(dst, kv.Key...)
+		binary.LittleEndian.PutUint32(tmp[:], uint32(len(kv.Value)))
+		dst = append(dst, tmp[:]...)
+		dst = append(dst, kv.Value...)
+	}
+	return dst
+}
+
+// DecodeRangeBody parses a range result body.
+func DecodeRangeBody(b []byte) ([]KV, error) {
+	var out []KV
+	for len(b) > 0 {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("kvproto: truncated range body")
+		}
+		kl := int(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		if len(b) < kl+4 {
+			return nil, fmt.Errorf("kvproto: truncated range key")
+		}
+		key := b[:kl]
+		b = b[kl:]
+		vl := int(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		if len(b) < vl {
+			return nil, fmt.Errorf("kvproto: truncated range value")
+		}
+		out = append(out, KV{Key: append([]byte(nil), key...), Value: append([]byte(nil), b[:vl]...)})
+		b = b[vl:]
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package kvproto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseKeyOps(t *testing.T) {
+	cases := []struct {
+		method, path string
+		op           Op
+		key          string
+		ok           bool
+	}{
+		{"PUT", "/k/mykey", OpPut, "mykey", true},
+		{"POST", "/k/mykey", OpPut, "mykey", true},
+		{"GET", "/k/mykey", OpGet, "mykey", true},
+		{"DELETE", "/k/mykey", OpDelete, "mykey", true},
+		{"GET", "/k/with%2Fslash", OpGet, "with/slash", true},
+		{"PATCH", "/k/mykey", OpInvalid, "", false},
+		{"GET", "/k/", OpInvalid, "", false},
+		{"GET", "/unknown", OpInvalid, "", false},
+		{"GET", "/k/bad%zz", OpInvalid, "", false},
+	}
+	for _, c := range cases {
+		req, err := Parse(c.method, c.path)
+		if c.ok != (err == nil) {
+			t.Errorf("%s %s: err=%v want ok=%v", c.method, c.path, err, c.ok)
+			continue
+		}
+		if c.ok && (req.Op != c.op || string(req.Key) != c.key) {
+			t.Errorf("%s %s: got %v/%q", c.method, c.path, req.Op, req.Key)
+		}
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	req, err := Parse("GET", RangePath([]byte("aaa"), []byte("zzz"), 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Op != OpRange || string(req.Start) != "aaa" || string(req.End) != "zzz" || req.Limit != 10 {
+		t.Fatalf("req %+v", req)
+	}
+	// Unbounded end, no limit.
+	req, err = Parse("GET", RangePath([]byte("x"), nil, 0))
+	if err != nil || req.End != nil || req.Limit != 0 {
+		t.Fatalf("%+v %v", req, err)
+	}
+	// Bad method / bad limit.
+	if _, err := Parse("PUT", "/range?start=a"); err == nil {
+		t.Fatal("PUT range accepted")
+	}
+	if _, err := Parse("GET", "/range?limit=abc"); err == nil {
+		t.Fatal("bad limit accepted")
+	}
+	if _, err := Parse("GET", "/range?%zz=1"); err == nil {
+		t.Fatal("bad query accepted")
+	}
+}
+
+func TestKeyPathRoundTrip(t *testing.T) {
+	f := func(key []byte) bool {
+		if len(key) == 0 {
+			return true
+		}
+		req, err := Parse("GET", KeyPath(key))
+		return err == nil && bytes.Equal(req.Key, key)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeBodyRoundTrip(t *testing.T) {
+	f := func(raw map[string][]byte) bool {
+		var kvs []KV
+		for k, v := range raw {
+			kvs = append(kvs, KV{Key: []byte(k), Value: v})
+		}
+		got, err := DecodeRangeBody(AppendRangeBody(nil, kvs))
+		if err != nil || len(got) != len(kvs) {
+			return false
+		}
+		seen := map[string]string{}
+		for _, kv := range got {
+			seen[string(kv.Key)] = string(kv.Value)
+		}
+		for _, kv := range kvs {
+			if seen[string(kv.Key)] != string(kv.Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRangeBodyTruncation(t *testing.T) {
+	body := AppendRangeBody(nil, []KV{{Key: []byte("key"), Value: []byte("value")}})
+	for cut := 1; cut < len(body); cut++ {
+		if _, err := DecodeRangeBody(body[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

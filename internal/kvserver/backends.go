@@ -1,0 +1,139 @@
+// Package kvserver implements the storage server application: a
+// single-goroutine event loop (the paper's one-core busy-polling server)
+// that parses KV-over-HTTP requests from the TCP stack's packet buffers
+// and dispatches them to a storage backend.
+//
+// Backends:
+//
+//   - Discard: parses and acknowledges without storing — the paper's
+//     "networking only" configuration that isolates network overheads.
+//   - RawPM: copy + flush into PM, no data management — Figure 2's
+//     "Net. + persist." series.
+//   - LSM: the NoveLSM/LevelDB baseline — Figure 2's
+//     "Net. + data mgmt. + persist." series.
+//   - PktStore: the paper's proposal. With a PM-backed NIC receive pool
+//     the server runs the zero-copy ingest path: request values are
+//     committed where the NIC wrote them, with NIC-derived checksums and
+//     hardware timestamps, and GET responses are transmitted straight
+//     out of the store via packet fragments.
+package kvserver
+
+import (
+	"packetstore/internal/core"
+	"packetstore/internal/kvproto"
+	"packetstore/internal/lsm"
+	"packetstore/internal/rawpm"
+)
+
+// Backend stores and retrieves values (copy path).
+type Backend interface {
+	Name() string
+	Put(key, value []byte) error
+	Get(key []byte) (value []byte, ok bool, err error)
+	Delete(key []byte) (found bool, err error)
+	Range(start, end []byte, limit int) ([]kvproto.KV, error)
+}
+
+// Discard acknowledges everything and stores nothing.
+type Discard struct{}
+
+// Name implements Backend.
+func (Discard) Name() string { return "discard" }
+
+// Put implements Backend.
+func (Discard) Put(key, value []byte) error { return nil }
+
+// Get implements Backend.
+func (Discard) Get(key []byte) ([]byte, bool, error) { return nil, false, nil }
+
+// Delete implements Backend.
+func (Discard) Delete(key []byte) (bool, error) { return false, nil }
+
+// Range implements Backend.
+func (Discard) Range(start, end []byte, limit int) ([]kvproto.KV, error) { return nil, nil }
+
+// RawPM copies and persists values without data management.
+type RawPM struct {
+	S *rawpm.Store
+}
+
+// Name implements Backend.
+func (RawPM) Name() string { return "rawpm" }
+
+// Put implements Backend.
+func (b RawPM) Put(key, value []byte) error { return b.S.Put(value) }
+
+// Get implements Backend (raw PM keeps no index; reads always miss).
+func (RawPM) Get(key []byte) ([]byte, bool, error) { return nil, false, nil }
+
+// Delete implements Backend.
+func (RawPM) Delete(key []byte) (bool, error) { return false, nil }
+
+// Range implements Backend.
+func (RawPM) Range(start, end []byte, limit int) ([]kvproto.KV, error) { return nil, nil }
+
+// LSM adapts the NoveLSM/LevelDB baseline.
+type LSM struct {
+	DB *lsm.DB
+}
+
+// Name implements Backend.
+func (LSM) Name() string { return "lsm" }
+
+// Put implements Backend.
+func (b LSM) Put(key, value []byte) error { return b.DB.Put(key, value) }
+
+// Get implements Backend.
+func (b LSM) Get(key []byte) ([]byte, bool, error) { return b.DB.Get(key) }
+
+// Delete implements Backend.
+func (b LSM) Delete(key []byte) (bool, error) {
+	// The LSM always writes a tombstone; report found for protocol
+	// symmetry.
+	return true, b.DB.Delete(key)
+}
+
+// Range implements Backend.
+func (b LSM) Range(start, end []byte, limit int) ([]kvproto.KV, error) {
+	kvs, err := b.DB.Range(start, end, limit)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]kvproto.KV, len(kvs))
+	for i, kv := range kvs {
+		out[i] = kvproto.KV{Key: kv.Key, Value: kv.Value}
+	}
+	return out, nil
+}
+
+// PktStore adapts the packetstore; the server detects it and switches to
+// the zero-copy ingest and egress paths.
+type PktStore struct {
+	S *core.Store
+}
+
+// Name implements Backend.
+func (PktStore) Name() string { return "pktstore" }
+
+// Put implements Backend (copy path, used when the receive pool is not
+// the store's PM pool).
+func (b PktStore) Put(key, value []byte) error { return b.S.Put(key, value) }
+
+// Get implements Backend.
+func (b PktStore) Get(key []byte) ([]byte, bool, error) { return b.S.Get(key) }
+
+// Delete implements Backend.
+func (b PktStore) Delete(key []byte) (bool, error) { return b.S.Delete(key) }
+
+// Range implements Backend.
+func (b PktStore) Range(start, end []byte, limit int) ([]kvproto.KV, error) {
+	recs, err := b.S.Range(start, end, limit)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]kvproto.KV, len(recs))
+	for i, rec := range recs {
+		out[i] = kvproto.KV{Key: rec.Key, Value: rec.Value}
+	}
+	return out, nil
+}

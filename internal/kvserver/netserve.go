@@ -1,0 +1,151 @@
+package kvserver
+
+import (
+	"net"
+	"sync"
+
+	"packetstore/internal/httpmsg"
+	"packetstore/internal/kvproto"
+)
+
+// NetServer serves the KV protocol over operating-system TCP sockets —
+// the deployment path for running the store on a real network (the
+// simulated stack's zero-copy mechanisms do not apply; requests take the
+// copy path). One goroutine per connection.
+type NetServer struct {
+	backend Backend
+	lst     net.Listener
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewNetServer wraps an OS listener.
+func NewNetServer(lst net.Listener, backend Backend) *NetServer {
+	return &NetServer{backend: backend, lst: lst, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts and services connections until Close.
+func (s *NetServer) Serve() error {
+	for {
+		c, err := s.lst.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				s.wg.Wait()
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+// Close stops accepting and closes live connections.
+func (s *NetServer) Close() {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.lst.Close()
+	s.wg.Wait()
+}
+
+func (s *NetServer) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+
+	parser := httpmsg.NewRequestParser(0)
+	rbuf := make([]byte, 64<<10)
+	var body, resp []byte
+	var cur kvproto.Request
+	var curErr error
+
+	for {
+		n, err := c.Read(rbuf)
+		if err != nil {
+			return
+		}
+		chunk := rbuf[:n]
+		resp = resp[:0]
+		for len(chunk) > 0 {
+			res := parser.Feed(chunk)
+			if res.Err != nil {
+				resp = httpmsg.AppendResponse(resp, 400, 0)
+				c.Write(resp)
+				return
+			}
+			if res.HeaderDone {
+				hreq := parser.Request()
+				cur, curErr = kvproto.Parse(hreq.Method, hreq.Path)
+				body = body[:0]
+			}
+			body = append(body, chunk[res.Body.Off:res.Body.Off+res.Body.Len]...)
+			chunk = chunk[res.Consumed:]
+			if res.Done {
+				resp = s.respond(resp, cur, curErr, body)
+				parser.Reset()
+			}
+		}
+		if len(resp) > 0 {
+			if _, err := c.Write(resp); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *NetServer) respond(resp []byte, req kvproto.Request, parseErr error, body []byte) []byte {
+	if parseErr != nil {
+		return httpmsg.AppendResponse(resp, 400, 0)
+	}
+	switch req.Op {
+	case kvproto.OpPut:
+		if err := s.backend.Put(req.Key, body); err != nil {
+			return httpmsg.AppendResponse(resp, 507, 0)
+		}
+		return httpmsg.AppendResponse(resp, 200, 0)
+	case kvproto.OpGet:
+		val, ok, err := s.backend.Get(req.Key)
+		switch {
+		case err != nil:
+			return httpmsg.AppendResponse(resp, 500, 0)
+		case !ok:
+			return httpmsg.AppendResponse(resp, 404, 0)
+		}
+		resp = httpmsg.AppendResponse(resp, 200, len(val))
+		return append(resp, val...)
+	case kvproto.OpDelete:
+		found, err := s.backend.Delete(req.Key)
+		switch {
+		case err != nil:
+			return httpmsg.AppendResponse(resp, 500, 0)
+		case !found:
+			return httpmsg.AppendResponse(resp, 404, 0)
+		}
+		return httpmsg.AppendResponse(resp, 204, 0)
+	case kvproto.OpRange:
+		kvs, err := s.backend.Range(req.Start, req.End, req.Limit)
+		if err != nil {
+			return httpmsg.AppendResponse(resp, 500, 0)
+		}
+		b := kvproto.AppendRangeBody(nil, kvs)
+		resp = httpmsg.AppendResponse(resp, 200, len(b))
+		return append(resp, b...)
+	}
+	return httpmsg.AppendResponse(resp, 400, 0)
+}

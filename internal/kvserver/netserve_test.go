@@ -1,0 +1,72 @@
+package kvserver
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"packetstore/internal/calib"
+	"packetstore/internal/core"
+	"packetstore/internal/kvclient"
+	"packetstore/internal/pmem"
+)
+
+func TestNetServerOverOSSockets(t *testing.T) {
+	cfg := core.Config{MetaSlots: 1024, DataSlots: 1024, VerifyOnGet: true}
+	r := pmem.New(cfg.RegionSize(), calib.Off())
+	store, err := core.Open(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lst, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewNetServer(lst, PktStore{S: store})
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+
+	conn, err := net.Dial("tcp", lst.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := kvclient.New(conn)
+	val := bytes.Repeat([]byte("x"), 2000)
+	if err := cl.Put([]byte("net-key"), val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := cl.Get([]byte("net-key"))
+	if err != nil || !ok || !bytes.Equal(got, val) {
+		t.Fatalf("get over OS sockets: %v %v", ok, err)
+	}
+	if _, ok, _ := cl.Get([]byte("missing")); ok {
+		t.Fatal("missing key found")
+	}
+	if found, err := cl.Delete([]byte("net-key")); err != nil || !found {
+		t.Fatalf("delete: %v %v", found, err)
+	}
+	// Range with some records.
+	for _, k := range []string{"a", "b", "c"} {
+		cl.Put([]byte(k), []byte("v-"+k))
+	}
+	kvs, err := cl.Range([]byte("a"), []byte("c"), 0)
+	if err != nil || len(kvs) != 2 {
+		t.Fatalf("range: %d %v", len(kvs), err)
+	}
+	cl.Close()
+
+	// Malformed request: server answers 400 and closes.
+	conn2, _ := net.Dial("tcp", lst.Addr().String())
+	conn2.Write([]byte("JUNK\r\n\r\n"))
+	buf := make([]byte, 256)
+	n, _ := conn2.Read(buf)
+	if !bytes.Contains(buf[:n], []byte("400")) {
+		t.Fatalf("want 400, got %q", buf[:n])
+	}
+	conn2.Close()
+
+	srv.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

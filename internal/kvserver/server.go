@@ -1,0 +1,533 @@
+package kvserver
+
+import (
+	"fmt"
+	"net/url"
+	"sync/atomic"
+	"time"
+
+	"packetstore/internal/checksum"
+	"packetstore/internal/core"
+	"packetstore/internal/httpmsg"
+	"packetstore/internal/kvproto"
+	"packetstore/internal/pkt"
+	"packetstore/internal/tcp"
+)
+
+// Stats counts server activity.
+type Stats struct {
+	Requests, Puts, Gets, Deletes, Ranges uint64
+	Errors                                uint64
+	BytesIn, BytesOut                     uint64
+	ZeroCopyPuts                          uint64
+	ZeroCopyGets                          uint64
+	DerivedSums                           uint64 // body checksums harvested from the NIC
+	SoftwareSums                          uint64 // body checksums computed in software
+	ParseTime                             time.Duration
+}
+
+// Server is the storage server application: one goroutine services
+// accepts and readable events, emulating the paper's single-CPU-core
+// busy-polling server.
+type Server struct {
+	stk      *tcp.Stack
+	lst      *tcp.Listener
+	backend  Backend
+	store    *core.Store // non-nil enables the zero-copy fast path
+	zeroCopy bool
+
+	conns map[*tcp.Conn]*connState
+	done  chan struct{}
+	ret   chan struct{}
+
+	// Key arena: small key copies land in store data slots so records
+	// can reference them (values are never copied).
+	arenaOff   int
+	arenaUsed  int
+	arenaUnpin func()
+
+	requests, puts, gets, deletes, ranges atomic.Uint64
+	errors                                atomic.Uint64
+	bytesIn, bytesOut                     atomic.Uint64
+	zcPuts, zcGets                        atomic.Uint64
+	derivedSums, softwareSums             atomic.Uint64
+	parseNanos                            atomic.Int64
+}
+
+// New creates a server listening on port. If backend is PktStore and the
+// stack's NIC receives into the store's PM pool, the zero-copy paths
+// activate automatically.
+func New(stk *tcp.Stack, port uint16, backend Backend) (*Server, error) {
+	lst, err := stk.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		stk:      stk,
+		lst:      lst,
+		backend:  backend,
+		conns:    make(map[*tcp.Conn]*connState),
+		done:     make(chan struct{}),
+		ret:      make(chan struct{}),
+		arenaOff: -1,
+	}
+	if ps, ok := backend.(PktStore); ok {
+		s.store = ps.S
+		s.zeroCopy = stk.NIC().RxPool() == ps.S.Pool()
+	}
+	return s, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests: s.requests.Load(), Puts: s.puts.Load(), Gets: s.gets.Load(),
+		Deletes: s.deletes.Load(), Ranges: s.ranges.Load(),
+		Errors: s.errors.Load(), BytesIn: s.bytesIn.Load(), BytesOut: s.bytesOut.Load(),
+		ZeroCopyPuts: s.zcPuts.Load(), ZeroCopyGets: s.zcGets.Load(),
+		DerivedSums: s.derivedSums.Load(), SoftwareSums: s.softwareSums.Load(),
+		ParseTime: time.Duration(s.parseNanos.Load()),
+	}
+}
+
+// Run services the event loop until Close. It is the single "server CPU
+// core": all request processing happens here.
+func (s *Server) Run() {
+	defer close(s.ret)
+	for {
+		select {
+		case <-s.done:
+			return
+		case c, ok := <-s.lst.AcceptCh():
+			if !ok {
+				return
+			}
+			s.conns[c] = s.newConnState(c)
+		case c, ok := <-s.stk.Readable():
+			if !ok {
+				return
+			}
+			c.ClearReady()
+			st := s.conns[c]
+			if st == nil {
+				// Raced with accept: register now.
+				st = s.newConnState(c)
+				s.conns[c] = st
+			}
+			s.service(st)
+		}
+	}
+}
+
+// Close stops the server loop.
+func (s *Server) Close() {
+	select {
+	case <-s.done:
+		return
+	default:
+	}
+	close(s.done)
+	<-s.ret
+	s.lst.Close()
+}
+
+type connState struct {
+	c      *tcp.Conn
+	parser *httpmsg.RequestParser
+	cur    *pendingReq
+	resp   []byte
+	dead   bool
+}
+
+// pendingReq is a request whose body may still be arriving.
+type pendingReq struct {
+	req      kvproto.Request
+	parseErr error
+	// Zero-copy PUT assembly.
+	keyOff int
+	exts   []core.Extent
+	sumsOK bool
+	hwtime time.Time
+	vlen   int
+	// Copy-path body.
+	body []byte
+	// adopted data-slot bases whose release is deferred until this
+	// request resolves (body spans multiple packets).
+	adopted []int
+}
+
+func (s *Server) newConnState(c *tcp.Conn) *connState {
+	return &connState{c: c, parser: httpmsg.NewRequestParser(0)}
+}
+
+// service drains all pending packet buffers on one connection.
+func (s *Server) service(st *connState) {
+	if st.dead {
+		return
+	}
+	for {
+		bufs := st.c.TryReadBufs()
+		if bufs == nil {
+			break
+		}
+		for _, b := range bufs {
+			s.bytesIn.Add(uint64(b.Len()))
+			s.handleBuf(st, b)
+		}
+	}
+	s.flushResp(st)
+	if st.c.EOF() || st.c.Err() != nil {
+		st.dead = true
+		if st.cur != nil {
+			for _, base := range st.cur.adopted {
+				s.store.ReleaseUnused(base)
+			}
+			st.cur = nil
+		}
+		st.c.Close()
+		delete(s.conns, st.c)
+	}
+}
+
+// bodySpan is a byte range of one packet payload belonging to a request
+// body.
+type bodySpan struct {
+	off, n int
+	pr     *pendingReq
+}
+
+// handleBuf processes one received packet buffer.
+func (s *Server) handleBuf(st *connState, b *pkt.Buf) {
+	p := b.Bytes()
+	zc := s.zeroCopy && b.PMOff() >= 0
+	t0 := time.Now()
+
+	var spans []bodySpan
+	var completed []*pendingReq
+	pos := 0
+	for pos < len(p) {
+		if st.cur == nil {
+			st.parser.Reset()
+			st.cur = &pendingReq{keyOff: -1}
+		}
+		res := st.parser.Feed(p[pos:])
+		if res.Err != nil {
+			s.protocolError(st, res.Err)
+			b.Release()
+			return
+		}
+		if res.HeaderDone {
+			s.beginRequest(st, b, zc)
+		}
+		if res.Body.Len > 0 {
+			spans = append(spans, bodySpan{off: pos + res.Body.Off, n: res.Body.Len, pr: st.cur})
+		}
+		pos += res.Consumed
+		if res.Done {
+			completed = append(completed, st.cur)
+			st.cur = nil
+		}
+		if res.Consumed == 0 && !res.Done {
+			// Defensive: the parser always progresses, but never spin.
+			s.protocolError(st, fmt.Errorf("kvserver: parser stalled"))
+			b.Release()
+			return
+		}
+	}
+	s.parseNanos.Add(int64(time.Since(t0)))
+
+	adoptedBase := -1
+	if zc && len(spans) > 0 {
+		adoptedBase = s.store.AdoptBuf(b)
+		s.attachSpansZeroCopy(b, p, spans)
+	} else if len(spans) > 0 {
+		for _, sp := range spans {
+			if sp.pr.req.Op == kvproto.OpPut {
+				sp.pr.body = append(sp.pr.body, p[sp.off:sp.off+sp.n]...)
+			}
+		}
+	}
+
+	for _, pr := range completed {
+		s.dispatch(st, pr)
+	}
+	b.Release()
+	if adoptedBase >= 0 {
+		if st.cur != nil {
+			// A request is still assembling across packets: its extents
+			// may reference this slot, so defer the release until it
+			// resolves.
+			st.cur.adopted = append(st.cur.adopted, adoptedBase)
+		} else {
+			s.store.ReleaseUnused(adoptedBase)
+		}
+	}
+}
+
+// beginRequest parses the request line once headers complete.
+func (s *Server) beginRequest(st *connState, b *pkt.Buf, zc bool) {
+	hreq := st.parser.Request()
+	req, err := kvproto.Parse(hreq.Method, hreq.Path)
+	pr := st.cur
+	pr.vlen = hreq.ContentLength
+	pr.hwtime = b.HWTime
+	if err != nil {
+		pr.parseErr = err
+		return
+	}
+	pr.req = req
+	if req.Op == kvproto.OpPut && zc {
+		// Copy the (small) key into the arena so the record can
+		// reference it; values stay in place.
+		off := s.allocKey(req.Key)
+		if off < 0 {
+			pr.parseErr = core.ErrFull
+			return
+		}
+		pr.keyOff = off
+		pr.sumsOK = true
+	}
+}
+
+// attachSpansZeroCopy turns packet body spans into store extents,
+// deriving the largest span's checksum from the NIC's whole-payload sum
+// (everything else is summed in software — those are header-sized
+// leftovers).
+func (s *Server) attachSpansZeroCopy(b *pkt.Buf, p []byte, spans []bodySpan) {
+	pmBase := b.PMOff()
+	useNIC := b.CsumStatus == pkt.CsumComplete
+	largest := -1
+	if useNIC {
+		for i, sp := range spans {
+			if largest < 0 || sp.n > spans[largest].n {
+				largest = i
+			}
+		}
+	}
+	var others uint16 // ones-complement sum of all contributions except the largest span
+	if useNIC {
+		// Contribution of every byte range outside the largest span, at
+		// its payload parity.
+		addRange := func(off, n int) {
+			if n <= 0 {
+				return
+			}
+			sum := checksum.Fold(checksum.Partial(0, p[off:off+n]))
+			if off%2 == 1 {
+				sum = checksum.Swap16(sum)
+			}
+			others = checksum.Fold(checksum.Combine(uint32(others), uint32(sum)))
+		}
+		prev := 0
+		for i, sp := range spans {
+			addRange(prev, sp.off-prev) // inter-span (header) bytes
+			if i != largest {
+				addRange(sp.off, sp.n)
+			}
+			prev = sp.off + sp.n
+		}
+		addRange(prev, len(p)-prev)
+	}
+	for i, sp := range spans {
+		var sum uint32
+		if useNIC && i == largest {
+			contrib := checksum.Sub16(checksum.Fold(b.Csum), others)
+			if sp.off%2 == 1 {
+				contrib = checksum.Swap16(contrib)
+			}
+			sum = uint32(contrib)
+			s.derivedSums.Add(1)
+		} else {
+			sum = checksum.Partial(0, p[sp.off:sp.off+sp.n])
+			s.softwareSums.Add(1)
+		}
+		if sp.pr.req.Op != kvproto.OpPut {
+			continue // body on a non-PUT: parsed and ignored
+		}
+		if !useNIC {
+			// Sum computed in software either way; still valid.
+			sp.pr.sumsOK = sp.pr.sumsOK && true
+		}
+		sp.pr.exts = append(sp.pr.exts, core.Extent{
+			Off: pmBase + sp.off, Len: sp.n, Sum: sum,
+		})
+	}
+}
+
+// dispatch executes one completed request and queues its response.
+func (s *Server) dispatch(st *connState, pr *pendingReq) {
+	s.requests.Add(1)
+	defer func() {
+		for _, base := range pr.adopted {
+			s.store.ReleaseUnused(base)
+		}
+	}()
+	if pr.parseErr != nil {
+		s.errors.Add(1)
+		st.resp = httpmsg.AppendResponse(st.resp, 400, 0)
+		return
+	}
+	switch pr.req.Op {
+	case kvproto.OpPut:
+		s.puts.Add(1)
+		var err error
+		if pr.keyOff >= 0 {
+			s.zcPuts.Add(1)
+			err = s.store.PutExtents(pr.req.Key, pr.vlen, core.PutOptions{
+				Extents: pr.exts, KeyOff: pr.keyOff,
+				HasSum: pr.sumsOK, HWTime: pr.hwtime,
+			})
+		} else {
+			err = s.backend.Put(pr.req.Key, pr.body)
+		}
+		if err != nil {
+			s.errors.Add(1)
+			st.resp = httpmsg.AppendResponse(st.resp, 507, 0)
+			return
+		}
+		st.resp = httpmsg.AppendResponse(st.resp, 200, 0)
+	case kvproto.OpGet:
+		s.gets.Add(1)
+		if s.zeroCopy && s.store != nil {
+			s.zeroCopyGet(st, pr.req.Key)
+			return
+		}
+		val, ok, err := s.backend.Get(pr.req.Key)
+		switch {
+		case err != nil:
+			s.errors.Add(1)
+			st.resp = httpmsg.AppendResponse(st.resp, 500, 0)
+		case !ok:
+			st.resp = httpmsg.AppendResponse(st.resp, 404, 0)
+		default:
+			st.resp = httpmsg.AppendResponse(st.resp, 200, len(val))
+			st.resp = append(st.resp, val...)
+		}
+	case kvproto.OpDelete:
+		s.deletes.Add(1)
+		found, err := s.backend.Delete(pr.req.Key)
+		switch {
+		case err != nil:
+			s.errors.Add(1)
+			st.resp = httpmsg.AppendResponse(st.resp, 500, 0)
+		case !found:
+			st.resp = httpmsg.AppendResponse(st.resp, 404, 0)
+		default:
+			st.resp = httpmsg.AppendResponse(st.resp, 204, 0)
+		}
+	case kvproto.OpRange:
+		s.ranges.Add(1)
+		kvs, err := s.backend.Range(pr.req.Start, pr.req.End, pr.req.Limit)
+		if err != nil {
+			s.errors.Add(1)
+			st.resp = httpmsg.AppendResponse(st.resp, 500, 0)
+			return
+		}
+		body := kvproto.AppendRangeBody(nil, kvs)
+		st.resp = httpmsg.AppendResponse(st.resp, 200, len(body))
+		st.resp = append(st.resp, body...)
+	default:
+		s.errors.Add(1)
+		st.resp = httpmsg.AppendResponse(st.resp, 400, 0)
+	}
+}
+
+// zeroCopyGet transmits a stored value directly from PM as packet
+// fragments, pinning the data until the transport releases it (post-ACK).
+func (s *Server) zeroCopyGet(st *connState, key []byte) {
+	ref, ok, err := s.store.GetRef(key)
+	if err != nil {
+		s.errors.Add(1)
+		st.resp = httpmsg.AppendResponse(st.resp, 500, 0)
+		return
+	}
+	if !ok {
+		st.resp = httpmsg.AppendResponse(st.resp, 404, 0)
+		return
+	}
+	// Large values would exceed one segment without TSO; fall back to the
+	// copy path rather than fail.
+	hdr := httpmsg.AppendResponse(nil, 200, ref.VLen)
+	if len(hdr)+ref.VLen > st.c.MaxSegment() {
+		val := make([]byte, 0, ref.VLen)
+		for _, e := range ref.Extents {
+			val = append(val, s.store.Slice(e.Off, e.Len)...)
+		}
+		st.resp = append(st.resp, hdr...)
+		st.resp = append(st.resp, val...)
+		return
+	}
+	s.flushResp(st) // preserve pipelined response order
+	s.zcGets.Add(1)
+	release := s.store.PinExtents(ref.Extents)
+	head := pkt.NewBuf(make([]byte, tcp.HeaderRoom()+len(hdr)))
+	head.Pull(tcp.HeaderRoom())
+	copy(head.Bytes(), hdr)
+	for i, e := range ref.Extents {
+		fr := pkt.Frag{
+			B: s.store.Slice(e.Off, e.Len), PMOff: e.Off,
+			Sum: e.Sum, HasSum: true,
+		}
+		if i == 0 {
+			fr.Release = release
+		}
+		head.AddFrag(fr)
+	}
+	s.bytesOut.Add(uint64(len(hdr) + ref.VLen))
+	if err := st.c.WriteBufs(head); err != nil {
+		release()
+		st.dead = true
+	}
+}
+
+// flushResp writes the batched response bytes.
+func (s *Server) flushResp(st *connState) {
+	if len(st.resp) == 0 || st.dead {
+		return
+	}
+	s.bytesOut.Add(uint64(len(st.resp)))
+	if _, err := st.c.Write(st.resp); err != nil {
+		st.dead = true
+	}
+	st.resp = st.resp[:0]
+}
+
+func (s *Server) protocolError(st *connState, err error) {
+	s.errors.Add(1)
+	st.resp = httpmsg.AppendResponse(st.resp, 400, 0)
+	s.flushResp(st)
+	st.dead = true
+	st.c.Close()
+	delete(s.conns, st.c)
+}
+
+// allocKey copies key bytes into the key arena, returning their region
+// offset (-1 on exhaustion). The arena is a store data slot pinned while
+// the server appends into it; records referencing the keys keep the slot
+// alive after rotation.
+func (s *Server) allocKey(key []byte) int {
+	if s.arenaOff < 0 || s.arenaUsed+len(key) > s.store.DataBufSize() {
+		if s.arenaUnpin != nil {
+			s.arenaUnpin()
+		}
+		base := s.store.AllocDataSlot()
+		if base < 0 {
+			return -1
+		}
+		s.arenaOff = base
+		s.arenaUsed = 0
+		s.arenaUnpin = s.store.PinExtents([]core.Extent{{Off: base, Len: 1}})
+	}
+	off := s.arenaOff + s.arenaUsed
+	s.store.WriteData(off, key)
+	s.arenaUsed += len(key)
+	return off
+}
+
+// unescapeInPlaceSafe reports whether the key's path escaping is identity
+// (kept for future in-packet key referencing; the arena copy path does
+// not require it).
+func unescapeInPlaceSafe(raw string) bool {
+	un, err := url.PathUnescape(raw)
+	return err == nil && un == raw
+}

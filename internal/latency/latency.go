@@ -1,0 +1,73 @@
+// Package latency provides calibrated sub-microsecond busy-wait delays.
+//
+// The simulator models hardware costs (PM flush latency, NIC per-packet
+// processing, wire propagation) that are far below the resolution of
+// time.Sleep on a general-purpose kernel (tens of microseconds at best).
+// Benchmarks in this repository measure real wall-clock time, so emulated
+// hardware latencies must consume real time with nanosecond accuracy; the
+// only portable way to do that is to spin.
+//
+// Spin is the single primitive. Code that wants to charge a hardware cost
+// computes the total duration for the operation (for example, lines x
+// perLineFlushLatency) and issues one Spin call, so the fixed overhead of
+// reading the clock is amortized over the whole operation.
+package latency
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// minSpin is the shortest delay worth spinning for. Reading the monotonic
+// clock via time.Since costs roughly 20-30ns on Linux (vDSO); delays below
+// that are indistinguishable from the measurement overhead, so they are
+// skipped entirely rather than over-charged.
+const minSpin = 20 * time.Nanosecond
+
+// totalSpun accumulates all time spent spinning, in nanoseconds. It is a
+// diagnostic: harnesses subtract it from wall time to separate "emulated
+// hardware time" from "real software time".
+var totalSpun atomic.Int64
+
+// Spin waits for at least d of wall-clock time while yielding the
+// processor to other goroutines. Yielding matters: emulated delays model
+// hardware that works in parallel with the CPUs (the wire propagates, the
+// NIC DMAs, the PM DIMM drains its write queue), so a delay must consume
+// time without monopolizing a core — on a single-core host a pure busy
+// wait would serialize all emulated hardware with all software and
+// destroy concurrency scaling. The spin re-checks the clock between
+// yields, so the wait is accurate to the scheduler's hand-off latency.
+func Spin(d time.Duration) {
+	if d < minSpin {
+		return
+	}
+	start := time.Now()
+	for time.Since(start) < d {
+		runtime.Gosched()
+	}
+	totalSpun.Add(int64(d))
+}
+
+// SpinHot busy-waits for approximately d without yielding: it models
+// work that stalls the issuing CPU itself (cache-line write-backs, fence
+// drains, blocking loads), which cannot overlap with other software on
+// that core. Use Spin for delays that model hardware running in parallel
+// with the CPUs (wire propagation, NIC DMA engines).
+func SpinHot(d time.Duration) {
+	if d < minSpin {
+		return
+	}
+	start := time.Now()
+	for time.Since(start) < d {
+	}
+	totalSpun.Add(int64(d))
+}
+
+// TotalSpun reports the cumulative emulated-hardware time charged through
+// Spin since process start (or the last ResetTotalSpun).
+func TotalSpun() time.Duration { return time.Duration(totalSpun.Load()) }
+
+// ResetTotalSpun zeroes the cumulative spin counter. Harnesses call it at
+// the start of a measurement window.
+func ResetTotalSpun() { totalSpun.Store(0) }

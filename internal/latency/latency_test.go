@@ -1,0 +1,57 @@
+package latency
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpinZero(t *testing.T) {
+	start := time.Now()
+	Spin(0)
+	if e := time.Since(start); e > time.Millisecond {
+		t.Fatalf("Spin(0) took %v, want ~0", e)
+	}
+}
+
+func TestSpinBelowMinIsNoop(t *testing.T) {
+	before := TotalSpun()
+	Spin(minSpin - 1)
+	if TotalSpun() != before {
+		t.Fatalf("sub-threshold spin charged time")
+	}
+}
+
+func TestSpinDuration(t *testing.T) {
+	for _, d := range []time.Duration{time.Microsecond, 10 * time.Microsecond, 100 * time.Microsecond} {
+		start := time.Now()
+		Spin(d)
+		e := time.Since(start)
+		if e < d {
+			t.Errorf("Spin(%v) returned after %v, want >= %v", d, e, d)
+		}
+		// Allow generous slack for scheduler preemption, but catch
+		// gross overshoot (e.g. accidentally sleeping).
+		if e > d*20+time.Millisecond {
+			t.Errorf("Spin(%v) took %v, way over budget", d, e)
+		}
+	}
+}
+
+func TestTotalSpunAccumulates(t *testing.T) {
+	ResetTotalSpun()
+	Spin(time.Microsecond)
+	Spin(2 * time.Microsecond)
+	if got := TotalSpun(); got != 3*time.Microsecond {
+		t.Fatalf("TotalSpun = %v, want 3µs", got)
+	}
+	ResetTotalSpun()
+	if TotalSpun() != 0 {
+		t.Fatalf("ResetTotalSpun did not zero the counter")
+	}
+}
+
+func BenchmarkSpin1us(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Spin(time.Microsecond)
+	}
+}

@@ -1,0 +1,427 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"packetstore/internal/sstable"
+	"packetstore/internal/wal"
+)
+
+// targetTableSize splits compaction outputs.
+const targetTableSize = 2 << 20
+
+// levelMaxBytes is the size trigger for level i (L0 uses a file-count
+// trigger instead).
+func levelMaxBytes(level int) int {
+	size := 10 << 20
+	for i := 1; i < level; i++ {
+		size *= 10
+	}
+	return size
+}
+
+// l0CompactionTrigger merges L0 into L1 at this file count.
+const l0CompactionTrigger = 4
+
+// sstableReader pairs a reader with lazy loading.
+type sstableReader struct {
+	rdr *sstable.Reader
+}
+
+func (db *DB) openTableLocked(m *tableMeta) (*sstable.Reader, error) {
+	if m.rdr != nil {
+		return m.rdr.rdr, nil
+	}
+	data, err := db.opt.Storage.Read(m.name)
+	if err != nil {
+		return nil, err
+	}
+	r, err := sstable.NewReader(data, icmp)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: table %s: %w", m.name, err)
+	}
+	m.rdr = &sstableReader{rdr: r}
+	return r, nil
+}
+
+// flushOldestImmLocked writes the oldest immutable memtable to an L0
+// table and recycles its arena (NoveLSMSim).
+func (db *DB) flushOldestImmLocked() error {
+	if len(db.imms) == 0 {
+		return nil
+	}
+	imm := db.imms[len(db.imms)-1]
+	w := sstable.NewWriter(icmp)
+	it := imm.iter()
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		if err := w.Add(it.Key(), it.Value()); err != nil {
+			return err
+		}
+	}
+	if w.Count() > 0 {
+		if _, err := db.emitTableLocked(0, w); err != nil {
+			return err
+		}
+	}
+	db.imms = db.imms[:len(db.imms)-1]
+	if db.opt.Mode == NoveLSMSim {
+		// The arena backing this memtable is free again.
+		base := db.arenas[len(db.arenas)-1]
+		db.arenas = db.arenas[:len(db.arenas)-1]
+		db.freeAr = append(db.freeAr, base)
+	}
+	return db.saveManifest()
+}
+
+// emitTableLocked stores a finished table at the given level.
+func (db *DB) emitTableLocked(level int, w *sstable.Writer) (*tableMeta, error) {
+	db.tableNum++
+	m := &tableMeta{
+		name:  fmt.Sprintf("sst-%06d", db.tableNum),
+		num:   db.tableNum,
+		first: bytes.Clone(w.FirstKey()),
+		last:  bytes.Clone(w.LastKey()),
+	}
+	img := w.Finish()
+	m.size = len(img)
+	if err := db.opt.Storage.Write(m.name, img); err != nil {
+		return nil, err
+	}
+	if level == 0 {
+		// Newest first.
+		db.levels[0] = append([]*tableMeta{m}, db.levels[0]...)
+	} else {
+		db.levels[level] = insertSorted(db.levels[level], m)
+	}
+	return m, nil
+}
+
+func insertSorted(tables []*tableMeta, m *tableMeta) []*tableMeta {
+	i := 0
+	for i < len(tables) && icmp(tables[i].first, m.first) < 0 {
+		i++
+	}
+	tables = append(tables, nil)
+	copy(tables[i+1:], tables[i:])
+	tables[i] = m
+	return tables
+}
+
+// maybeCompactLocked runs level compactions until no trigger fires.
+func (db *DB) maybeCompactLocked() error {
+	if db.opt.DisableCompaction {
+		return nil
+	}
+	for {
+		switch {
+		case len(db.levels[0]) >= l0CompactionTrigger:
+			if err := db.compactLevelLocked(0); err != nil {
+				return err
+			}
+		default:
+			level := -1
+			for i := 1; i < numLevels-1; i++ {
+				total := 0
+				for _, m := range db.levels[i] {
+					total += m.size
+				}
+				if total > levelMaxBytes(i) {
+					level = i
+					break
+				}
+			}
+			if level < 0 {
+				return nil
+			}
+			if err := db.compactLevelLocked(level); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// compactLevelLocked merges all of level and level+1 into level+1 — the
+// whole-level variant of leveled compaction, which keeps the level
+// invariants with far less machinery than per-table picking.
+func (db *DB) compactLevelLocked(level int) error {
+	out := level + 1
+	inputs := append(append([]*tableMeta{}, db.levels[level]...), db.levels[out]...)
+	if len(inputs) == 0 {
+		return nil
+	}
+	iters := make([]*sstable.Iterator, 0, len(inputs))
+	// Precedence: L0 tables are newest-first in db.levels[0]; the merged
+	// iterator resolves equal internal keys by iterator order, and
+	// internal keys are unique (seq), so ordering only matters for exact
+	// duplicates, which cannot occur.
+	for _, m := range inputs {
+		r, err := db.openTableLocked(m)
+		if err != nil {
+			return err
+		}
+		it := r.NewIterator()
+		it.SeekToFirst()
+		iters = append(iters, it)
+	}
+	merged := newMergedTableIter(iters)
+
+	var w *sstable.Writer
+	var produced []*tableMeta
+	bottomMost := db.deepestPopulatedLocked() <= out
+	var lastUser []byte
+	flushOut := func() error {
+		if w == nil || w.Count() == 0 {
+			w = nil
+			return nil
+		}
+		m, err := db.emitTableLocked(out, w)
+		if err != nil {
+			return err
+		}
+		// emitTableLocked put it in the level; remember for manifest.
+		produced = append(produced, m)
+		w = nil
+		return nil
+	}
+	_ = produced
+	// Remove the inputs from the level lists before emitting outputs so
+	// emitTableLocked's sorted insert sees only survivors.
+	db.levels[level] = nil
+	db.levels[out] = nil
+
+	for merged.valid() {
+		k := ikey(merged.key())
+		uk := k.userKey()
+		isNewestForKey := lastUser == nil || !bytes.Equal(lastUser, uk)
+		lastUser = append(lastUser[:0], uk...)
+		// Drop shadowed versions; drop tombstones at the bottom.
+		keep := isNewestForKey && !(k.kind() == KindDelete && bottomMost)
+		if keep {
+			if w == nil {
+				w = sstable.NewWriter(icmp)
+			}
+			if err := w.Add(merged.key(), merged.value()); err != nil {
+				return err
+			}
+			if len(w.FirstKey()) > 0 && w.Count() > 0 && approximateWriterSize(w) >= targetTableSize {
+				if err := flushOut(); err != nil {
+					return err
+				}
+			}
+		}
+		merged.next()
+	}
+	if err := flushOut(); err != nil {
+		return err
+	}
+	// Delete input objects.
+	for _, m := range inputs {
+		if err := db.opt.Storage.Remove(m.name); err != nil {
+			return err
+		}
+	}
+	return db.saveManifest()
+}
+
+// approximateWriterSize estimates output size by entry count (the writer
+// does not expose buffered bytes; entries dominate).
+func approximateWriterSize(w *sstable.Writer) int {
+	return w.Count() * 64 // refined below by callers adding value sizes
+}
+
+// deepestPopulatedLocked returns the deepest level holding tables (or 0).
+func (db *DB) deepestPopulatedLocked() int {
+	deepest := 0
+	for i := numLevels - 1; i >= 1; i-- {
+		if len(db.levels[i]) > 0 {
+			deepest = i
+			break
+		}
+	}
+	return deepest
+}
+
+// tableGetLocked searches the table levels for key.
+func (db *DB) tableGetLocked(key []byte) (val []byte, deleted, found bool, err error) {
+	lk := lookupKey(key, MaxSeq)
+	probe := func(m *tableMeta) (bool, error) {
+		if icmp(lk, m.last) > 0 || bytes.Compare(key, ikey(m.first).userKey()) < 0 {
+			return false, nil
+		}
+		r, err := db.openTableLocked(m)
+		if err != nil {
+			return false, err
+		}
+		it := r.NewIterator()
+		it.Seek(lk)
+		if it.Err() != nil {
+			return false, it.Err()
+		}
+		if !it.Valid() {
+			return false, nil
+		}
+		k := ikey(it.Key())
+		if !bytes.Equal(k.userKey(), key) {
+			return false, nil
+		}
+		deleted = k.kind() == KindDelete
+		val = it.Value()
+		return true, nil
+	}
+	// L0: newest first, overlapping ranges.
+	for _, m := range db.levels[0] {
+		hit, err := probe(m)
+		if err != nil {
+			return nil, false, false, err
+		}
+		if hit {
+			return val, deleted, true, nil
+		}
+	}
+	// L1+: non-overlapping; at most one candidate per level.
+	for level := 1; level < numLevels; level++ {
+		for _, m := range db.levels[level] {
+			hit, err := probe(m)
+			if err != nil {
+				return nil, false, false, err
+			}
+			if hit {
+				return val, deleted, true, nil
+			}
+		}
+	}
+	return nil, false, false, nil
+}
+
+// --- Manifest ---
+
+const manifestName = "MANIFEST"
+
+// saveManifest serializes the level structure.
+func (db *DB) saveManifest() error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "seq %d\ntablenum %d\nlognum %d\n", db.seq, db.tableNum, db.logNum)
+	for level, tables := range db.levels {
+		for _, m := range tables {
+			fmt.Fprintf(&sb, "table %d %s %d %x %x\n", level, m.name, m.size, m.first, m.last)
+		}
+	}
+	return db.opt.Storage.Write(manifestName, []byte(sb.String()))
+}
+
+// loadManifest restores the level structure (missing manifest = fresh DB).
+func (db *DB) loadManifest() error {
+	data, err := db.opt.Storage.Read(manifestName)
+	if err != nil {
+		return nil // fresh database
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		f := strings.Fields(line)
+		if len(f) == 0 {
+			continue
+		}
+		switch f[0] {
+		case "seq":
+			db.seq, _ = strconv.ParseUint(f[1], 10, 64)
+		case "tablenum":
+			db.tableNum, _ = strconv.Atoi(f[1])
+		case "lognum":
+			db.logNum, _ = strconv.Atoi(f[1])
+		case "table":
+			if len(f) != 6 {
+				return fmt.Errorf("lsm: bad manifest line %q", line)
+			}
+			level, _ := strconv.Atoi(f[1])
+			size, _ := strconv.Atoi(f[3])
+			first, err1 := hexDecode(f[4])
+			last, err2 := hexDecode(f[5])
+			if level < 0 || level >= numLevels || err1 != nil || err2 != nil {
+				return fmt.Errorf("lsm: bad manifest line %q", line)
+			}
+			db.levels[level] = append(db.levels[level], &tableMeta{
+				name: f[2], size: size, first: first, last: last,
+			})
+		}
+	}
+	return nil
+}
+
+func hexDecode(s string) ([]byte, error) {
+	if len(s)%2 != 0 {
+		return nil, fmt.Errorf("odd hex")
+	}
+	out := make([]byte, len(s)/2)
+	for i := 0; i < len(out); i++ {
+		hi, err1 := hexNibble(s[2*i])
+		lo, err2 := hexNibble(s[2*i+1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad hex")
+		}
+		out[i] = hi<<4 | lo
+	}
+	return out, nil
+}
+
+func hexNibble(c byte) (byte, error) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', nil
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, nil
+	}
+	return 0, fmt.Errorf("bad nibble")
+}
+
+// replayLogs replays surviving WAL objects into a fresh memtable stack
+// (LevelDBSim recovery). Torn tails stop replay at the last intact
+// record.
+func (db *DB) replayLogs() error {
+	names, err := db.opt.Storage.List()
+	if err != nil {
+		return err
+	}
+	db.mem = newDRAMMemtable()
+	for _, name := range names {
+		if !strings.HasPrefix(name, "log-") {
+			continue
+		}
+		data, err := db.opt.Storage.Read(name)
+		if err != nil {
+			return err
+		}
+		r := wal.NewReader(bytes.NewReader(data))
+		for {
+			rec, err := r.Next()
+			if err != nil {
+				break // EOF or torn tail: stop at last intact record
+			}
+			b := decodeBatch(bytes.Clone(rec))
+			repErr := b.forEach(func(seq uint64, kind Kind, key, value []byte) error {
+				db.mem.add(seq, kind, key, value)
+				if seq > db.seq {
+					db.seq = seq
+				}
+				return nil
+			})
+			if repErr != nil {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// SyncWAL persists the in-memory WAL buffer to storage (called by the
+// harness at checkpoints; LevelDB fsync-per-write is modelled by the
+// PM/disk latency profile, not by object-store round trips).
+func (db *DB) SyncWAL() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.opt.Mode != LevelDBSim {
+		return nil
+	}
+	return db.opt.Storage.Write(fmt.Sprintf("log-%06d", db.logNum), db.walBuf.Bytes())
+}

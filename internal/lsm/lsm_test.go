@@ -1,0 +1,594 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"packetstore/internal/calib"
+	"packetstore/internal/pmem"
+)
+
+func openNoveLSM(t *testing.T, r *pmem.Region, opts ...func(*Options)) *DB {
+	t.Helper()
+	opt := Options{
+		Mode: NoveLSMSim, PM: r, PMBase: 0, PMSize: r.Size(),
+		ArenaSize: 1 << 20, Checksum: true, VerifyOnGet: true,
+	}
+	for _, f := range opts {
+		f(&opt)
+	}
+	db, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func openLevelDB(t *testing.T, st Storage, opts ...func(*Options)) *DB {
+	t.Helper()
+	opt := Options{Mode: LevelDBSim, Storage: st, MemtableBytes: 64 << 10, Checksum: true, VerifyOnGet: true}
+	for _, f := range opts {
+		f(&opt)
+	}
+	db, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func testBasicOps(t *testing.T, db *DB) {
+	t.Helper()
+	if err := db.Put([]byte("alpha"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("beta"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := db.Get([]byte("alpha"))
+	if err != nil || !ok || string(v) != "1" {
+		t.Fatalf("Get(alpha)=%q,%v,%v", v, ok, err)
+	}
+	// Overwrite: newest wins.
+	db.Put([]byte("alpha"), []byte("1v2"))
+	v, ok, _ = db.Get([]byte("alpha"))
+	if !ok || string(v) != "1v2" {
+		t.Fatalf("overwrite: %q", v)
+	}
+	// Delete.
+	db.Delete([]byte("beta"))
+	if _, ok, _ := db.Get([]byte("beta")); ok {
+		t.Fatal("deleted key visible")
+	}
+	// Absent.
+	if _, ok, _ := db.Get([]byte("nope")); ok {
+		t.Fatal("absent key found")
+	}
+}
+
+func TestBasicOpsNoveLSM(t *testing.T) {
+	r := pmem.New(8<<20, calib.Off())
+	db := openNoveLSM(t, r)
+	defer db.Close()
+	testBasicOps(t, db)
+}
+
+func TestBasicOpsLevelDB(t *testing.T) {
+	db := openLevelDB(t, NewMemStorage())
+	defer db.Close()
+	testBasicOps(t, db)
+}
+
+func TestManyKeysWithRotation(t *testing.T) {
+	r := pmem.New(32<<20, calib.Off())
+	db := openNoveLSM(t, r, func(o *Options) { o.ArenaSize = 256 << 10; o.DisableCompaction = true })
+	defer db.Close()
+	val := make([]byte, 256)
+	n := 2000
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key%06d", i)), val); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if db.Immutables() == 0 {
+		t.Fatal("no rotation happened")
+	}
+	for i := 0; i < n; i++ {
+		_, ok, err := db.Get([]byte(fmt.Sprintf("key%06d", i)))
+		if err != nil || !ok {
+			t.Fatalf("lost key%06d after rotation: %v", i, err)
+		}
+	}
+}
+
+func TestCompactionKeepsData(t *testing.T) {
+	st := NewMemStorage()
+	db := openLevelDB(t, st, func(o *Options) { o.MemtableBytes = 16 << 10 })
+	defer db.Close()
+	ref := map[string]string{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 3000; i++ {
+		k := fmt.Sprintf("key%05d", rng.Intn(800))
+		v := fmt.Sprintf("val-%d", i)
+		if rng.Intn(10) == 0 {
+			db.Delete([]byte(k))
+			delete(ref, k)
+		} else {
+			db.Put([]byte(k), []byte(v))
+			ref[k] = v
+		}
+	}
+	counts := db.TableCount()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("no tables produced despite small memtable")
+	}
+	for k, v := range ref {
+		got, ok, err := db.Get([]byte(k))
+		if err != nil || !ok || string(got) != v {
+			t.Fatalf("Get(%s)=%q,%v,%v want %q", k, got, ok, err, v)
+		}
+	}
+	// Deleted keys stay deleted through compaction.
+	for k := range map[string]bool{"key00000": true} {
+		if _, inRef := ref[k]; !inRef {
+			if _, ok, _ := db.Get([]byte(k)); ok {
+				t.Fatalf("tombstone for %s lost in compaction", k)
+			}
+		}
+	}
+}
+
+func TestL0TriggerCompacts(t *testing.T) {
+	st := NewMemStorage()
+	db := openLevelDB(t, st, func(o *Options) { o.MemtableBytes = 8 << 10 })
+	defer db.Close()
+	val := make([]byte, 512)
+	for i := 0; i < 400; i++ {
+		db.Put([]byte(fmt.Sprintf("key%06d", i)), val)
+	}
+	counts := db.TableCount()
+	if counts[0] >= l0CompactionTrigger {
+		t.Fatalf("L0 never compacted: %v", counts)
+	}
+	if counts[1] == 0 {
+		t.Fatalf("nothing reached L1: %v", counts)
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := pmem.New(16<<20, calib.Off())
+	db := openNoveLSM(t, r)
+	defer db.Close()
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	db.Delete([]byte("k050"))
+	db.Put([]byte("k010"), []byte("updated"))
+
+	kvs, err := db.Range([]byte("k010"), []byte("k060"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 49 { // k010..k059 minus deleted k050
+		t.Fatalf("got %d results", len(kvs))
+	}
+	if string(kvs[0].Key) != "k010" || string(kvs[0].Value) != "updated" {
+		t.Fatalf("first = %s:%s", kvs[0].Key, kvs[0].Value)
+	}
+	for _, kv := range kvs {
+		if string(kv.Key) == "k050" {
+			t.Fatal("tombstoned key in range result")
+		}
+	}
+	// Limit.
+	kvs, _ = db.Range([]byte("k000"), nil, 5)
+	if len(kvs) != 5 {
+		t.Fatalf("limit ignored: %d", len(kvs))
+	}
+}
+
+func TestRangeAcrossTablesAndMemtables(t *testing.T) {
+	st := NewMemStorage()
+	db := openLevelDB(t, st, func(o *Options) { o.MemtableBytes = 8 << 10 })
+	defer db.Close()
+	val := make([]byte, 256)
+	for i := 0; i < 500; i++ {
+		db.Put([]byte(fmt.Sprintf("k%06d", i)), val)
+	}
+	kvs, err := db.Range([]byte("k000100"), []byte("k000200"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 100 {
+		t.Fatalf("range across tables: %d results", len(kvs))
+	}
+	for i, kv := range kvs {
+		if string(kv.Key) != fmt.Sprintf("k%06d", 100+i) {
+			t.Fatalf("gap at %d: %s", i, kv.Key)
+		}
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	r := pmem.New(8<<20, calib.Off())
+	db := openNoveLSM(t, r)
+	defer db.Close()
+	key := []byte("target")
+	db.Put(key, []byte("precious data"))
+	// Corrupt the stored value in PM (silent data corruption).
+	img := r.Slice(0, r.Size())
+	needle := []byte("precious")
+	idx := bytes.Index(img, needle)
+	if idx < 0 {
+		t.Fatal("stored value not found in region")
+	}
+	img[idx] ^= 0x01
+	if _, _, err := db.Get(key); err == nil {
+		t.Fatal("silent corruption not detected by checksum")
+	}
+}
+
+func TestNoveLSMCrashRecovery(t *testing.T) {
+	r := pmem.New(16<<20, calib.Off())
+	db := openNoveLSM(t, r, func(o *Options) { o.ArenaSize = 256 << 10; o.DisableCompaction = true })
+	ref := map[string]string{}
+	for i := 0; i < 1500; i++ {
+		k, v := fmt.Sprintf("key%06d", i), fmt.Sprintf("value-%d", i)
+		if err := db.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		ref[k] = v
+	}
+	seqBefore := db.Seq()
+
+	r.Crash(rand.New(rand.NewSource(7)))
+
+	db2 := openNoveLSM(t, r, func(o *Options) { o.ArenaSize = 256 << 10; o.DisableCompaction = true })
+	defer db2.Close()
+	if db2.Seq() != seqBefore {
+		t.Fatalf("seq after recovery %d want %d", db2.Seq(), seqBefore)
+	}
+	for k, v := range ref {
+		got, ok, err := db2.Get([]byte(k))
+		if err != nil || !ok || string(got) != v {
+			t.Fatalf("after crash Get(%s)=%q,%v,%v", k, got, ok, err)
+		}
+	}
+	// Still writable, with monotonically growing seqs.
+	if err := db2.Put([]byte("post"), []byte("crash")); err != nil {
+		t.Fatal(err)
+	}
+	if db2.Seq() != seqBefore+1 {
+		t.Fatal("sequence did not resume")
+	}
+}
+
+func TestNoveLSMRepeatedCrashes(t *testing.T) {
+	r := pmem.New(16<<20, calib.Off())
+	ref := map[string]string{}
+	rng := rand.New(rand.NewSource(3))
+	for round := 0; round < 4; round++ {
+		db := openNoveLSM(t, r, func(o *Options) { o.ArenaSize = 512 << 10; o.DisableCompaction = true })
+		for i := 0; i < 300; i++ {
+			k := fmt.Sprintf("r%d-%04d", round, i)
+			v := fmt.Sprintf("v%d-%d", round, i)
+			if err := db.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			ref[k] = v
+		}
+		r.Crash(rng)
+		db2 := openNoveLSM(t, r, func(o *Options) { o.ArenaSize = 512 << 10; o.DisableCompaction = true })
+		for k, v := range ref {
+			got, ok, err := db2.Get([]byte(k))
+			if err != nil || !ok || string(got) != v {
+				t.Fatalf("round %d: lost %s", round, k)
+			}
+		}
+		db2.Close()
+	}
+}
+
+func TestLevelDBWALRecovery(t *testing.T) {
+	st := NewMemStorage()
+	db := openLevelDB(t, st, func(o *Options) { o.MemtableBytes = 1 << 20 })
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if err := db.SyncWAL(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: no Close; reopen from the same storage.
+	db2 := openLevelDB(t, st)
+	defer db2.Close()
+	for i := 0; i < 100; i++ {
+		v, ok, err := db2.Get([]byte(fmt.Sprintf("k%03d", i)))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("WAL replay lost k%03d: %q %v %v", i, v, ok, err)
+		}
+	}
+}
+
+func TestManifestReopen(t *testing.T) {
+	st := NewMemStorage()
+	db := openLevelDB(t, st, func(o *Options) { o.MemtableBytes = 8 << 10 })
+	val := make([]byte, 512)
+	for i := 0; i < 200; i++ {
+		db.Put([]byte(fmt.Sprintf("key%05d", i)), val)
+	}
+	db.SyncWAL()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openLevelDB(t, st, func(o *Options) { o.MemtableBytes = 8 << 10 })
+	defer db2.Close()
+	for i := 0; i < 200; i++ {
+		if _, ok, err := db2.Get([]byte(fmt.Sprintf("key%05d", i))); err != nil || !ok {
+			t.Fatalf("lost key%05d across reopen: %v", i, err)
+		}
+	}
+}
+
+func TestDisableCompactionAccumulatesImmutables(t *testing.T) {
+	r := pmem.New(8<<20, calib.Off())
+	db := openNoveLSM(t, r, func(o *Options) { o.ArenaSize = 128 << 10; o.DisableCompaction = true })
+	defer db.Close()
+	val := make([]byte, 512)
+	for i := 0; i < 500; i++ {
+		db.Put([]byte(fmt.Sprintf("key%05d", i)), val)
+	}
+	if db.Immutables() < 1 {
+		t.Fatal("immutables not accumulating with compaction off")
+	}
+	counts := db.TableCount()
+	for _, c := range counts {
+		if c != 0 {
+			t.Fatal("tables produced with compaction disabled")
+		}
+	}
+}
+
+func TestPMExhaustion(t *testing.T) {
+	r := pmem.New(256<<10, calib.Off())
+	db := openNoveLSM(t, r, func(o *Options) {
+		o.ArenaSize = 128 << 10
+		o.PMSize = 256 << 10
+		o.DisableCompaction = true
+	})
+	defer db.Close()
+	val := make([]byte, 1024)
+	var err error
+	for i := 0; i < 1000; i++ {
+		if err = db.Put([]byte(fmt.Sprintf("key%05d", i)), val); err != nil {
+			break
+		}
+	}
+	if err != ErrPMFull {
+		t.Fatalf("want ErrPMFull, got %v", err)
+	}
+}
+
+func TestBreakdownAccumulates(t *testing.T) {
+	r := pmem.New(8<<20, calib.Off())
+	db := openNoveLSM(t, r)
+	defer db.Close()
+	val := make([]byte, 1024)
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("key%05d", i)), val)
+	}
+	bd := db.Breakdown()
+	if bd.Ops != 100 || bd.Prep == 0 || bd.Checksum == 0 {
+		t.Fatalf("breakdown %+v", bd)
+	}
+	if bd.Insert.Count != 100 || bd.Insert.Copy == 0 || bd.Insert.Alloc == 0 {
+		t.Fatalf("insert stats %+v", bd.Insert)
+	}
+	db.ResetBreakdown()
+	if db.Breakdown().Ops != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestClosedDBErrors(t *testing.T) {
+	r := pmem.New(8<<20, calib.Off())
+	db := openNoveLSM(t, r)
+	db.Close()
+	if err := db.Put([]byte("k"), []byte("v")); err != ErrClosed {
+		t.Fatalf("Put after close: %v", err)
+	}
+	if _, _, err := db.Get([]byte("k")); err != ErrClosed {
+		t.Fatalf("Get after close: %v", err)
+	}
+	if _, err := db.Range(nil, nil, 0); err != ErrClosed {
+		t.Fatalf("Range after close: %v", err)
+	}
+	if err := db.Close(); err != ErrClosed {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	b := NewBatch()
+	b.Put([]byte("k1"), []byte("v1"))
+	b.Delete([]byte("k2"))
+	b.Put([]byte("k3"), make([]byte, 300))
+	b.setSeq(42)
+	if b.Count() != 3 {
+		t.Fatal("count")
+	}
+	var got []string
+	err := b.forEach(func(seq uint64, kind Kind, key, value []byte) error {
+		got = append(got, fmt.Sprintf("%d-%d-%s-%d", seq, kind, key, len(value)))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"42-1-k1-2", "43-0-k2-0", "44-1-k3-300"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: %s want %s", i, got[i], want[i])
+		}
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Fatal("reset")
+	}
+}
+
+func TestBatchTruncatedRejected(t *testing.T) {
+	b := NewBatch()
+	b.Put([]byte("key"), []byte("value"))
+	b.setSeq(1)
+	trunc := decodeBatch(b.repr()[:len(b.repr())-3])
+	if err := trunc.forEach(func(uint64, Kind, []byte, []byte) error { return nil }); err == nil {
+		t.Fatal("truncated batch accepted")
+	}
+	if err := decodeBatch([]byte{1, 2}).forEach(func(uint64, Kind, []byte, []byte) error { return nil }); err == nil {
+		t.Fatal("tiny batch accepted")
+	}
+}
+
+func TestIKeyOrdering(t *testing.T) {
+	a1 := makeIKey([]byte("a"), 1, KindValue)
+	a2 := makeIKey([]byte("a"), 2, KindValue)
+	b1 := makeIKey([]byte("b"), 1, KindValue)
+	if icmp(a2, a1) >= 0 {
+		t.Fatal("higher seq should sort first")
+	}
+	if icmp(a1, b1) >= 0 {
+		t.Fatal("user key order broken")
+	}
+	if ikey(a2).seq() != 2 || ikey(a2).kind() != KindValue {
+		t.Fatal("trailer decode")
+	}
+	d := makeIKey([]byte("a"), 3, KindDelete)
+	if ikey(d).kind() != KindDelete {
+		t.Fatal("kind decode")
+	}
+	if string(ikey(d).userKey()) != "a" {
+		t.Fatal("user key extract")
+	}
+}
+
+func TestDiskStorage(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDiskStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Write("obj1", []byte("data1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Read("obj1")
+	if err != nil || string(got) != "data1" {
+		t.Fatalf("read: %q %v", got, err)
+	}
+	names, _ := st.List()
+	if len(names) != 1 || names[0] != "obj1" {
+		t.Fatalf("list: %v", names)
+	}
+	if err := st.Remove("obj1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Remove("obj1"); err != nil {
+		t.Fatal("remove missing should be nil")
+	}
+	if _, err := st.Read("obj1"); err == nil {
+		t.Fatal("read removed object")
+	}
+	// A DB on disk storage works end to end.
+	db := openLevelDB(t, st, func(o *Options) { o.MemtableBytes = 4 << 10 })
+	defer db.Close()
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), make([]byte, 256))
+	}
+	if _, ok, err := db.Get([]byte("k0050")); err != nil || !ok {
+		t.Fatalf("disk-backed get: %v", err)
+	}
+}
+
+func TestRandomizedAgainstModel(t *testing.T) {
+	r := pmem.New(64<<20, calib.Off())
+	db := openNoveLSM(t, r, func(o *Options) { o.ArenaSize = 512 << 10 })
+	defer db.Close()
+	ref := map[string]string{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("key%04d", rng.Intn(500))
+		switch rng.Intn(4) {
+		case 0:
+			db.Delete([]byte(k))
+			delete(ref, k)
+		default:
+			v := fmt.Sprintf("val-%d", i)
+			if err := db.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			ref[k] = v
+		}
+		if i%500 == 0 {
+			for k, v := range ref {
+				got, ok, err := db.Get([]byte(k))
+				if err != nil || !ok || string(got) != v {
+					t.Fatalf("iter %d: Get(%s)=%q,%v,%v want %q", i, k, got, ok, err, v)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkPutNoveLSM1K(b *testing.B) {
+	r := pmem.New(1<<30, calib.Off())
+	db, err := Open(Options{Mode: NoveLSMSim, PM: r, PMSize: r.Size(),
+		ArenaSize: 32 << 20, Checksum: true, DisableCompaction: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key%012d", i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPutNoveLSM1KPaperModel(b *testing.B) {
+	r := pmem.New(1<<30, calib.Paper())
+	db, err := Open(Options{Mode: NoveLSMSim, PM: r, PMSize: r.Size(),
+		ArenaSize: 32 << 20, Checksum: true, DisableCompaction: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key%012d", i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetNoveLSM(b *testing.B) {
+	r := pmem.New(1<<28, calib.Off())
+	db, err := Open(Options{Mode: NoveLSMSim, PM: r, PMSize: r.Size(),
+		ArenaSize: 32 << 20, Checksum: true, DisableCompaction: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := make([]byte, 1024)
+	for i := 0; i < 50000; i++ {
+		db.Put([]byte(fmt.Sprintf("key%08d", i)), val)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Get([]byte(fmt.Sprintf("key%08d", (i*7919)%50000)))
+	}
+}

@@ -1,0 +1,126 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Storage abstracts where SSTables and logs live: an in-memory object
+// store for simulation and tests, or a directory on disk for the CLI
+// tools.
+type Storage interface {
+	// Write stores an object atomically under name.
+	Write(name string, data []byte) error
+	// Read returns an object's contents.
+	Read(name string) ([]byte, error)
+	// Remove deletes an object; missing objects are not an error.
+	Remove(name string) error
+	// List returns all object names, sorted.
+	List() ([]string, error)
+}
+
+// MemStorage is an in-memory Storage.
+type MemStorage struct {
+	mu   sync.Mutex
+	objs map[string][]byte
+}
+
+// NewMemStorage returns an empty in-memory store.
+func NewMemStorage() *MemStorage {
+	return &MemStorage{objs: make(map[string][]byte)}
+}
+
+// Write implements Storage.
+func (s *MemStorage) Write(name string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objs[name] = bytes.Clone(data)
+	return nil
+}
+
+// Read implements Storage.
+func (s *MemStorage) Read(name string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.objs[name]
+	if !ok {
+		return nil, fmt.Errorf("lsm: object %q not found", name)
+	}
+	return d, nil
+}
+
+// Remove implements Storage.
+func (s *MemStorage) Remove(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.objs, name)
+	return nil
+}
+
+// List implements Storage.
+func (s *MemStorage) List() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.objs))
+	for n := range s.objs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// DiskStorage stores objects as files under a directory.
+type DiskStorage struct {
+	dir string
+}
+
+// NewDiskStorage creates (if needed) and opens a directory store.
+func NewDiskStorage(dir string) (*DiskStorage, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DiskStorage{dir: dir}, nil
+}
+
+// Write implements Storage (atomic via rename).
+func (s *DiskStorage) Write(name string, data []byte) error {
+	tmp := filepath.Join(s.dir, name+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(s.dir, name))
+}
+
+// Read implements Storage.
+func (s *DiskStorage) Read(name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(s.dir, name))
+}
+
+// Remove implements Storage.
+func (s *DiskStorage) Remove(name string) error {
+	err := os.Remove(filepath.Join(s.dir, name))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// List implements Storage.
+func (s *DiskStorage) List() ([]string, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && filepath.Ext(e.Name()) != ".tmp" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,206 @@
+// Package netsim simulates the network fabric between hosts: full-duplex
+// links with propagation latency, serialization bandwidth, and optional
+// loss, reordering and duplication, plus a learning switch.
+//
+// Time is real: delays are enforced with calibrated busy-waits so that
+// end-to-end wall-clock measurements through the fabric reproduce the
+// testbed's microsecond-scale RTTs. Each link direction runs two stages —
+// a serializer that paces frames at line rate and applies impairments,
+// and a deliverer that holds each frame until its propagation deadline —
+// so multiple frames can be in flight on the wire at once, as on a real
+// link.
+package netsim
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"packetstore/internal/latency"
+)
+
+// LinkConfig describes one link. The zero value is an ideal, instant link.
+type LinkConfig struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Bandwidth is the line rate in bits per second; 0 means infinite.
+	Bandwidth float64
+	// Loss is the independent drop probability per frame.
+	Loss float64
+	// Reorder is the probability that a frame is held back and emitted
+	// after its successor.
+	Reorder float64
+	// Duplicate is the probability that a frame is delivered twice.
+	Duplicate float64
+	// Seed seeds the impairment generator; each direction derives its own
+	// stream.
+	Seed int64
+	// QueueLen bounds each direction's transmit queue; frames beyond it
+	// are tail-dropped. 0 means 1024.
+	QueueLen int
+}
+
+type frame struct {
+	b   []byte
+	enq time.Time
+}
+
+// Port is one end of a link. Frames sent on a Port arrive on the peer's
+// receive channel. Send transfers ownership of the slice.
+type Port struct {
+	cfg    LinkConfig
+	tx     chan frame
+	rx     chan []byte
+	closed chan struct{}
+	once   sync.Once
+
+	drops struct {
+		sync.Mutex
+		queue uint64
+		loss  uint64
+	}
+}
+
+// NewLink creates a full-duplex link and returns its two ports.
+func NewLink(cfg LinkConfig) (*Port, *Port) {
+	if cfg.QueueLen == 0 {
+		cfg.QueueLen = 1024
+	}
+	a := newPort(cfg)
+	b := newPort(cfg)
+	go a.run(b, cfg.Seed*2+1)
+	go b.run(a, cfg.Seed*2+2)
+	return a, b
+}
+
+func newPort(cfg LinkConfig) *Port {
+	return &Port{
+		cfg:    cfg,
+		tx:     make(chan frame, cfg.QueueLen),
+		rx:     make(chan []byte, cfg.QueueLen),
+		closed: make(chan struct{}),
+	}
+}
+
+// Send enqueues a frame for transmission towards the peer. It reports
+// false when the transmit queue is full (tail drop) or the link is closed.
+// The frame slice must not be reused by the caller.
+func (p *Port) Send(b []byte) bool {
+	select {
+	case <-p.closed:
+		return false
+	default:
+	}
+	select {
+	case p.tx <- frame{b: b, enq: time.Now()}:
+		return true
+	default:
+		p.drops.Lock()
+		p.drops.queue++
+		p.drops.Unlock()
+		return false
+	}
+}
+
+// Recv returns the channel on which frames from the peer arrive. The
+// channel is closed when the link closes.
+func (p *Port) Recv() <-chan []byte { return p.rx }
+
+// Close shuts down both directions of the link.
+func (p *Port) Close() { p.once.Do(func() { close(p.closed) }) }
+
+// QueueDrops reports frames tail-dropped at this port's transmit queue.
+func (p *Port) QueueDrops() uint64 {
+	p.drops.Lock()
+	defer p.drops.Unlock()
+	return p.drops.queue
+}
+
+// LossDrops reports frames dropped by the loss impairment on this port's
+// transmit direction.
+func (p *Port) LossDrops() uint64 {
+	p.drops.Lock()
+	defer p.drops.Unlock()
+	return p.drops.loss
+}
+
+// run is the per-direction pipeline: serialize (pace + impair) then hand
+// to the deliver stage.
+func (p *Port) run(peer *Port, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	delivery := make(chan timedFrame, cap(p.tx))
+	go deliver(delivery, peer, p.closed)
+	defer close(delivery)
+
+	var held *frame // reorder hold slot
+	emit := func(f frame) {
+		// Serialization delay at line rate.
+		if p.cfg.Bandwidth > 0 {
+			latency.Spin(time.Duration(float64(len(f.b)) * 8 / p.cfg.Bandwidth * 1e9))
+		}
+		deadline := f.enq.Add(p.cfg.Latency)
+		select {
+		case delivery <- timedFrame{b: f.b, at: deadline}:
+		case <-p.closed:
+		}
+		if p.cfg.Duplicate > 0 && rng.Float64() < p.cfg.Duplicate {
+			dup := append([]byte(nil), f.b...)
+			select {
+			case delivery <- timedFrame{b: dup, at: deadline}:
+			case <-p.closed:
+			}
+		}
+	}
+
+	for {
+		select {
+		case <-p.closed:
+			return
+		case f := <-p.tx:
+			if p.cfg.Loss > 0 && rng.Float64() < p.cfg.Loss {
+				p.drops.Lock()
+				p.drops.loss++
+				p.drops.Unlock()
+				continue
+			}
+			if held != nil {
+				emit(f)
+				emit(*held)
+				held = nil
+				continue
+			}
+			if p.cfg.Reorder > 0 && rng.Float64() < p.cfg.Reorder {
+				cp := f
+				held = &cp
+				continue
+			}
+			emit(f)
+		}
+	}
+}
+
+type timedFrame struct {
+	b  []byte
+	at time.Time
+}
+
+// deliver holds each frame until its propagation deadline, then pushes it
+// to the peer's receive channel. Deadlines are near-monotone, so waiting
+// on each in turn keeps multiple frames in flight.
+func deliver(in <-chan timedFrame, peer *Port, closed <-chan struct{}) {
+	for f := range in {
+		if wait := time.Until(f.at); wait > 0 {
+			latency.Spin(wait)
+		}
+		select {
+		case peer.rx <- f.b:
+		case <-closed:
+			return
+		default:
+			// Receiver queue overflow: drop, as a NIC ring overrun would.
+			peer.drops.Lock()
+			peer.drops.queue++
+			peer.drops.Unlock()
+		}
+	}
+}

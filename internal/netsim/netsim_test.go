@@ -1,0 +1,222 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLinkDelivers(t *testing.T) {
+	a, b := NewLink(LinkConfig{})
+	defer a.Close()
+	if !a.Send([]byte("ping")) {
+		t.Fatal("send failed")
+	}
+	select {
+	case f := <-b.Recv():
+		if string(f) != "ping" {
+			t.Fatalf("got %q", f)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("timeout")
+	}
+	// Reverse direction too.
+	b.Send([]byte("pong"))
+	select {
+	case f := <-a.Recv():
+		if string(f) != "pong" {
+			t.Fatalf("got %q", f)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestLinkOrderPreserved(t *testing.T) {
+	a, b := NewLink(LinkConfig{Latency: 10 * time.Microsecond})
+	defer a.Close()
+	const n = 200
+	for i := 0; i < n; i++ {
+		a.Send([]byte{byte(i), byte(i >> 8)})
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case f := <-b.Recv():
+			got := int(f[0]) | int(f[1])<<8
+			if got != i {
+				t.Fatalf("frame %d arrived at position %d", got, i)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("timeout at frame %d", i)
+		}
+	}
+}
+
+func TestLinkLatency(t *testing.T) {
+	const lat = 200 * time.Microsecond
+	a, b := NewLink(LinkConfig{Latency: lat})
+	defer a.Close()
+	start := time.Now()
+	a.Send([]byte("x"))
+	<-b.Recv()
+	if e := time.Since(start); e < lat {
+		t.Fatalf("delivered after %v, want >= %v", e, lat)
+	}
+}
+
+func TestLinkBandwidth(t *testing.T) {
+	// 8 Mbit/s: a 1000-byte frame serializes in 1ms.
+	a, b := NewLink(LinkConfig{Bandwidth: 8e6})
+	defer a.Close()
+	start := time.Now()
+	a.Send(make([]byte, 1000))
+	<-b.Recv()
+	if e := time.Since(start); e < time.Millisecond {
+		t.Fatalf("1000B at 8Mbit/s took %v, want >= 1ms", e)
+	}
+}
+
+func TestLinkLoss(t *testing.T) {
+	a, b := NewLink(LinkConfig{Loss: 1.0, Seed: 1})
+	defer a.Close()
+	for i := 0; i < 10; i++ {
+		a.Send([]byte("gone"))
+	}
+	select {
+	case f := <-b.Recv():
+		t.Fatalf("frame %q survived 100%% loss", f)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if a.LossDrops() != 10 {
+		t.Fatalf("LossDrops=%d want 10", a.LossDrops())
+	}
+}
+
+func TestLinkReorder(t *testing.T) {
+	a, b := NewLink(LinkConfig{Reorder: 0.5, Seed: 7})
+	defer a.Close()
+	const n = 100
+	for i := 0; i < n; i++ {
+		a.Send([]byte{byte(i)})
+	}
+	got := make([]int, 0, n)
+	deadline := time.After(2 * time.Second)
+	for len(got) < n-1 { // a held frame may remain in the hold slot
+		select {
+		case f := <-b.Recv():
+			got = append(got, int(f[0]))
+		case <-deadline:
+			t.Fatalf("timeout after %d frames", len(got))
+		}
+	}
+	inOrder := true
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Fatal("no reordering observed at 50% probability")
+	}
+}
+
+func TestLinkDuplicate(t *testing.T) {
+	a, b := NewLink(LinkConfig{Duplicate: 1.0, Seed: 3})
+	defer a.Close()
+	a.Send([]byte("twin"))
+	for i := 0; i < 2; i++ {
+		select {
+		case f := <-b.Recv():
+			if string(f) != "twin" {
+				t.Fatalf("got %q", f)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("timeout waiting for copy %d", i)
+		}
+	}
+}
+
+func TestLinkQueueOverflow(t *testing.T) {
+	a, _ := NewLink(LinkConfig{QueueLen: 4, Latency: 50 * time.Millisecond})
+	defer a.Close()
+	sent := 0
+	for i := 0; i < 100; i++ {
+		if a.Send([]byte{1}) {
+			sent++
+		}
+	}
+	if sent >= 100 {
+		t.Fatal("no tail drop on overflow")
+	}
+	if a.QueueDrops() == 0 {
+		t.Fatal("QueueDrops not counted")
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	a, _ := NewLink(LinkConfig{})
+	a.Close()
+	if a.Send([]byte("x")) {
+		t.Fatal("send succeeded after close")
+	}
+}
+
+func TestSwitchLearningAndFlood(t *testing.T) {
+	// Three hosts h1,h2,h3 on a switch; host side ports hs*, switch side ss*.
+	hs1, ss1 := NewLink(LinkConfig{})
+	hs2, ss2 := NewLink(LinkConfig{})
+	hs3, ss3 := NewLink(LinkConfig{})
+	sw := NewSwitch(ss1, ss2, ss3)
+	defer sw.Close()
+	defer hs1.Close()
+	defer hs2.Close()
+	defer hs3.Close()
+
+	mac := func(i byte) []byte { return []byte{2, 0, 0, 0, 0, i} }
+	frame := func(dst, src []byte, body string) []byte {
+		f := append(append(append([]byte{}, dst...), src...), 0x08, 0x00)
+		return append(f, body...)
+	}
+
+	// h1 -> h2 (unknown dst: flood to h2 and h3).
+	hs1.Send(frame(mac(2), mac(1), "hello"))
+	recvOn := func(p *Port) string {
+		select {
+		case f := <-p.Recv():
+			return string(f[14:])
+		case <-time.After(time.Second):
+			t.Fatal("timeout")
+			return ""
+		}
+	}
+	if recvOn(hs2) != "hello" || recvOn(hs3) != "hello" {
+		t.Fatal("flood did not reach all ports")
+	}
+
+	// h2 -> h1: switch has learned h1's location; h3 must NOT see it.
+	hs2.Send(frame(mac(1), mac(2), "reply"))
+	if recvOn(hs1) != "reply" {
+		t.Fatal("learned forward failed")
+	}
+	select {
+	case f := <-hs3.Recv():
+		t.Fatalf("h3 received unicast it should not see: %q", f)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Runt frames are dropped silently.
+	hs1.Send([]byte{1, 2, 3})
+}
+
+func BenchmarkLinkThroughput(b *testing.B) {
+	a, p := NewLink(LinkConfig{})
+	defer a.Close()
+	go func() {
+		for range p.Recv() {
+		}
+	}()
+	buf := make([]byte, 1024)
+	for i := 0; i < b.N; i++ {
+		for !a.Send(append([]byte(nil), buf...)) {
+		}
+	}
+}

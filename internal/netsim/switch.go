@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"sync"
+)
+
+// Switch is a learning Ethernet switch connecting multiple link ports: it
+// learns source MAC addresses and forwards frames to the learned port, or
+// floods unknown/broadcast destinations. Multi-client topologies (several
+// client hosts against one storage server) hang off one Switch, as the
+// paper's testbed hangs off one ToR.
+type Switch struct {
+	mu    sync.Mutex
+	ports []*Port
+	fdb   map[[6]byte]int
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewSwitch creates a switch over the given ports and starts forwarding.
+func NewSwitch(ports ...*Port) *Switch {
+	s := &Switch{ports: ports, fdb: make(map[[6]byte]int), done: make(chan struct{})}
+	for i, p := range ports {
+		s.wg.Add(1)
+		go s.forward(i, p)
+	}
+	return s
+}
+
+func (s *Switch) forward(idx int, p *Port) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case f, ok := <-p.Recv():
+			if !ok {
+				return
+			}
+			if len(f) < 14 {
+				continue // runt frame
+			}
+			var src, dst [6]byte
+			copy(dst[:], f[0:6])
+			copy(src[:], f[6:12])
+			s.mu.Lock()
+			s.fdb[src] = idx
+			out, known := s.fdb[dst]
+			s.mu.Unlock()
+			if known && out != idx {
+				s.ports[out].Send(f)
+				continue
+			}
+			if known && out == idx {
+				continue // destination behind the ingress port
+			}
+			// Flood (copies for all but the last egress).
+			for j, q := range s.ports {
+				if j == idx {
+					continue
+				}
+				q.Send(append([]byte(nil), f...))
+			}
+		}
+	}
+}
+
+// Close stops the switch's forwarding goroutines.
+func (s *Switch) Close() {
+	close(s.done)
+	s.wg.Wait()
+}

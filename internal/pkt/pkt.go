@@ -1,0 +1,479 @@
+// Package pkt implements the packet metadata structure and buffer pools of
+// the network stack — the Go analogue of Linux's sk_buff (Figure 3 of the
+// paper).
+//
+// A Buf is metadata describing packet data it does not own exclusively:
+// the data (head buffer plus optional fragments) lives in a Shared object
+// with its own reference count, so a Buf can be cloned — new metadata,
+// same data — exactly the mechanism a TCP sender uses to keep segment
+// data alive for retransmission while lower layers consume and release
+// their clone. The paper's core observation is that this structure —
+// reference counts, hardware timestamps, checksum state, links, and data
+// that can span multiple pages — is already a flexible in-memory data
+// structure with storage-grade metadata; the packetstore (internal/core)
+// persists a compact on-PM representation of it.
+//
+// Pools can be backed by DRAM or carved from a pmem.Region (the PASTE
+// configuration): a PM-backed pool makes received packet data persistent
+// in place, with no copy, once flushed.
+package pkt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"packetstore/internal/pmem"
+)
+
+// CsumStatus describes what is known about a packet's L4 checksum,
+// mirroring the ip_summed states of Linux.
+type CsumStatus uint8
+
+const (
+	// CsumNone: nothing verified or computed; software must do the work.
+	CsumNone CsumStatus = iota
+	// CsumUnnecessary: the NIC verified the L4 checksum on receive.
+	CsumUnnecessary
+	// CsumComplete: the NIC computed the unfolded Internet-checksum
+	// partial sum of the L4 payload into Buf.Csum on receive. This is the
+	// state the packetstore harvests for storage integrity metadata.
+	CsumComplete
+	// CsumPartial: transmit-side; software left the pseudo-header sum in
+	// the checksum field and the NIC must fold in the payload.
+	CsumPartial
+)
+
+func (s CsumStatus) String() string {
+	switch s {
+	case CsumNone:
+		return "none"
+	case CsumUnnecessary:
+		return "unnecessary"
+	case CsumComplete:
+		return "complete"
+	case CsumPartial:
+		return "partial"
+	}
+	return fmt.Sprintf("CsumStatus(%d)", uint8(s))
+}
+
+// Frag is an external data fragment (Linux's skb_shared_info pages): extra
+// payload bytes that follow the head buffer without being copied into it.
+// Zero-copy transmit points Frags directly at stored data in PM.
+type Frag struct {
+	B      []byte // fragment bytes; may alias a pmem.Region
+	PMOff  int    // offset of B[0] within the region, or -1
+	Sum    uint32 // unfolded partial Internet checksum of B, if HasSum
+	HasSum bool
+	// Release, if non-nil, runs when the owning Shared's last reference
+	// drops: the hook under which a storage stack lends data to the
+	// network stack and learns when the transmission no longer needs it.
+	Release func()
+}
+
+// Shared is the reference-counted data portion of a packet: the head
+// buffer and any fragments. All clones of a Buf point at one Shared.
+type Shared struct {
+	refs  atomic.Int32
+	head  []byte
+	pmOff int // region offset of head[0], or -1
+	pool  *Pool
+	frags []Frag
+}
+
+// Buf is packet metadata. Field layout groups the hot parsing state first.
+// A Buf is obtained from a Pool (receive/transmit paths) or NewBuf (tests,
+// loose data), used, and released with Release.
+type Buf struct {
+	sh   *Shared
+	refs atomic.Int32
+	off  int // view start within sh.head
+	end  int // view end within sh.head
+
+	// Protocol layer offsets, absolute within sh.head. Zero means unset.
+	L3      int // network header start
+	L4      int // transport header start
+	Payload int // application payload start
+
+	Time   time.Time // software receive/queue timestamp
+	HWTime time.Time // NIC hardware timestamp
+
+	Csum       uint32 // meaning depends on CsumStatus
+	CsumStatus CsumStatus
+
+	// Next links Bufs into queues (socket buffers, retransmit queues,
+	// out-of-order lists) — metadata as a list node, per the paper.
+	Next *Buf
+}
+
+var bufPool = sync.Pool{New: func() any { return new(Buf) }}
+var sharedPool = sync.Pool{New: func() any { return new(Shared) }}
+
+// NewBuf wraps an existing byte slice in a standalone Buf (no pool). The
+// view covers all of b.
+func NewBuf(b []byte) *Buf {
+	sh := sharedPool.Get().(*Shared)
+	sh.refs.Store(1)
+	sh.head = b
+	sh.pmOff = -1
+	sh.pool = nil
+	sh.frags = sh.frags[:0]
+	buf := bufPool.Get().(*Buf)
+	buf.reset(sh, 0, len(b))
+	return buf
+}
+
+func (b *Buf) reset(sh *Shared, off, end int) {
+	b.sh = sh
+	b.refs.Store(1)
+	b.off, b.end = off, end
+	b.L3, b.L4, b.Payload = 0, 0, 0
+	b.Time, b.HWTime = time.Time{}, time.Time{}
+	b.Csum, b.CsumStatus = 0, CsumNone
+	b.Next = nil
+}
+
+// Clone returns new metadata sharing this Buf's data, bumping the data
+// reference count. View, layer offsets, timestamps and checksum state are
+// copied.
+func (b *Buf) Clone() *Buf {
+	b.sh.refs.Add(1)
+	c := bufPool.Get().(*Buf)
+	c.sh = b.sh
+	c.refs.Store(1)
+	c.off, c.end = b.off, b.end
+	c.Next = nil
+	c.L3, c.L4, c.Payload = b.L3, b.L4, b.Payload
+	c.Time, c.HWTime = b.Time, b.HWTime
+	c.Csum, c.CsumStatus = b.Csum, b.CsumStatus
+	return c
+}
+
+// Retain adds a metadata reference; each Retain needs a matching Release.
+func (b *Buf) Retain() { b.refs.Add(1) }
+
+// Release drops a metadata reference; at zero, the shared data reference
+// is dropped too, and at zero data references the head buffer returns to
+// its pool and fragment release hooks run.
+func (b *Buf) Release() {
+	if b.refs.Add(-1) != 0 {
+		return
+	}
+	sh := b.sh
+	b.sh = nil
+	bufPool.Put(b)
+	if sh.refs.Add(-1) != 0 {
+		return
+	}
+	for i := range sh.frags {
+		if sh.frags[i].Release != nil {
+			sh.frags[i].Release()
+		}
+		sh.frags[i] = Frag{}
+	}
+	sh.frags = sh.frags[:0]
+	if sh.pool != nil {
+		sh.pool.putSlot(sh)
+	} else {
+		sh.head = nil
+		sharedPool.Put(sh)
+	}
+}
+
+// DataRefs reports the shared-data reference count (diagnostics/tests).
+func (b *Buf) DataRefs() int32 { return b.sh.refs.Load() }
+
+// Bytes returns the current head-buffer view.
+func (b *Buf) Bytes() []byte { return b.sh.head[b.off:b.end] }
+
+// Len returns the view length, excluding fragments.
+func (b *Buf) Len() int { return b.end - b.off }
+
+// TotalLen returns view length plus all fragment lengths.
+func (b *Buf) TotalLen() int {
+	n := b.Len()
+	for i := range b.sh.frags {
+		n += len(b.sh.frags[i].B)
+	}
+	return n
+}
+
+// Headroom returns the bytes available before the view for Push.
+func (b *Buf) Headroom() int { return b.off }
+
+// Tailroom returns the bytes available after the view for Append.
+func (b *Buf) Tailroom() int { return len(b.sh.head) - b.end }
+
+// Push extends the view n bytes forward (into headroom) and returns the
+// newly exposed prefix, where a protocol header is written.
+func (b *Buf) Push(n int) []byte {
+	if n > b.off {
+		panic(fmt.Sprintf("pkt: push %d exceeds headroom %d", n, b.off))
+	}
+	b.off -= n
+	return b.sh.head[b.off : b.off+n]
+}
+
+// Pull strips n bytes from the front of the view (header consumption).
+func (b *Buf) Pull(n int) {
+	if n > b.Len() {
+		panic(fmt.Sprintf("pkt: pull %d exceeds len %d", n, b.Len()))
+	}
+	b.off += n
+}
+
+// Append extends the view n bytes into tailroom and returns the newly
+// exposed suffix.
+func (b *Buf) Append(n int) []byte {
+	if n > b.Tailroom() {
+		panic(fmt.Sprintf("pkt: append %d exceeds tailroom %d", n, b.Tailroom()))
+	}
+	s := b.sh.head[b.end : b.end+n]
+	b.end += n
+	return s
+}
+
+// Trim shortens the view to n bytes.
+func (b *Buf) Trim(n int) {
+	if n > b.Len() {
+		panic(fmt.Sprintf("pkt: trim to %d exceeds len %d", n, b.Len()))
+	}
+	b.end = b.off + n
+}
+
+// HeadOffset returns the view's start offset within the head buffer; with
+// PMOff it locates the view inside a pmem.Region.
+func (b *Buf) HeadOffset() int { return b.off }
+
+// PMOff returns the region offset of the view start, or -1 for DRAM bufs.
+func (b *Buf) PMOff() int {
+	if b.sh.pmOff < 0 {
+		return -1
+	}
+	return b.sh.pmOff + b.off
+}
+
+// Frags returns the fragment list (shared across clones; do not mutate
+// concurrently with transmission).
+func (b *Buf) Frags() []Frag { return b.sh.frags }
+
+// AddFrag appends an external fragment.
+func (b *Buf) AddFrag(f Frag) { b.sh.frags = append(b.sh.frags, f) }
+
+// Linearize copies the view and all fragments into dst, returning the
+// number of bytes written; dst must be at least TotalLen.
+func (b *Buf) Linearize(dst []byte) int {
+	n := copy(dst, b.Bytes())
+	for i := range b.sh.frags {
+		n += copy(dst[n:], b.sh.frags[i].B)
+	}
+	return n
+}
+
+// PayloadBytes returns the head-buffer bytes from the Payload offset to
+// the view end (not including fragments).
+func (b *Buf) PayloadBytes() []byte {
+	if b.Payload == 0 {
+		return b.Bytes()
+	}
+	return b.sh.head[b.Payload:b.end]
+}
+
+// Queue is a FIFO of Bufs linked through Next.
+type Queue struct {
+	head, tail *Buf
+	n          int
+}
+
+// Len returns the queue length.
+func (q *Queue) Len() int { return q.n }
+
+// Empty reports whether the queue has no Bufs.
+func (q *Queue) Empty() bool { return q.n == 0 }
+
+// Push appends b.
+func (q *Queue) Push(b *Buf) {
+	b.Next = nil
+	if q.tail == nil {
+		q.head, q.tail = b, b
+	} else {
+		q.tail.Next = b
+		q.tail = b
+	}
+	q.n++
+}
+
+// Pop removes and returns the head, or nil.
+func (q *Queue) Pop() *Buf {
+	if q.head == nil {
+		return nil
+	}
+	b := q.head
+	q.head = b.Next
+	if q.head == nil {
+		q.tail = nil
+	}
+	b.Next = nil
+	q.n--
+	return b
+}
+
+// Peek returns the head without removing it.
+func (q *Queue) Peek() *Buf { return q.head }
+
+// Pool hands out packet buffers of fixed size. With a pmem.Region, head
+// buffers are PM slots (the PASTE design); otherwise they are DRAM slabs.
+type Pool struct {
+	mu        sync.Mutex
+	bufSize   int
+	region    *pmem.Region
+	slab      *pmem.SlabPool // PM mode
+	freeDRAM  [][]byte       // DRAM mode
+	allocated int
+	capacity  int
+	fails     atomic.Uint64
+}
+
+// NewPool creates a DRAM-backed pool of n buffers of bufSize bytes.
+func NewPool(bufSize, n int) *Pool {
+	p := &Pool{bufSize: bufSize, capacity: n}
+	p.freeDRAM = make([][]byte, n)
+	backing := make([]byte, bufSize*n)
+	for i := 0; i < n; i++ {
+		p.freeDRAM[i] = backing[i*bufSize : (i+1)*bufSize : (i+1)*bufSize]
+	}
+	return p
+}
+
+// NewPMPool creates a pool whose buffers are slots of a pmem.Region slab,
+// starting at base.
+func NewPMPool(r *pmem.Region, base, bufSize, n int) *Pool {
+	return &Pool{
+		bufSize:  bufSize,
+		capacity: n,
+		region:   r,
+		slab:     pmem.NewSlabPool(r, base, bufSize, n),
+	}
+}
+
+// BufSize returns the head-buffer size.
+func (p *Pool) BufSize() int { return p.bufSize }
+
+// Capacity returns the total number of buffers.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Region returns the PM region backing the pool, or nil.
+func (p *Pool) Region() *pmem.Region { return p.region }
+
+// Slab exposes the PM slab (recovery marks live slots through it); nil for
+// DRAM pools.
+func (p *Pool) Slab() *pmem.SlabPool { return p.slab }
+
+// AllocFails reports how many allocations failed due to exhaustion.
+func (p *Pool) AllocFails() uint64 { return p.fails.Load() }
+
+// InUse reports how many buffers are currently allocated.
+func (p *Pool) InUse() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.allocated
+}
+
+// Alloc returns a Buf whose view starts after headroom bytes and has zero
+// length (use Append to fill), or nil when the pool is exhausted — the
+// caller drops the packet, as a NIC out of descriptors would.
+func (p *Pool) Alloc(headroom int) *Buf {
+	if headroom > p.bufSize {
+		panic("pkt: headroom exceeds buffer size")
+	}
+	sh := p.getSlot()
+	if sh == nil {
+		p.fails.Add(1)
+		return nil
+	}
+	b := bufPool.Get().(*Buf)
+	b.reset(sh, headroom, headroom)
+	return b
+}
+
+func (p *Pool) getSlot() *Shared {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var head []byte
+	pmOff := -1
+	if p.slab != nil {
+		off := p.slab.Alloc()
+		if off < 0 {
+			return nil
+		}
+		head = p.region.Slice(off, p.bufSize)
+		pmOff = off
+	} else {
+		if len(p.freeDRAM) == 0 {
+			return nil
+		}
+		head = p.freeDRAM[len(p.freeDRAM)-1]
+		p.freeDRAM = p.freeDRAM[:len(p.freeDRAM)-1]
+	}
+	p.allocated++
+	sh := sharedPool.Get().(*Shared)
+	sh.refs.Store(1)
+	sh.head = head
+	sh.pmOff = pmOff
+	sh.pool = p
+	sh.frags = sh.frags[:0]
+	return sh
+}
+
+// TakeOver removes the head buffer slot from pool management: the caller
+// (a persistent store adopting the packet data in place) now owns the PM
+// slot and must eventually hand it back via ReturnSlot. Valid only for PM
+// pools. Returns the slot's region offset.
+func (p *Pool) TakeOver(b *Buf) int {
+	if p.slab == nil {
+		panic("pkt: TakeOver on DRAM pool")
+	}
+	sh := b.sh
+	if sh.pool != p {
+		panic("pkt: TakeOver of foreign buffer")
+	}
+	sh.pool = nil // Release will no longer return the slot
+	p.mu.Lock()
+	p.allocated--
+	p.mu.Unlock()
+	return sh.pmOff
+}
+
+// ReturnSlot returns a previously taken-over PM slot to the pool's free
+// list.
+func (p *Pool) ReturnSlot(off int) {
+	if p.slab == nil {
+		panic("pkt: ReturnSlot on DRAM pool")
+	}
+	p.slab.Free(off)
+}
+
+// MarkSlotLive marks a PM slot as allocated during recovery, so the pool
+// never hands it out while the store still references it.
+func (p *Pool) MarkSlotLive(off int) bool {
+	if p.slab == nil {
+		panic("pkt: MarkSlotLive on DRAM pool")
+	}
+	return p.slab.MarkAllocated(off)
+}
+
+func (p *Pool) putSlot(sh *Shared) {
+	p.mu.Lock()
+	if p.slab != nil {
+		p.slab.Free(sh.pmOff)
+	} else {
+		p.freeDRAM = append(p.freeDRAM, sh.head)
+	}
+	p.allocated--
+	p.mu.Unlock()
+	sh.head = nil
+	sh.pool = nil
+	sharedPool.Put(sh)
+}

@@ -1,0 +1,333 @@
+package pkt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"packetstore/internal/calib"
+	"packetstore/internal/pmem"
+)
+
+func TestNewBufViewOps(t *testing.T) {
+	b := NewBuf(make([]byte, 100))
+	defer b.Release()
+	if b.Len() != 100 || b.TotalLen() != 100 {
+		t.Fatal("initial view")
+	}
+	b.Pull(14) // strip "ethernet"
+	if b.Len() != 86 || b.Headroom() != 14 {
+		t.Fatalf("after pull: len=%d headroom=%d", b.Len(), b.Headroom())
+	}
+	hdr := b.Push(14)
+	if len(hdr) != 14 || b.Len() != 100 {
+		t.Fatal("push did not restore")
+	}
+	b.Trim(50)
+	if b.Len() != 50 || b.Tailroom() != 50 {
+		t.Fatalf("after trim: len=%d tailroom=%d", b.Len(), b.Tailroom())
+	}
+	s := b.Append(10)
+	if len(s) != 10 || b.Len() != 60 {
+		t.Fatal("append")
+	}
+}
+
+func TestViewPanics(t *testing.T) {
+	b := NewBuf(make([]byte, 10))
+	defer b.Release()
+	mustPanic(t, func() { b.Push(1) })   // no headroom
+	mustPanic(t, func() { b.Pull(11) })  // beyond len
+	mustPanic(t, func() { b.Append(1) }) // no tailroom
+	mustPanic(t, func() { b.Trim(11) })  // beyond len
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestCloneSharesData(t *testing.T) {
+	b := NewBuf([]byte("hello world"))
+	b.Pull(6)
+	b.Csum = 42
+	b.CsumStatus = CsumComplete
+	c := b.Clone()
+	if b.DataRefs() != 2 {
+		t.Fatalf("DataRefs=%d want 2", b.DataRefs())
+	}
+	if string(c.Bytes()) != "world" || c.Csum != 42 || c.CsumStatus != CsumComplete {
+		t.Fatal("clone did not copy metadata")
+	}
+	// Mutating shared data is visible through both (same backing bytes).
+	b.Bytes()[0] = 'W'
+	if c.Bytes()[0] != 'W' {
+		t.Fatal("clone does not share data")
+	}
+	c.Release()
+	if b.DataRefs() != 1 {
+		t.Fatalf("DataRefs=%d after clone release", b.DataRefs())
+	}
+	b.Release()
+}
+
+func TestRetainRelease(t *testing.T) {
+	b := NewBuf(make([]byte, 4))
+	b.Retain()
+	b.Release()
+	// Still alive: one metadata ref remains.
+	_ = b.Bytes()
+	b.Release()
+}
+
+func TestFragReleaseHookRunsOnce(t *testing.T) {
+	released := 0
+	b := NewBuf(make([]byte, 8))
+	b.AddFrag(Frag{B: []byte("frag-data"), PMOff: -1, Release: func() { released++ }})
+	c := b.Clone()
+	if b.TotalLen() != 8+9 {
+		t.Fatalf("TotalLen=%d", b.TotalLen())
+	}
+	b.Release()
+	if released != 0 {
+		t.Fatal("hook ran while clone alive")
+	}
+	c.Release()
+	if released != 1 {
+		t.Fatalf("hook ran %d times, want 1", released)
+	}
+}
+
+func TestLinearize(t *testing.T) {
+	b := NewBuf([]byte("head-"))
+	b.AddFrag(Frag{B: []byte("frag1-"), PMOff: -1})
+	b.AddFrag(Frag{B: []byte("frag2"), PMOff: -1})
+	defer b.Release()
+	dst := make([]byte, b.TotalLen())
+	n := b.Linearize(dst)
+	if n != 16 || string(dst) != "head-frag1-frag2" {
+		t.Fatalf("linearize: %q (%d)", dst[:n], n)
+	}
+}
+
+func TestPayloadBytes(t *testing.T) {
+	raw := []byte("EEEEIIIITTTTpayload")
+	b := NewBuf(raw)
+	defer b.Release()
+	if !bytes.Equal(b.PayloadBytes(), raw) {
+		t.Fatal("unset Payload should return whole view")
+	}
+	b.Payload = 12
+	if string(b.PayloadBytes()) != "payload" {
+		t.Fatalf("payload %q", b.PayloadBytes())
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	var q Queue
+	if !q.Empty() || q.Pop() != nil || q.Peek() != nil {
+		t.Fatal("empty queue behaviour")
+	}
+	bufs := make([]*Buf, 5)
+	for i := range bufs {
+		bufs[i] = NewBuf([]byte{byte(i)})
+		q.Push(bufs[i])
+	}
+	if q.Len() != 5 {
+		t.Fatal("len")
+	}
+	if q.Peek() != bufs[0] {
+		t.Fatal("peek")
+	}
+	for i := 0; i < 5; i++ {
+		b := q.Pop()
+		if b != bufs[i] {
+			t.Fatalf("pop order at %d", i)
+		}
+		b.Release()
+	}
+	if !q.Empty() {
+		t.Fatal("not empty after drain")
+	}
+}
+
+func TestDRAMPoolExhaustionAndReuse(t *testing.T) {
+	p := NewPool(256, 4)
+	if p.BufSize() != 256 || p.Capacity() != 4 || p.Region() != nil || p.Slab() != nil {
+		t.Fatal("accessors")
+	}
+	var bufs []*Buf
+	for i := 0; i < 4; i++ {
+		b := p.Alloc(16)
+		if b == nil {
+			t.Fatal("premature exhaustion")
+		}
+		if b.Headroom() != 16 || b.Len() != 0 || b.Tailroom() != 240 {
+			t.Fatalf("geometry: %d %d %d", b.Headroom(), b.Len(), b.Tailroom())
+		}
+		bufs = append(bufs, b)
+	}
+	if p.InUse() != 4 {
+		t.Fatalf("InUse=%d", p.InUse())
+	}
+	if p.Alloc(0) != nil {
+		t.Fatal("exhausted pool returned a buffer")
+	}
+	if p.AllocFails() != 1 {
+		t.Fatalf("AllocFails=%d", p.AllocFails())
+	}
+	for _, b := range bufs {
+		b.Release()
+	}
+	if p.InUse() != 0 {
+		t.Fatalf("InUse=%d after release", p.InUse())
+	}
+	if p.Alloc(0) == nil {
+		t.Fatal("pool did not recycle")
+	}
+}
+
+func TestPMPool(t *testing.T) {
+	r := pmem.New(1<<16, calib.Off())
+	p := NewPMPool(r, 4096, 2048, 8)
+	b := p.Alloc(64)
+	if b == nil {
+		t.Fatal("alloc failed")
+	}
+	if b.PMOff() != b.sh.pmOff+64 {
+		t.Fatal("PMOff accounting")
+	}
+	off := b.sh.pmOff
+	if off < 4096 || off >= 4096+8*2048 {
+		t.Fatalf("slot offset %d outside pool range", off)
+	}
+	// Writing through the view writes the region.
+	copy(b.Append(5), "hello")
+	if string(r.Slice(off+64, 5)) != "hello" {
+		t.Fatal("PM view not aliasing region")
+	}
+	b.Release()
+	if p.InUse() != 0 {
+		t.Fatal("slot not freed")
+	}
+}
+
+func TestPMPoolTakeOver(t *testing.T) {
+	r := pmem.New(1<<16, calib.Off())
+	p := NewPMPool(r, 0, 1024, 4)
+	b := p.Alloc(0)
+	off := p.TakeOver(b)
+	b.Release() // must NOT free the slot
+	if p.InUse() != 0 {
+		t.Fatal("TakeOver should drop InUse")
+	}
+	// All remaining slots allocatable, but not the taken one.
+	got := map[int]bool{}
+	for {
+		nb := p.Alloc(0)
+		if nb == nil {
+			break
+		}
+		got[nb.sh.pmOff] = true
+	}
+	if len(got) != 3 || got[off] {
+		t.Fatalf("taken slot leaked back: %v (taken %d)", got, off)
+	}
+	p.ReturnSlot(off)
+	if p.Alloc(0) == nil {
+		t.Fatal("returned slot not allocatable")
+	}
+}
+
+func TestPMPoolMarkSlotLive(t *testing.T) {
+	r := pmem.New(1<<16, calib.Off())
+	p := NewPMPool(r, 0, 512, 4)
+	if !p.MarkSlotLive(512) {
+		t.Fatal("mark failed")
+	}
+	if p.MarkSlotLive(512) {
+		t.Fatal("double mark accepted")
+	}
+	for i := 0; i < 3; i++ {
+		b := p.Alloc(0)
+		if b == nil || b.sh.pmOff == 512 {
+			t.Fatal("live slot handed out")
+		}
+	}
+	if p.Alloc(0) != nil {
+		t.Fatal("expected exhaustion")
+	}
+}
+
+func TestDRAMPoolPanicsOnPMOps(t *testing.T) {
+	p := NewPool(64, 1)
+	b := p.Alloc(0)
+	defer b.Release()
+	mustPanic(t, func() { p.TakeOver(b) })
+	mustPanic(t, func() { p.ReturnSlot(0) })
+	mustPanic(t, func() { p.MarkSlotLive(0) })
+	mustPanic(t, func() { p.Alloc(65) })
+}
+
+func TestCsumStatusString(t *testing.T) {
+	for s, want := range map[CsumStatus]string{
+		CsumNone: "none", CsumUnnecessary: "unnecessary",
+		CsumComplete: "complete", CsumPartial: "partial", 99: "CsumStatus(99)",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String()=%q want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestConcurrentCloneRelease(t *testing.T) {
+	p := NewPool(128, 64)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			rng := rand.New(rand.NewSource(int64(42)))
+			for i := 0; i < 2000; i++ {
+				b := p.Alloc(0)
+				if b == nil {
+					continue
+				}
+				clones := make([]*Buf, rng.Intn(3))
+				for j := range clones {
+					clones[j] = b.Clone()
+				}
+				b.Release()
+				for _, c := range clones {
+					c.Release()
+				}
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if p.InUse() != 0 {
+		t.Fatalf("leak: InUse=%d", p.InUse())
+	}
+}
+
+func BenchmarkAllocRelease(b *testing.B) {
+	p := NewPool(2048, 256)
+	for i := 0; i < b.N; i++ {
+		buf := p.Alloc(128)
+		buf.Release()
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	buf := NewBuf(make([]byte, 1500))
+	defer buf.Release()
+	for i := 0; i < b.N; i++ {
+		buf.Clone().Release()
+	}
+}

@@ -1,0 +1,152 @@
+package pmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"packetstore/internal/calib"
+)
+
+func TestSlabPoolAllocFree(t *testing.T) {
+	r := New(1<<16, calib.Off())
+	p := NewSlabPool(r, 1024, 256, 16)
+	if p.SlotSize() != 256 || p.Slots() != 16 || p.Base() != 1024 {
+		t.Fatal("geometry accessors wrong")
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 16; i++ {
+		o := p.Alloc()
+		if o < 1024 || o >= 1024+16*256 || (o-1024)%256 != 0 {
+			t.Fatalf("bad offset %d", o)
+		}
+		if seen[o] {
+			t.Fatalf("duplicate offset %d", o)
+		}
+		seen[o] = true
+	}
+	if p.Alloc() != -1 {
+		t.Fatal("exhausted pool should return -1")
+	}
+	for o := range seen {
+		p.Free(o)
+	}
+	if p.FreeSlots() != 16 {
+		t.Fatalf("FreeSlots=%d want 16", p.FreeSlots())
+	}
+}
+
+func TestSlabPoolDoubleFreePanics(t *testing.T) {
+	r := New(1<<16, calib.Off())
+	p := NewSlabPool(r, 0, 64, 4)
+	o := p.Alloc()
+	p.Free(o)
+	mustPanic(t, func() { p.Free(o) })
+	mustPanic(t, func() { p.Free(o + 1) }) // misaligned
+}
+
+func TestSlabPoolMarkAllocated(t *testing.T) {
+	r := New(1<<16, calib.Off())
+	p := NewSlabPool(r, 0, 64, 8)
+	if !p.MarkAllocated(3 * 64) {
+		t.Fatal("MarkAllocated refused a free slot")
+	}
+	if p.MarkAllocated(3 * 64) {
+		t.Fatal("MarkAllocated accepted a live slot twice")
+	}
+	// The marked slot must never be handed out.
+	for i := 0; i < 7; i++ {
+		if o := p.Alloc(); o == 3*64 {
+			t.Fatal("marked slot was allocated")
+		}
+	}
+	if p.Alloc() != -1 {
+		t.Fatal("pool should be exhausted")
+	}
+}
+
+func TestSlabPoolRandomized(t *testing.T) {
+	r := New(1<<18, calib.Off())
+	p := NewSlabPool(r, 0, 128, 64)
+	rng := rand.New(rand.NewSource(9))
+	live := map[int]bool{}
+	for i := 0; i < 5000; i++ {
+		if rng.Intn(2) == 0 && len(live) < 64 {
+			o := p.Alloc()
+			if o == -1 {
+				t.Fatal("unexpected exhaustion")
+			}
+			if live[o] {
+				t.Fatal("allocated a live slot")
+			}
+			live[o] = true
+		} else if len(live) > 0 {
+			for o := range live {
+				p.Free(o)
+				delete(live, o)
+				break
+			}
+		}
+		if p.FreeSlots() != 64-len(live) {
+			t.Fatalf("free count drift: %d vs %d live", p.FreeSlots(), len(live))
+		}
+	}
+}
+
+func TestBumpAllocBasic(t *testing.T) {
+	r := New(1<<16, calib.Off())
+	a := NewBumpAlloc(r, 0, 4096)
+	o1 := a.Alloc(100)
+	o2 := a.Alloc(100)
+	if o1 < 64 || o2 != o1+128 { // rounded to 64B lines
+		t.Fatalf("offsets %d %d", o1, o2)
+	}
+	if a.Used() != 256 {
+		t.Fatalf("Used=%d want 256", a.Used())
+	}
+}
+
+func TestBumpAllocExhaustion(t *testing.T) {
+	r := New(1<<16, calib.Off())
+	a := NewBumpAlloc(r, 0, 256) // 64 header + 192 allocatable
+	if a.Alloc(192) == -1 {
+		t.Fatal("fitting alloc refused")
+	}
+	if a.Alloc(1) != -1 {
+		t.Fatal("over-alloc accepted")
+	}
+}
+
+func TestBumpAllocSurvivesCrash(t *testing.T) {
+	// The tail pointer is persisted per alloc, so after a crash the
+	// allocator must not hand out previously-allocated space.
+	r := New(1<<16, calib.Off())
+	a := NewBumpAlloc(r, 0, 4096)
+	o1 := a.Alloc(64)
+	r.Crash(rand.New(rand.NewSource(5)))
+	a2 := NewBumpAlloc(r, 0, 4096)
+	o2 := a2.Alloc(64)
+	if o2 <= o1 {
+		t.Fatalf("post-crash alloc %d overlaps pre-crash alloc %d", o2, o1)
+	}
+}
+
+func TestBumpAllocReset(t *testing.T) {
+	r := New(1<<16, calib.Off())
+	a := NewBumpAlloc(r, 0, 4096)
+	a.Alloc(100)
+	a.Reset()
+	if a.Used() != 0 {
+		t.Fatalf("Used=%d after reset", a.Used())
+	}
+	if rem := a.Remaining(); rem != 4096-64 {
+		t.Fatalf("Remaining=%d", rem)
+	}
+}
+
+func TestBumpAllocBadGeometry(t *testing.T) {
+	r := New(1<<16, calib.Off())
+	mustPanic(t, func() { NewBumpAlloc(r, 4, 4096) }) // unaligned base
+	mustPanic(t, func() { NewBumpAlloc(r, 0, 64) })   // too small
+	a := NewBumpAlloc(r, 0, 4096)
+	mustPanic(t, func() { a.Alloc(0) })
+}

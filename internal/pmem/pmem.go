@@ -1,0 +1,464 @@
+// Package pmem simulates a byte-addressable persistent-memory device
+// (Intel Optane DC PM in App-Direct mode, as used by the paper's testbed).
+//
+// The simulation models the two properties the experiments depend on:
+//
+//  1. Latency. Loads, stores and cache-line write-backs to PM cost more
+//     than DRAM. A Region charges calibrated delays (internal/latency)
+//     per cache line for reads, writes and flushes, per the profile it
+//     was created with.
+//
+//  2. Persistence semantics. A store is NOT durable until the cache line
+//     holding it has been written back (clwb/clflushopt, modelled by
+//     Flush) and the write-back has been ordered by a fence (sfence,
+//     modelled by Fence). A Region maintains a shadow "persisted" image:
+//     dirty lines live only in the volatile image; Flush moves them to a
+//     pending set; Fence commits the pending set to the shadow. Crash
+//     rebuilds the volatile image from the shadow — flushed-but-unfenced
+//     lines survive with 50/50 probability per line, exactly the
+//     uncertainty window real hardware exhibits — so crash-consistency
+//     bugs (missing flushes, missing fences, wrong ordering) manifest as
+//     real data loss in tests.
+//
+// A Region may be backed by a file, giving actual durability across
+// process restarts for the CLI tools; the file holds the persisted image
+// and is written on Sync and Close.
+package pmem
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"packetstore/internal/calib"
+	"packetstore/internal/latency"
+)
+
+// LineSize is the cache-line granularity of flush operations, in bytes.
+const LineSize = 64
+
+// Stats counts Region operations. Latencies are the emulated hardware
+// delays charged; they are included in wall-clock measurements because
+// charging spins.
+type Stats struct {
+	Reads        uint64 // explicit charged reads (lines)
+	Writes       uint64 // write calls
+	BytesWritten uint64
+	LinesFlushed uint64
+	Flushes      uint64 // Flush calls
+	Fences       uint64
+	Charged      time.Duration // total emulated delay
+}
+
+// Region is a simulated PM device. All mutating methods are safe for
+// concurrent use. Read-side helpers that return direct slices (Slice) do
+// not synchronize with writers; callers partition the address space, as
+// software sharing a real PM mapping must.
+type Region struct {
+	mu      sync.Mutex
+	buf     []byte   // volatile image (CPU caches + PM, merged view)
+	shadow  []byte   // durable image
+	dirty   []uint64 // bitset: line written since last flush
+	pending []uint64 // bitset: line flushed but not yet fenced
+	// pendingWords lists bitset words with pending bits, so Fence scans
+	// only what was flushed instead of the whole (potentially multi-GB)
+	// line space.
+	pendingWords []int
+	closed       bool
+
+	file *os.File // nil if purely in-memory
+
+	readLine  time.Duration
+	writeLine time.Duration
+	flushLine time.Duration
+	fence     time.Duration
+
+	stats   Stats
+	statsMu sync.Mutex
+}
+
+// New creates an in-memory Region of the given size with latencies taken
+// from profile. Size is rounded up to a whole number of lines.
+func New(size int, profile calib.Profile) *Region {
+	if size <= 0 {
+		panic("pmem: non-positive size")
+	}
+	size = (size + LineSize - 1) &^ (LineSize - 1)
+	nlines := size / LineSize
+	return &Region{
+		buf:       make([]byte, size),
+		shadow:    make([]byte, size),
+		dirty:     make([]uint64, (nlines+63)/64),
+		pending:   make([]uint64, (nlines+63)/64),
+		readLine:  profile.PMReadLine,
+		writeLine: profile.PMWriteLine,
+		flushLine: profile.PMFlushLine,
+		fence:     profile.PMFence,
+	}
+}
+
+// fileMagic distinguishes a Region backing file.
+var fileMagic = []byte("PKTSPMEM")
+
+// OpenFile opens (or creates) a file-backed Region of the given size. An
+// existing file's persisted image is loaded; its size must match. The
+// volatile image starts equal to the persisted image, as after a reboot.
+func OpenFile(path string, size int, profile calib.Profile) (*Region, error) {
+	r := New(size, profile)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pmem: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	want := int64(len(fileMagic) + len(r.shadow))
+	switch {
+	case st.Size() == 0:
+		// Fresh device: write the initial (zero) image.
+		if _, err := f.Write(fileMagic); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.Write(r.shadow); err != nil {
+			f.Close()
+			return nil, err
+		}
+	case st.Size() == want:
+		hdr := make([]byte, len(fileMagic))
+		if _, err := f.ReadAt(hdr, 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if string(hdr) != string(fileMagic) {
+			f.Close()
+			return nil, fmt.Errorf("pmem: %s is not a pmem image", path)
+		}
+		if _, err := f.ReadAt(r.shadow, int64(len(fileMagic))); err != nil {
+			f.Close()
+			return nil, err
+		}
+		copy(r.buf, r.shadow)
+	default:
+		f.Close()
+		return nil, fmt.Errorf("pmem: %s has size %d, want %d", path, st.Size(), want)
+	}
+	r.file = f
+	return r, nil
+}
+
+// Size returns the region size in bytes.
+func (r *Region) Size() int { return len(r.buf) }
+
+func (r *Region) check(off, n int) {
+	if off < 0 || n < 0 || off+n > len(r.buf) {
+		panic(fmt.Sprintf("pmem: access [%d,%d) outside region of %d bytes", off, off+n, len(r.buf)))
+	}
+}
+
+func lines(off, n int) int {
+	if n == 0 {
+		return 0
+	}
+	first := off / LineSize
+	last := (off + n - 1) / LineSize
+	return last - first + 1
+}
+
+func (r *Region) charge(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	// PM access and flush delays stall the issuing core (blocking loads,
+	// clwb retire, sfence drain), so they spin hot rather than yield.
+	latency.SpinHot(d)
+	r.statsMu.Lock()
+	r.stats.Charged += d
+	r.statsMu.Unlock()
+}
+
+// Slice returns a direct view of [off, off+n). Reads through the slice are
+// not charged PM latency (they model cache hits / streaming reads); writes
+// through the slice MUST be followed by MarkDirty or they will silently
+// vanish on Crash, exactly as un-tracked stores would on real hardware
+// with a buggy persistence protocol.
+func (r *Region) Slice(off, n int) []byte {
+	r.check(off, n)
+	return r.buf[off : off+n : off+n]
+}
+
+// Touch charges the PM read latency for a cache-missing read of [off,
+// off+n). Index walks use it to model pointer-chasing loads.
+func (r *Region) Touch(off, n int) {
+	r.check(off, n)
+	nl := lines(off, n)
+	r.charge(time.Duration(nl) * r.readLine)
+	r.statsMu.Lock()
+	r.stats.Reads += uint64(nl)
+	r.statsMu.Unlock()
+}
+
+// Read copies [off, off+len(dst)) into dst, charging read latency.
+func (r *Region) Read(dst []byte, off int) {
+	r.check(off, len(dst))
+	copy(dst, r.buf[off:])
+	nl := lines(off, len(dst))
+	r.charge(time.Duration(nl) * r.readLine)
+	r.statsMu.Lock()
+	r.stats.Reads += uint64(nl)
+	r.statsMu.Unlock()
+}
+
+// Write copies src into the region at off, marks the covered lines dirty,
+// and charges write latency.
+func (r *Region) Write(off int, src []byte) {
+	r.check(off, len(src))
+	r.mu.Lock()
+	copy(r.buf[off:], src)
+	r.markDirtyLocked(off, len(src))
+	r.mu.Unlock()
+	r.charge(time.Duration(lines(off, len(src))) * r.writeLine)
+	r.statsMu.Lock()
+	r.stats.Writes++
+	r.stats.BytesWritten += uint64(len(src))
+	r.statsMu.Unlock()
+}
+
+// WriteUint64 stores an 8-byte little-endian value at off. off must be
+// 8-byte aligned so the store is atomic with respect to crashes, the
+// property commit words rely on.
+func (r *Region) WriteUint64(off int, v uint64) {
+	if off%8 != 0 {
+		panic("pmem: unaligned WriteUint64")
+	}
+	var b [8]byte
+	putUint64(b[:], v)
+	r.Write(off, b[:])
+}
+
+// ReadUint64 loads an 8-byte little-endian value (uncharged; callers that
+// model a cache miss call Touch).
+func (r *Region) ReadUint64(off int) uint64 {
+	r.check(off, 8)
+	return getUint64(r.buf[off:])
+}
+
+// WriteUint32 stores a 4-byte little-endian value at a 4-byte-aligned off.
+func (r *Region) WriteUint32(off int, v uint32) {
+	if off%4 != 0 {
+		panic("pmem: unaligned WriteUint32")
+	}
+	var b [4]byte
+	putUint32(b[:], v)
+	r.Write(off, b[:])
+}
+
+// ReadUint32 loads a 4-byte little-endian value (uncharged).
+func (r *Region) ReadUint32(off int) uint32 {
+	r.check(off, 4)
+	return getUint32(r.buf[off:])
+}
+
+// MarkDirty records that [off, off+n) was mutated through a Slice (for
+// example by DMA). No latency is charged; the writer charges its own cost.
+func (r *Region) MarkDirty(off, n int) {
+	r.check(off, n)
+	r.mu.Lock()
+	r.markDirtyLocked(off, n)
+	r.mu.Unlock()
+}
+
+func (r *Region) markDirtyLocked(off, n int) {
+	if n == 0 {
+		return
+	}
+	first := off / LineSize
+	last := (off + n - 1) / LineSize
+	for l := first; l <= last; l++ {
+		r.dirty[l/64] |= 1 << (l % 64)
+	}
+}
+
+// Flush issues clwb for every line in [off, off+n): dirty lines move to
+// the pending (flushed-but-unfenced) set and are charged flush latency.
+// Lines that are not dirty cost nothing, as clwb of a clean line retires
+// without a write-back.
+func (r *Region) Flush(off, n int) {
+	r.check(off, n)
+	if n == 0 {
+		return
+	}
+	first := off / LineSize
+	last := (off + n - 1) / LineSize
+	flushed := 0
+	r.mu.Lock()
+	for l := first; l <= last; l++ {
+		w, bit := l/64, uint64(1)<<(l%64)
+		if r.dirty[w]&bit != 0 {
+			r.dirty[w] &^= bit
+			if r.pending[w] == 0 {
+				r.pendingWords = append(r.pendingWords, w)
+			}
+			r.pending[w] |= bit
+			flushed++
+		}
+	}
+	r.mu.Unlock()
+	r.charge(time.Duration(flushed) * r.flushLine)
+	r.statsMu.Lock()
+	r.stats.Flushes++
+	r.stats.LinesFlushed += uint64(flushed)
+	r.statsMu.Unlock()
+}
+
+// Fence orders all previously flushed lines: the pending set is committed
+// to the durable shadow image.
+func (r *Region) Fence() {
+	r.mu.Lock()
+	for _, w := range r.pendingWords {
+		bv := r.pending[w]
+		for bv != 0 {
+			l := w*64 + bits.TrailingZeros64(bv)
+			bv &= bv - 1
+			o := l * LineSize
+			copy(r.shadow[o:o+LineSize], r.buf[o:o+LineSize])
+		}
+		r.pending[w] = 0
+	}
+	r.pendingWords = r.pendingWords[:0]
+	r.mu.Unlock()
+	r.charge(r.fence)
+	r.statsMu.Lock()
+	r.stats.Fences++
+	r.statsMu.Unlock()
+}
+
+// Persist is the common flush-then-fence sequence for a single range.
+func (r *Region) Persist(off, n int) {
+	r.Flush(off, n)
+	r.Fence()
+}
+
+// Crash simulates a power failure and reboot: the volatile image is
+// discarded and rebuilt from the durable shadow. Each line that was
+// flushed but not yet fenced independently survives with probability 1/2,
+// drawn from rng — the undefined window between clwb and sfence. The
+// Region remains usable afterwards, representing the post-reboot device.
+func (r *Region) Crash(rng *rand.Rand) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, w := range r.pendingWords {
+		bv := r.pending[w]
+		for bv != 0 {
+			l := w*64 + bits.TrailingZeros64(bv)
+			bv &= bv - 1
+			if rng.Intn(2) == 0 {
+				o := l * LineSize
+				copy(r.shadow[o:o+LineSize], r.buf[o:o+LineSize])
+			}
+		}
+		r.pending[w] = 0
+	}
+	r.pendingWords = r.pendingWords[:0]
+	copy(r.buf, r.shadow)
+	for i := range r.dirty {
+		r.dirty[i] = 0
+	}
+}
+
+// Sync writes the durable image to the backing file, if any.
+func (r *Region) Sync() error {
+	if r.file == nil {
+		return nil
+	}
+	r.mu.Lock()
+	img := make([]byte, len(r.shadow))
+	copy(img, r.shadow)
+	r.mu.Unlock()
+	if _, err := r.file.WriteAt(img, int64(len(fileMagic))); err != nil {
+		return err
+	}
+	return r.file.Sync()
+}
+
+// Close syncs (when file-backed) and releases the backing file.
+func (r *Region) Close() error {
+	if r.closed {
+		return errors.New("pmem: already closed")
+	}
+	r.closed = true
+	if r.file == nil {
+		return nil
+	}
+	err := r.Sync()
+	if cerr := r.file.Close(); err == nil {
+		err = cerr
+	}
+	r.file = nil
+	return err
+}
+
+// Stats returns a snapshot of the operation counters.
+func (r *Region) Stats() Stats {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	return r.stats
+}
+
+// ResetStats zeroes the operation counters.
+func (r *Region) ResetStats() {
+	r.statsMu.Lock()
+	r.stats = Stats{}
+	r.statsMu.Unlock()
+}
+
+// DirtyLines reports how many lines are dirty (unflushed); tests use it to
+// assert that persistence protocols leave nothing behind.
+func (r *Region) DirtyLines() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, w := range r.dirty {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// PendingLines reports how many lines are flushed but not fenced.
+func (r *Region) PendingLines() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, w := range r.pending {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	b[4], b[5], b[6], b[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+}
+
+func getUint64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putUint32(b []byte, v uint32) {
+	_ = b[3]
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func getUint32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

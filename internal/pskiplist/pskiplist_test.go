@@ -1,0 +1,271 @@
+package pskiplist
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"packetstore/internal/calib"
+	"packetstore/internal/pmem"
+)
+
+func newTestList(t *testing.T, size int) (*pmem.Region, *List) {
+	t.Helper()
+	r := pmem.New(size+4096, calib.Off())
+	l := New(r, 0, size, bytes.Compare)
+	return r, l
+}
+
+func TestInsertGet(t *testing.T) {
+	_, l := newTestList(t, 1<<20)
+	if !l.Insert([]byte("bravo"), []byte("2")) ||
+		!l.Insert([]byte("alpha"), []byte("1")) ||
+		!l.Insert([]byte("charlie"), []byte("3")) {
+		t.Fatal("insert failed")
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len=%d", l.Len())
+	}
+	for k, v := range map[string]string{"alpha": "1", "bravo": "2", "charlie": "3"} {
+		got, ok := l.Get([]byte(k))
+		if !ok || string(got) != v {
+			t.Fatalf("Get(%s)=%q,%v", k, got, ok)
+		}
+	}
+	if _, ok := l.Get([]byte("zulu")); ok {
+		t.Fatal("absent key found")
+	}
+}
+
+func TestDuplicatePanics(t *testing.T) {
+	_, l := newTestList(t, 1<<20)
+	l.Insert([]byte("k"), []byte("v"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.Insert([]byte("k"), []byte("v2"))
+}
+
+func TestIterationOrder(t *testing.T) {
+	_, l := newTestList(t, 4<<20)
+	rng := rand.New(rand.NewSource(7))
+	seen := map[string]bool{}
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("key-%08d", rng.Intn(10000000))
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if !l.Insert([]byte(k), []byte(k)) {
+			t.Fatal("arena exhausted")
+		}
+	}
+	var want []string
+	for k := range seen {
+		want = append(want, k)
+	}
+	sort.Strings(want)
+	it := l.NewIterator()
+	i := 0
+	for it.Next(); it.Valid(); it.Next() {
+		if string(it.Key()) != want[i] || !bytes.Equal(it.Key(), it.Value()) {
+			t.Fatalf("position %d: %q want %q", i, it.Key(), want[i])
+		}
+		i++
+	}
+	if i != len(want) {
+		t.Fatalf("iterated %d of %d", i, len(want))
+	}
+}
+
+func TestSeek(t *testing.T) {
+	_, l := newTestList(t, 1<<20)
+	for i := 0; i < 100; i += 10 {
+		k := []byte(fmt.Sprintf("%03d", i))
+		l.Insert(k, k)
+	}
+	it := l.NewIterator()
+	it.Seek([]byte("045"))
+	if !it.Valid() || string(it.Key()) != "050" {
+		t.Fatalf("Seek(045) at %q", it.Key())
+	}
+	it.Seek([]byte("999"))
+	if it.Valid() {
+		t.Fatal("Seek past end valid")
+	}
+	it.SeekToFirst()
+	if !it.Valid() || string(it.Key()) != "000" {
+		t.Fatalf("SeekToFirst at %q", it.Key())
+	}
+}
+
+func TestArenaExhaustion(t *testing.T) {
+	_, l := newTestList(t, 2048)
+	big := make([]byte, 512)
+	inserted := 0
+	for i := 0; i < 100; i++ {
+		if l.Insert([]byte(fmt.Sprintf("k%03d", i)), big) {
+			inserted++
+		} else {
+			break
+		}
+	}
+	if inserted == 0 || inserted > 4 {
+		t.Fatalf("inserted %d entries into 2KB arena", inserted)
+	}
+}
+
+func TestRecoverAfterCleanShutdown(t *testing.T) {
+	r, l := newTestList(t, 1<<20)
+	kv := map[string]string{}
+	for i := 0; i < 500; i++ {
+		k, v := fmt.Sprintf("key%05d", i), fmt.Sprintf("val%d", i)
+		kv[k] = v
+		l.Insert([]byte(k), []byte(v))
+	}
+	l2, err := Recover(r, 0, 1<<20, bytes.Compare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Len() != 500 {
+		t.Fatalf("recovered Len=%d", l2.Len())
+	}
+	for k, v := range kv {
+		got, ok := l2.Get([]byte(k))
+		if !ok || string(got) != v {
+			t.Fatalf("after recover Get(%s)=%q,%v", k, got, ok)
+		}
+	}
+	// And still writable.
+	if !l2.Insert([]byte("post-recovery"), []byte("x")) {
+		t.Fatal("insert after recover failed")
+	}
+}
+
+func TestRecoverRejectsGarbage(t *testing.T) {
+	r := pmem.New(1<<20, calib.Off())
+	if _, err := Recover(r, 0, 1<<20, bytes.Compare); err == nil {
+		t.Fatal("recovered from zeroed region")
+	}
+}
+
+// TestCrashDurability is the core crash-consistency property: every insert
+// that returned before the crash is present and intact after recovery.
+func TestCrashDurability(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := pmem.New(1<<20, calib.Off())
+		l := New(r, 0, 1<<20, bytes.Compare)
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		kv := map[string]string{}
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("key%06d", rng.Intn(1000000))
+			if _, dup := kv[k]; dup {
+				continue
+			}
+			v := fmt.Sprintf("value-%d-%d", seed, i)
+			if !l.Insert([]byte(k), []byte(v)) {
+				break
+			}
+			kv[k] = v
+		}
+		r.Crash(rng)
+		l2, err := Recover(r, 0, 1<<20, bytes.Compare)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if l2.Len() != len(kv) {
+			t.Fatalf("seed %d: recovered %d entries, want %d", seed, l2.Len(), len(kv))
+		}
+		for k, v := range kv {
+			got, ok := l2.Get([]byte(k))
+			if !ok || string(got) != v {
+				t.Fatalf("seed %d: lost or corrupted %q after crash", seed, k)
+			}
+		}
+	}
+}
+
+// TestCrashMidWorkloadStillSearchable interleaves crashes with further
+// inserts on the recovered list.
+func TestCrashMidWorkloadStillSearchable(t *testing.T) {
+	r := pmem.New(2<<20, calib.Off())
+	l := New(r, 0, 2<<20, bytes.Compare)
+	rng := rand.New(rand.NewSource(42))
+	kv := map[string]string{}
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 100; i++ {
+			k := fmt.Sprintf("r%dk%04d", round, i)
+			v := fmt.Sprintf("v%d.%d", round, i)
+			if !l.Insert([]byte(k), []byte(v)) {
+				t.Fatal("arena exhausted")
+			}
+			kv[k] = v
+		}
+		r.Crash(rng)
+		var err error
+		l, err = Recover(r, 0, 2<<20, bytes.Compare)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for k, v := range kv {
+			got, ok := l.Get([]byte(k))
+			if !ok || string(got) != v {
+				t.Fatalf("round %d: lost %q", round, k)
+			}
+		}
+	}
+}
+
+func TestPMReadChargeOnSearch(t *testing.T) {
+	p := calib.Off()
+	p.PMReadLine = 1000 // 1µs per line: measurable via stats
+	r := pmem.New(1<<20, p)
+	l := New(r, 0, 1<<20, bytes.Compare)
+	for i := 0; i < 100; i++ {
+		k := []byte(fmt.Sprintf("key%04d", i))
+		l.Insert(k, k)
+	}
+	before := r.Stats().Reads
+	l.Get([]byte("key0050"))
+	if r.Stats().Reads == before {
+		t.Fatal("search charged no PM reads")
+	}
+}
+
+func BenchmarkInsert100B(b *testing.B) {
+	r := pmem.New(1<<30, calib.Off())
+	l := New(r, 0, 1<<30, bytes.Compare)
+	val := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Insert([]byte(fmt.Sprintf("key%012d", i)), val)
+	}
+}
+
+func BenchmarkInsertPaperModel(b *testing.B) {
+	r := pmem.New(1<<30, calib.Paper())
+	l := New(r, 0, 1<<30, bytes.Compare)
+	val := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Insert([]byte(fmt.Sprintf("key%012d", i)), val)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	r := pmem.New(1<<28, calib.Off())
+	l := New(r, 0, 1<<28, bytes.Compare)
+	for i := 0; i < 100000; i++ {
+		k := []byte(fmt.Sprintf("key%08d", i))
+		l.Insert(k, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Get([]byte(fmt.Sprintf("key%08d", (i*7919)%100000)))
+	}
+}

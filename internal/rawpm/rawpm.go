@@ -1,0 +1,59 @@
+// Package rawpm is the paper's "Net. + persist." configuration (Figure
+// 2): a server that copies each request's value into a persistent-memory
+// region and flushes it — persistence without any data management (no
+// index, no checksums, no allocator bookkeeping). It bounds from below
+// what a networked PM store could cost, which is exactly how the paper
+// uses it.
+package rawpm
+
+import (
+	"errors"
+	"sync"
+
+	"packetstore/internal/pmem"
+)
+
+// Store appends values into a circular PM log.
+type Store struct {
+	mu   sync.Mutex
+	r    *pmem.Region
+	base int
+	size int
+	off  int
+	puts uint64
+}
+
+// ErrTooLarge reports a value bigger than the whole region.
+var ErrTooLarge = errors.New("rawpm: value exceeds region")
+
+// New creates a raw PM writer over [base, base+size) of r.
+func New(r *pmem.Region, base, size int) *Store {
+	return &Store{r: r, base: base, size: size}
+}
+
+// Put copies value into the region and persists it. The region is a ring:
+// old data is overwritten once the region wraps (the Figure 2 workload is
+// write-only and unindexed, so nothing references old data).
+func (s *Store) Put(value []byte) error {
+	if len(value) > s.size {
+		return ErrTooLarge
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.off+len(value) > s.size {
+		s.off = 0
+	}
+	dst := s.base + s.off
+	s.r.Write(dst, value)
+	s.r.Persist(dst, len(value))
+	s.off += len(value)
+	s.puts++
+	return nil
+}
+
+// Puts reports how many values were persisted.
+func (s *Store) Puts() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.puts
+}

@@ -1,0 +1,37 @@
+package rawpm
+
+import (
+	"testing"
+
+	"packetstore/internal/calib"
+	"packetstore/internal/pmem"
+)
+
+func TestPutPersistsAndWraps(t *testing.T) {
+	r := pmem.New(4096, calib.Off())
+	s := New(r, 0, 4096)
+	val := make([]byte, 1000)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	for i := 0; i < 10; i++ { // 10KB through a 4KB ring: wraps
+		if err := s.Put(val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Puts() != 10 {
+		t.Fatalf("Puts=%d", s.Puts())
+	}
+	// The most recent value is persisted (flushed + fenced).
+	if r.DirtyLines() != 0 || r.PendingLines() != 0 {
+		t.Fatalf("unflushed state left: dirty=%d pending=%d", r.DirtyLines(), r.PendingLines())
+	}
+}
+
+func TestPutTooLarge(t *testing.T) {
+	r := pmem.New(4096, calib.Off())
+	s := New(r, 0, 1024)
+	if err := s.Put(make([]byte, 2048)); err != ErrTooLarge {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+}

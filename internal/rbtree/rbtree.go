@@ -1,0 +1,266 @@
+// Package rbtree implements a left-leaning red-black tree with a
+// caller-supplied ordering.
+//
+// The TCP receiver uses it to hold out-of-order segments keyed by sequence
+// number — the same structure the Linux TCP stack uses for its OOO queue,
+// and one of the paper's examples (§4.2) of packet metadata already being
+// organized into efficient in-memory search structures.
+package rbtree
+
+// Tree is a red-black tree mapping K to V. The zero Tree is not usable;
+// create one with New. Tree is not safe for concurrent use.
+type Tree[K, V any] struct {
+	less func(a, b K) bool
+	root *node[K, V]
+	size int
+}
+
+type node[K, V any] struct {
+	key         K
+	val         V
+	left, right *node[K, V]
+	red         bool
+}
+
+// New returns an empty tree ordered by less.
+func New[K, V any](less func(a, b K) bool) *Tree[K, V] {
+	return &Tree[K, V]{less: less}
+}
+
+// Len returns the number of entries.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+// Get returns the value stored under key.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case t.less(key, n.key):
+			n = n.left
+		case t.less(n.key, key):
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Set inserts or replaces the value under key.
+func (t *Tree[K, V]) Set(key K, val V) {
+	t.root = t.insert(t.root, key, val)
+	t.root.red = false
+}
+
+func isRed[K, V any](n *node[K, V]) bool { return n != nil && n.red }
+
+func rotateLeft[K, V any](h *node[K, V]) *node[K, V] {
+	x := h.right
+	h.right = x.left
+	x.left = h
+	x.red = h.red
+	h.red = true
+	return x
+}
+
+func rotateRight[K, V any](h *node[K, V]) *node[K, V] {
+	x := h.left
+	h.left = x.right
+	x.right = h
+	x.red = h.red
+	h.red = true
+	return x
+}
+
+func flipColors[K, V any](h *node[K, V]) {
+	h.red = !h.red
+	h.left.red = !h.left.red
+	h.right.red = !h.right.red
+}
+
+func fixUp[K, V any](h *node[K, V]) *node[K, V] {
+	if isRed(h.right) && !isRed(h.left) {
+		h = rotateLeft(h)
+	}
+	if isRed(h.left) && isRed(h.left.left) {
+		h = rotateRight(h)
+	}
+	if isRed(h.left) && isRed(h.right) {
+		flipColors(h)
+	}
+	return h
+}
+
+func (t *Tree[K, V]) insert(h *node[K, V], key K, val V) *node[K, V] {
+	if h == nil {
+		t.size++
+		return &node[K, V]{key: key, val: val, red: true}
+	}
+	switch {
+	case t.less(key, h.key):
+		h.left = t.insert(h.left, key, val)
+	case t.less(h.key, key):
+		h.right = t.insert(h.right, key, val)
+	default:
+		h.val = val
+	}
+	return fixUp(h)
+}
+
+// Min returns the smallest key and its value.
+func (t *Tree[K, V]) Min() (K, V, bool) {
+	if t.root == nil {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	n := t.root
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, n.val, true
+}
+
+// Max returns the largest key and its value.
+func (t *Tree[K, V]) Max() (K, V, bool) {
+	if t.root == nil {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	n := t.root
+	for n.right != nil {
+		n = n.right
+	}
+	return n.key, n.val, true
+}
+
+// Ceil returns the smallest entry with key >= key.
+func (t *Tree[K, V]) Ceil(key K) (K, V, bool) {
+	var best *node[K, V]
+	n := t.root
+	for n != nil {
+		if t.less(n.key, key) {
+			n = n.right
+		} else {
+			best = n
+			n = n.left
+		}
+	}
+	if best == nil {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	return best.key, best.val, true
+}
+
+// DeleteMin removes the smallest entry.
+func (t *Tree[K, V]) DeleteMin() {
+	if t.root == nil {
+		return
+	}
+	if !isRed(t.root.left) && !isRed(t.root.right) {
+		t.root.red = true
+	}
+	t.root = t.deleteMin(t.root)
+	if t.root != nil {
+		t.root.red = false
+	}
+}
+
+func moveRedLeft[K, V any](h *node[K, V]) *node[K, V] {
+	flipColors(h)
+	if isRed(h.right.left) {
+		h.right = rotateRight(h.right)
+		h = rotateLeft(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func moveRedRight[K, V any](h *node[K, V]) *node[K, V] {
+	flipColors(h)
+	if isRed(h.left.left) {
+		h = rotateRight(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func (t *Tree[K, V]) deleteMin(h *node[K, V]) *node[K, V] {
+	if h.left == nil {
+		t.size--
+		return nil
+	}
+	if !isRed(h.left) && !isRed(h.left.left) {
+		h = moveRedLeft(h)
+	}
+	h.left = t.deleteMin(h.left)
+	return fixUp(h)
+}
+
+// Delete removes key if present.
+func (t *Tree[K, V]) Delete(key K) {
+	if _, ok := t.Get(key); !ok {
+		return
+	}
+	if !isRed(t.root.left) && !isRed(t.root.right) {
+		t.root.red = true
+	}
+	t.root = t.delete(t.root, key)
+	if t.root != nil {
+		t.root.red = false
+	}
+}
+
+func (t *Tree[K, V]) delete(h *node[K, V], key K) *node[K, V] {
+	if t.less(key, h.key) {
+		if !isRed(h.left) && !isRed(h.left.left) {
+			h = moveRedLeft(h)
+		}
+		h.left = t.delete(h.left, key)
+	} else {
+		if isRed(h.left) {
+			h = rotateRight(h)
+		}
+		if !t.less(h.key, key) && h.right == nil {
+			t.size--
+			return nil
+		}
+		if !isRed(h.right) && !isRed(h.right.left) {
+			h = moveRedRight(h)
+		}
+		if !t.less(h.key, key) && !t.less(key, h.key) {
+			m := h.right
+			for m.left != nil {
+				m = m.left
+			}
+			h.key, h.val = m.key, m.val
+			h.right = t.deleteMin(h.right)
+		} else {
+			h.right = t.delete(h.right, key)
+		}
+	}
+	return fixUp(h)
+}
+
+// Ascend calls fn for each entry in ascending key order until fn returns
+// false.
+func (t *Tree[K, V]) Ascend(fn func(key K, val V) bool) {
+	ascend(t.root, fn)
+}
+
+func ascend[K, V any](n *node[K, V], fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !ascend(n.left, fn) {
+		return false
+	}
+	if !fn(n.key, n.val) {
+		return false
+	}
+	return ascend(n.right, fn)
+}

@@ -1,0 +1,229 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intTree() *Tree[int, int] { return New[int, int](func(a, b int) bool { return a < b }) }
+
+func TestBasicOps(t *testing.T) {
+	tr := intTree()
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("empty tree Get")
+	}
+	tr.Set(5, 50)
+	tr.Set(3, 30)
+	tr.Set(8, 80)
+	tr.Set(5, 55) // replace
+	if tr.Len() != 3 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+	if v, ok := tr.Get(5); !ok || v != 55 {
+		t.Fatalf("Get(5)=%d,%v", v, ok)
+	}
+	if k, v, ok := tr.Min(); !ok || k != 3 || v != 30 {
+		t.Fatalf("Min=%d,%d", k, v)
+	}
+	if k, _, ok := tr.Max(); !ok || k != 8 {
+		t.Fatalf("Max=%d", k)
+	}
+}
+
+func TestCeil(t *testing.T) {
+	tr := intTree()
+	for _, k := range []int{10, 20, 30} {
+		tr.Set(k, k)
+	}
+	cases := []struct {
+		q, want int
+		ok      bool
+	}{{5, 10, true}, {10, 10, true}, {11, 20, true}, {30, 30, true}, {31, 0, false}}
+	for _, c := range cases {
+		k, _, ok := tr.Ceil(c.q)
+		if ok != c.ok || (ok && k != c.want) {
+			t.Errorf("Ceil(%d) = %d,%v want %d,%v", c.q, k, ok, c.want, c.ok)
+		}
+	}
+	empty := intTree()
+	if _, _, ok := empty.Ceil(1); ok {
+		t.Error("Ceil on empty tree")
+	}
+	if _, _, ok := empty.Min(); ok {
+		t.Error("Min on empty tree")
+	}
+	if _, _, ok := empty.Max(); ok {
+		t.Error("Max on empty tree")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 100; i++ {
+		tr.Set(i, i)
+	}
+	for i := 0; i < 100; i += 2 {
+		tr.Delete(i)
+	}
+	tr.Delete(1000) // absent: no-op
+	if tr.Len() != 50 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+	for i := 0; i < 100; i++ {
+		_, ok := tr.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d)=%v want %v", i, ok, want)
+		}
+	}
+}
+
+func TestDeleteMin(t *testing.T) {
+	tr := intTree()
+	for _, k := range []int{5, 1, 9, 3} {
+		tr.Set(k, k)
+	}
+	want := []int{1, 3, 5, 9}
+	for _, w := range want {
+		k, _, ok := tr.Min()
+		if !ok || k != w {
+			t.Fatalf("Min=%d want %d", k, w)
+		}
+		tr.DeleteMin()
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len=%d after draining", tr.Len())
+	}
+	tr.DeleteMin() // empty: no-op
+}
+
+func TestAscendOrderAndEarlyStop(t *testing.T) {
+	tr := intTree()
+	perm := rand.New(rand.NewSource(1)).Perm(500)
+	for _, k := range perm {
+		tr.Set(k, k*2)
+	}
+	var got []int
+	tr.Ascend(func(k, v int) bool {
+		if v != k*2 {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		got = append(got, k)
+		return true
+	})
+	if !sort.IntsAreSorted(got) || len(got) != 500 {
+		t.Fatalf("ascend order broken, n=%d", len(got))
+	}
+	count := 0
+	tr.Ascend(func(k, v int) bool { count++; return count < 10 })
+	if count != 10 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+// TestAgainstMapModel drives random operations against a reference map and
+// checks full agreement, plus red-black invariants after every batch.
+func TestAgainstMapModel(t *testing.T) {
+	tr := intTree()
+	ref := map[int]int{}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		k := rng.Intn(300)
+		switch rng.Intn(3) {
+		case 0, 1:
+			tr.Set(k, i)
+			ref[k] = i
+		case 2:
+			tr.Delete(k)
+			delete(ref, k)
+		}
+		if i%500 == 0 {
+			checkModel(t, tr, ref)
+			checkInvariants(t, tr)
+		}
+	}
+	checkModel(t, tr, ref)
+	checkInvariants(t, tr)
+}
+
+func checkModel(t *testing.T, tr *Tree[int, int], ref map[int]int) {
+	t.Helper()
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len=%d want %d", tr.Len(), len(ref))
+	}
+	for k, v := range ref {
+		got, ok := tr.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%d)=%d,%v want %d", k, got, ok, v)
+		}
+	}
+}
+
+// checkInvariants verifies: no red node has a red left child chained (LLRB
+// form: no right-leaning red links, no two reds in a row) and every path
+// to a nil has equal black height.
+func checkInvariants(t *testing.T, tr *Tree[int, int]) {
+	t.Helper()
+	var walk func(n *node[int, int]) int
+	walk = func(n *node[int, int]) int {
+		if n == nil {
+			return 1
+		}
+		if isRed(n.right) {
+			t.Fatal("right-leaning red link")
+		}
+		if isRed(n) && isRed(n.left) {
+			t.Fatal("two reds in a row")
+		}
+		lh := walk(n.left)
+		rh := walk(n.right)
+		if lh != rh {
+			t.Fatalf("black height mismatch %d vs %d", lh, rh)
+		}
+		if !n.red {
+			lh++
+		}
+		return lh
+	}
+	if tr.root != nil && tr.root.red {
+		t.Fatal("red root")
+	}
+	walk(tr.root)
+}
+
+func TestQuickSetGetDelete(t *testing.T) {
+	f := func(keys []uint8, dels []uint8) bool {
+		tr := intTree()
+		ref := map[int]int{}
+		for i, k := range keys {
+			tr.Set(int(k), i)
+			ref[int(k)] = i
+		}
+		for _, k := range dels {
+			tr.Delete(int(k))
+			delete(ref, int(k))
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSetGet(b *testing.B) {
+	tr := intTree()
+	for i := 0; i < b.N; i++ {
+		tr.Set(i%10000, i)
+		tr.Get((i * 7) % 10000)
+	}
+}

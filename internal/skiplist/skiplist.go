@@ -1,0 +1,192 @@
+// Package skiplist implements a volatile, arena-backed skip list with
+// byte-slice keys and values and a caller-supplied comparator.
+//
+// This is the DRAM memtable of the LevelDB-style baseline store: inserts
+// copy key and value into a grow-only arena (LevelDB's design, which the
+// paper's Table 1 measures as part of "buffer allocation and insertion"),
+// and iteration order follows the comparator, so LSM internal keys (user
+// key ascending, sequence number descending) work unchanged.
+//
+// The list supports one writer with concurrent readers when the caller
+// provides external synchronization for writes; reads never observe a
+// partially linked node because forward pointers are published last.
+package skiplist
+
+import (
+	"math/rand"
+	"sync/atomic"
+)
+
+const (
+	maxHeight = 12
+	branching = 4
+)
+
+// Comparator orders keys; negative means a < b.
+type Comparator func(a, b []byte) int
+
+// List is a skip list. Create with New.
+type List struct {
+	cmp    Comparator
+	head   *node
+	height atomic.Int32
+	rng    *rand.Rand
+	arena  *arena
+	count  int
+}
+
+type node struct {
+	key  []byte
+	val  []byte
+	next [maxHeight]atomic.Pointer[node]
+}
+
+// New returns an empty list using cmp. Random heights are drawn from a
+// fixed-seed generator so behaviour is reproducible.
+func New(cmp Comparator) *List {
+	l := &List{
+		cmp:   cmp,
+		head:  &node{},
+		rng:   rand.New(rand.NewSource(0xdecea5e)),
+		arena: newArena(),
+	}
+	l.height.Store(1)
+	return l
+}
+
+// Len returns the number of entries.
+func (l *List) Len() int { return l.count }
+
+// MemoryUsage returns the bytes consumed by the arena, the figure the LSM
+// uses to decide when a memtable is full.
+func (l *List) MemoryUsage() int { return l.arena.used }
+
+func (l *List) randomHeight() int {
+	h := 1
+	for h < maxHeight && l.rng.Intn(branching) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGE returns the first node with key >= key, filling prev with the
+// rightmost node before that position at every level when prev != nil.
+func (l *List) findGE(key []byte, prev *[maxHeight]*node) *node {
+	x := l.head
+	level := int(l.height.Load()) - 1
+	for {
+		nxt := x.next[level].Load()
+		if nxt != nil && l.cmp(nxt.key, key) < 0 {
+			x = nxt
+			continue
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+		if level == 0 {
+			return nxt
+		}
+		level--
+	}
+}
+
+// Insert adds key/value. Duplicate keys are allowed only if the comparator
+// distinguishes them (LSM internal keys always differ by sequence number);
+// inserting an exactly-equal key panics, matching LevelDB's contract.
+func (l *List) Insert(key, val []byte) {
+	var prev [maxHeight]*node
+	if ge := l.findGE(key, &prev); ge != nil && l.cmp(ge.key, key) == 0 {
+		panic("skiplist: duplicate key")
+	}
+	h := l.randomHeight()
+	if h > int(l.height.Load()) {
+		for i := int(l.height.Load()); i < h; i++ {
+			prev[i] = l.head
+		}
+		l.height.Store(int32(h))
+	}
+	n := &node{key: l.arena.copy(key), val: l.arena.copy(val)}
+	for i := 0; i < h; i++ {
+		n.next[i].Store(prev[i].next[i].Load())
+		prev[i].next[i].Store(n)
+	}
+	l.count++
+}
+
+// Get returns the value stored under the exactly-equal key.
+func (l *List) Get(key []byte) ([]byte, bool) {
+	n := l.findGE(key, nil)
+	if n != nil && l.cmp(n.key, key) == 0 {
+		return n.val, true
+	}
+	return nil, false
+}
+
+// Iterator walks the list in comparator order. The zero Iterator is
+// positioned before the first entry.
+type Iterator struct {
+	l *List
+	n *node
+}
+
+// NewIterator returns an iterator positioned before the first entry.
+func (l *List) NewIterator() *Iterator { return &Iterator{l: l} }
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iterator) Valid() bool { return it.n != nil }
+
+// Key returns the current key; valid only when Valid.
+func (it *Iterator) Key() []byte { return it.n.key }
+
+// Value returns the current value; valid only when Valid.
+func (it *Iterator) Value() []byte { return it.n.val }
+
+// Next advances to the following entry.
+func (it *Iterator) Next() {
+	if it.n == nil {
+		it.n = it.l.head.next[0].Load()
+		return
+	}
+	it.n = it.n.next[0].Load()
+}
+
+// SeekToFirst positions at the smallest entry.
+func (it *Iterator) SeekToFirst() { it.n = it.l.head.next[0].Load() }
+
+// Seek positions at the first entry with key >= key.
+func (it *Iterator) Seek(key []byte) { it.n = it.l.findGE(key, nil) }
+
+// arena is a grow-only byte allocator: key/value bytes for all nodes live
+// in large shared blocks, amortizing allocation.
+type arena struct {
+	blocks [][]byte
+	cur    []byte
+	used   int
+}
+
+const arenaBlock = 1 << 16
+
+func newArena() *arena { return &arena{} }
+
+func (a *arena) copy(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	if len(b) > arenaBlock/4 {
+		// Large values get their own block so they don't strand space.
+		blk := make([]byte, len(b))
+		copy(blk, b)
+		a.blocks = append(a.blocks, blk)
+		a.used += len(b)
+		return blk
+	}
+	if len(a.cur) < len(b) {
+		a.cur = make([]byte, arenaBlock)
+		a.blocks = append(a.blocks, a.cur)
+		a.used += arenaBlock
+	}
+	out := a.cur[:len(b):len(b)]
+	copy(out, b)
+	a.cur = a.cur[len(b):]
+	return out
+}

@@ -1,0 +1,227 @@
+package skiplist
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func newList() *List { return New(bytes.Compare) }
+
+func TestInsertGet(t *testing.T) {
+	l := newList()
+	l.Insert([]byte("b"), []byte("2"))
+	l.Insert([]byte("a"), []byte("1"))
+	l.Insert([]byte("c"), []byte("3"))
+	if l.Len() != 3 {
+		t.Fatalf("Len=%d", l.Len())
+	}
+	for k, want := range map[string]string{"a": "1", "b": "2", "c": "3"} {
+		v, ok := l.Get([]byte(k))
+		if !ok || string(v) != want {
+			t.Fatalf("Get(%s)=%q,%v", k, v, ok)
+		}
+	}
+	if _, ok := l.Get([]byte("zz")); ok {
+		t.Fatal("absent key found")
+	}
+}
+
+func TestDuplicatePanics(t *testing.T) {
+	l := newList()
+	l.Insert([]byte("k"), []byte("v"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.Insert([]byte("k"), []byte("v2"))
+}
+
+func TestEmptyList(t *testing.T) {
+	l := newList()
+	if _, ok := l.Get([]byte("x")); ok {
+		t.Fatal("Get on empty")
+	}
+	it := l.NewIterator()
+	it.SeekToFirst()
+	if it.Valid() {
+		t.Fatal("iterator valid on empty list")
+	}
+	it.Next() // before-first Next on empty
+	if it.Valid() {
+		t.Fatal("Next on empty list")
+	}
+}
+
+func TestIteratorOrder(t *testing.T) {
+	l := newList()
+	rng := rand.New(rand.NewSource(2))
+	keys := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key-%06d", rng.Intn(100000))
+		if keys[k] {
+			continue
+		}
+		keys[k] = true
+		l.Insert([]byte(k), []byte(k))
+	}
+	var want []string
+	for k := range keys {
+		want = append(want, k)
+	}
+	sort.Strings(want)
+
+	var got []string
+	for it := l.NewIterator(); ; {
+		it.Next()
+		if !it.Valid() {
+			break
+		}
+		if !bytes.Equal(it.Key(), it.Value()) {
+			t.Fatal("value mismatch")
+		}
+		got = append(got, string(it.Key()))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d keys want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("order diverges at %d: %s vs %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSeek(t *testing.T) {
+	l := newList()
+	for i := 0; i < 100; i += 10 {
+		k := []byte(fmt.Sprintf("%03d", i))
+		l.Insert(k, k)
+	}
+	it := l.NewIterator()
+	it.Seek([]byte("035"))
+	if !it.Valid() || string(it.Key()) != "040" {
+		t.Fatalf("Seek(035) at %q", it.Key())
+	}
+	it.Seek([]byte("040"))
+	if !it.Valid() || string(it.Key()) != "040" {
+		t.Fatalf("Seek(040) at %q", it.Key())
+	}
+	it.Seek([]byte("999"))
+	if it.Valid() {
+		t.Fatal("Seek past end should be invalid")
+	}
+	it.SeekToFirst()
+	if !it.Valid() || string(it.Key()) != "000" {
+		t.Fatalf("SeekToFirst at %q", it.Key())
+	}
+}
+
+func TestQuickAgainstSortedModel(t *testing.T) {
+	f := func(raw [][]byte) bool {
+		l := newList()
+		ref := map[string][]byte{}
+		for i, k := range raw {
+			if _, dup := ref[string(k)]; dup {
+				continue
+			}
+			v := []byte(fmt.Sprint(i))
+			ref[string(k)] = v
+			l.Insert(k, v)
+		}
+		if l.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := l.Get([]byte(k))
+			if !ok || !bytes.Equal(got, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInternalKeyStyleComparator(t *testing.T) {
+	// Comparator: user key ascending, trailing 8-byte seq descending —
+	// the LSM internal key order. Same user key, different seq must
+	// coexist and iterate newest-first.
+	cmp := func(a, b []byte) int {
+		ua, sa := a[:len(a)-8], a[len(a)-8:]
+		ub, sb := b[:len(b)-8], b[len(b)-8:]
+		if c := bytes.Compare(ua, ub); c != 0 {
+			return c
+		}
+		return -bytes.Compare(sa, sb)
+	}
+	l := New(cmp)
+	mk := func(k string, seq byte) []byte {
+		return append([]byte(k), 0, 0, 0, 0, 0, 0, 0, seq)
+	}
+	l.Insert(mk("k", 1), []byte("old"))
+	l.Insert(mk("k", 2), []byte("new"))
+	it := l.NewIterator()
+	it.Seek(mk("k", 255)) // seeks to highest seq for "k"
+	if !it.Valid() || string(it.Value()) != "new" {
+		t.Fatalf("newest-first seek got %q", it.Value())
+	}
+}
+
+func TestMemoryUsageGrows(t *testing.T) {
+	l := newList()
+	before := l.MemoryUsage()
+	big := make([]byte, arenaBlock) // takes the large-value path
+	l.Insert([]byte("k"), big)
+	if l.MemoryUsage() <= before {
+		t.Fatal("MemoryUsage did not grow")
+	}
+}
+
+func TestArenaLargeAndSmallMix(t *testing.T) {
+	a := newArena()
+	big := make([]byte, arenaBlock)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	small := []byte("small")
+	gb := a.copy(big)
+	gs := a.copy(small)
+	if !bytes.Equal(gb, big) || !bytes.Equal(gs, small) {
+		t.Fatal("arena copies corrupt")
+	}
+	if a.copy(nil) != nil {
+		t.Fatal("empty copy should be nil")
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	l := newList()
+	key := make([]byte, 16)
+	val := make([]byte, 100)
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 8; j++ {
+			key[j] = byte(i >> (8 * j))
+		}
+		key[8] = byte(i >> 24) // keep unique
+		l.Insert(append([]byte(nil), key...), val)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	l := newList()
+	for i := 0; i < 10000; i++ {
+		k := []byte(fmt.Sprintf("key-%08d", i))
+		l.Insert(k, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Get([]byte(fmt.Sprintf("key-%08d", i%10000)))
+	}
+}

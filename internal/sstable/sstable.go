@@ -1,0 +1,467 @@
+// Package sstable implements LevelDB-format sorted string tables: data
+// blocks with prefix-compressed entries and restart points, an index
+// block, a footer, and a CRC32C per block.
+//
+// The LSM baseline writes SSTables when memtables spill; the paper's
+// experiment disables compaction to keep the measurement inside PM, but
+// the full structure is implemented (and benchmarked separately) so the
+// baseline is the real system, not a mock.
+package sstable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"packetstore/internal/checksum"
+)
+
+const (
+	// restartInterval is how many entries share a prefix-compression run.
+	restartInterval = 16
+	// targetBlockSize is the uncompressed data-block size threshold.
+	targetBlockSize = 4 << 10
+	// blockTrailerSize is type byte + CRC32C.
+	blockTrailerSize = 5
+	// footerSize holds the index block handle (2 varints padded) + magic.
+	footerSize = 24
+)
+
+var magic = []byte("SSTBLv1\x00")
+
+// ErrCorrupt reports a structural or checksum failure.
+var ErrCorrupt = errors.New("sstable: corrupt table")
+
+// handle locates a block within the file.
+type handle struct {
+	off, size uint64
+}
+
+func (h handle) encode(dst []byte) int {
+	n := binary.PutUvarint(dst, h.off)
+	return n + binary.PutUvarint(dst[n:], h.size)
+}
+
+func decodeHandle(b []byte) (handle, int, error) {
+	off, n1 := binary.Uvarint(b)
+	if n1 <= 0 {
+		return handle{}, 0, ErrCorrupt
+	}
+	size, n2 := binary.Uvarint(b[n1:])
+	if n2 <= 0 {
+		return handle{}, 0, ErrCorrupt
+	}
+	return handle{off, size}, n1 + n2, nil
+}
+
+// blockBuilder accumulates prefix-compressed entries.
+type blockBuilder struct {
+	buf      []byte
+	restarts []uint32
+	count    int
+	lastKey  []byte
+}
+
+func (b *blockBuilder) add(key, val []byte) {
+	shared := 0
+	if b.count%restartInterval == 0 {
+		b.restarts = append(b.restarts, uint32(len(b.buf)))
+	} else {
+		n := len(b.lastKey)
+		if len(key) < n {
+			n = len(key)
+		}
+		for shared < n && b.lastKey[shared] == key[shared] {
+			shared++
+		}
+	}
+	var tmp [3 * binary.MaxVarintLen32]byte
+	n := binary.PutUvarint(tmp[:], uint64(shared))
+	n += binary.PutUvarint(tmp[n:], uint64(len(key)-shared))
+	n += binary.PutUvarint(tmp[n:], uint64(len(val)))
+	b.buf = append(b.buf, tmp[:n]...)
+	b.buf = append(b.buf, key[shared:]...)
+	b.buf = append(b.buf, val...)
+	b.lastKey = append(b.lastKey[:0], key...)
+	b.count++
+}
+
+func (b *blockBuilder) finish() []byte {
+	if len(b.restarts) == 0 {
+		b.restarts = append(b.restarts, 0)
+	}
+	for _, r := range b.restarts {
+		var tmp [4]byte
+		binary.LittleEndian.PutUint32(tmp[:], r)
+		b.buf = append(b.buf, tmp[:]...)
+	}
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(b.restarts)))
+	b.buf = append(b.buf, tmp[:]...)
+	return b.buf
+}
+
+func (b *blockBuilder) reset() {
+	b.buf = b.buf[:0]
+	b.restarts = b.restarts[:0]
+	b.count = 0
+	b.lastKey = b.lastKey[:0]
+}
+
+func (b *blockBuilder) sizeEstimate() int { return len(b.buf) + 4*len(b.restarts) + 4 }
+
+func (b *blockBuilder) empty() bool { return b.count == 0 }
+
+// Writer builds an SSTable into a byte buffer. Keys must be added in
+// strictly increasing order under cmp.
+type Writer struct {
+	cmp           func(a, b []byte) int
+	out           []byte
+	data          blockBuilder
+	index         blockBuilder
+	lastKey       []byte
+	pending       bool // an index entry awaits the next block's first key
+	pendingHandle handle
+	n             int
+	firstKey      []byte
+}
+
+// NewWriter returns a Writer ordering keys by cmp (nil means
+// bytes.Compare).
+func NewWriter(cmp func(a, b []byte) int) *Writer {
+	if cmp == nil {
+		cmp = bytes.Compare
+	}
+	return &Writer{cmp: cmp}
+}
+
+// Count returns how many entries were added.
+func (w *Writer) Count() int { return w.n }
+
+// FirstKey and LastKey bound the table (for level placement).
+func (w *Writer) FirstKey() []byte { return w.firstKey }
+
+// LastKey returns the largest key added.
+func (w *Writer) LastKey() []byte { return w.lastKey }
+
+// Add appends an entry. Keys must arrive in strictly increasing order.
+func (w *Writer) Add(key, val []byte) error {
+	if w.lastKey != nil && w.cmp(key, w.lastKey) <= 0 {
+		return fmt.Errorf("sstable: keys out of order")
+	}
+	if w.firstKey == nil {
+		w.firstKey = append([]byte(nil), key...)
+	}
+	if w.pending {
+		w.flushIndexEntry(key)
+	}
+	w.data.add(key, val)
+	w.lastKey = append(w.lastKey[:0], key...)
+	w.n++
+	if w.data.sizeEstimate() >= targetBlockSize {
+		w.finishDataBlock()
+	}
+	return nil
+}
+
+func (w *Writer) finishDataBlock() {
+	if w.data.empty() {
+		return
+	}
+	content := w.data.finish()
+	h := w.emitBlock(content)
+	w.data.reset()
+	w.pending = true
+	w.pendingHandle = h
+}
+
+// flushIndexEntry emits the index entry for the block that just closed,
+// keyed by a separator <= the next block's first key (we simply use the
+// closed block's last key, which is always a valid separator).
+func (w *Writer) flushIndexEntry(_ []byte) {
+	var tmp [2 * binary.MaxVarintLen64]byte
+	n := w.pendingHandle.encode(tmp[:])
+	w.index.add(w.lastKey, tmp[:n])
+	w.pending = false
+}
+
+func (w *Writer) emitBlock(content []byte) handle {
+	off := uint64(len(w.out))
+	w.out = append(w.out, content...)
+	crc := checksum.Mask(checksum.UpdateCRC32C(checksum.CRC32C(content), []byte{0}))
+	w.out = append(w.out, 0) // block type: uncompressed
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], crc)
+	w.out = append(w.out, tmp[:]...)
+	return handle{off: off, size: uint64(len(content))}
+}
+
+// Finish completes the table and returns its bytes.
+func (w *Writer) Finish() []byte {
+	w.finishDataBlock()
+	if w.pending {
+		w.flushIndexEntry(nil)
+	}
+	indexHandle := w.emitBlock(w.index.finish())
+	footer := make([]byte, footerSize)
+	n := indexHandle.encode(footer)
+	_ = n
+	copy(footer[footerSize-len(magic):], magic)
+	w.out = append(w.out, footer...)
+	return w.out
+}
+
+// Reader serves point and range lookups from an SSTable byte image.
+type Reader struct {
+	cmp   func(a, b []byte) int
+	data  []byte
+	index *block
+}
+
+// NewReader opens a table image.
+func NewReader(data []byte, cmp func(a, b []byte) int) (*Reader, error) {
+	if cmp == nil {
+		cmp = bytes.Compare
+	}
+	if len(data) < footerSize {
+		return nil, ErrCorrupt
+	}
+	footer := data[len(data)-footerSize:]
+	if !bytes.Equal(footer[footerSize-len(magic):], magic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	ih, _, err := decodeHandle(footer)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{cmp: cmp, data: data}
+	ib, err := r.readBlock(ih)
+	if err != nil {
+		return nil, err
+	}
+	r.index = ib
+	return r, nil
+}
+
+func (r *Reader) readBlock(h handle) (*block, error) {
+	end := h.off + h.size + blockTrailerSize
+	if end > uint64(len(r.data)) {
+		return nil, ErrCorrupt
+	}
+	content := r.data[h.off : h.off+h.size]
+	trailer := r.data[h.off+h.size : end]
+	wantCRC := checksum.Unmask(binary.LittleEndian.Uint32(trailer[1:5]))
+	gotCRC := checksum.UpdateCRC32C(checksum.CRC32C(content), trailer[:1])
+	if wantCRC != gotCRC {
+		return nil, fmt.Errorf("%w: block checksum", ErrCorrupt)
+	}
+	return newBlock(content)
+}
+
+// Get returns the value stored under key (exact match under cmp).
+func (r *Reader) Get(key []byte) ([]byte, bool, error) {
+	it := r.index.iterator()
+	it.seek(key, r.cmp)
+	if !it.valid() {
+		return nil, false, nil
+	}
+	h, _, err := decodeHandle(it.val)
+	if err != nil {
+		return nil, false, err
+	}
+	blk, err := r.readBlock(h)
+	if err != nil {
+		return nil, false, err
+	}
+	dit := blk.iterator()
+	dit.seek(key, r.cmp)
+	if dit.valid() && r.cmp(dit.key, key) == 0 {
+		return append([]byte(nil), dit.val...), true, nil
+	}
+	return nil, false, nil
+}
+
+// Iterator walks the whole table in key order.
+type Iterator struct {
+	r   *Reader
+	iit *blockIter
+	dit *blockIter
+	err error
+}
+
+// NewIterator returns an iterator positioned before the first entry.
+func (r *Reader) NewIterator() *Iterator {
+	it := &Iterator{r: r, iit: r.index.iterator()}
+	return it
+}
+
+// Seek positions at the first entry with key >= key.
+func (it *Iterator) Seek(key []byte) {
+	it.iit.seek(key, it.r.cmp)
+	it.dit = nil
+	if !it.iit.valid() {
+		return
+	}
+	if !it.loadDataBlock() {
+		return
+	}
+	it.dit.seek(key, it.r.cmp)
+	it.skipExhausted()
+}
+
+// SeekToFirst positions at the smallest entry.
+func (it *Iterator) SeekToFirst() {
+	it.iit.seekToFirst()
+	it.dit = nil
+	if !it.iit.valid() {
+		return
+	}
+	if !it.loadDataBlock() {
+		return
+	}
+	it.dit.seekToFirst()
+	it.skipExhausted()
+}
+
+// Next advances the iterator.
+func (it *Iterator) Next() {
+	if it.dit == nil {
+		return
+	}
+	it.dit.next()
+	it.skipExhausted()
+}
+
+func (it *Iterator) skipExhausted() {
+	for it.dit != nil && !it.dit.valid() {
+		it.iit.next()
+		if !it.iit.valid() {
+			it.dit = nil
+			return
+		}
+		if !it.loadDataBlock() {
+			return
+		}
+		it.dit.seekToFirst()
+	}
+}
+
+func (it *Iterator) loadDataBlock() bool {
+	h, _, err := decodeHandle(it.iit.val)
+	if err != nil {
+		it.err = err
+		it.dit = nil
+		return false
+	}
+	blk, err := it.r.readBlock(h)
+	if err != nil {
+		it.err = err
+		it.dit = nil
+		return false
+	}
+	it.dit = blk.iterator()
+	return true
+}
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iterator) Valid() bool { return it.err == nil && it.dit != nil && it.dit.valid() }
+
+// Key returns the current key.
+func (it *Iterator) Key() []byte { return it.dit.key }
+
+// Value returns the current value.
+func (it *Iterator) Value() []byte { return it.dit.val }
+
+// Err returns the first error encountered.
+func (it *Iterator) Err() error { return it.err }
+
+// block is a decoded (referenced, not copied) block.
+type block struct {
+	data     []byte // entries region
+	restarts []uint32
+}
+
+func newBlock(content []byte) (*block, error) {
+	if len(content) < 4 {
+		return nil, ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint32(content[len(content)-4:]))
+	restartsOff := len(content) - 4 - 4*n
+	if n <= 0 || restartsOff < 0 {
+		return nil, ErrCorrupt
+	}
+	b := &block{data: content[:restartsOff]}
+	for i := 0; i < n; i++ {
+		b.restarts = append(b.restarts, binary.LittleEndian.Uint32(content[restartsOff+4*i:]))
+	}
+	return b, nil
+}
+
+type blockIter struct {
+	b        *block
+	off      int
+	key, val []byte
+	ok       bool
+}
+
+func (b *block) iterator() *blockIter { return &blockIter{b: b} }
+
+func (it *blockIter) valid() bool { return it.ok }
+
+func (it *blockIter) seekToFirst() {
+	it.off = 0
+	it.key = it.key[:0]
+	it.next()
+}
+
+// seek positions at the first entry >= key: binary search the restart
+// array, then scan.
+func (it *blockIter) seek(key []byte, cmp func(a, b []byte) int) {
+	lo := sort.Search(len(it.b.restarts), func(i int) bool {
+		k := it.keyAtRestart(i)
+		return cmp(k, key) >= 0
+	})
+	if lo > 0 {
+		lo--
+	}
+	it.off = int(it.b.restarts[lo])
+	it.key = it.key[:0]
+	for it.next(); it.ok && cmp(it.key, key) < 0; it.next() {
+	}
+}
+
+// keyAtRestart decodes the (fully stored) key at restart point i.
+func (it *blockIter) keyAtRestart(i int) []byte {
+	off := int(it.b.restarts[i])
+	shared, n1 := binary.Uvarint(it.b.data[off:])
+	nonShared, n2 := binary.Uvarint(it.b.data[off+n1:])
+	_, n3 := binary.Uvarint(it.b.data[off+n1+n2:])
+	_ = shared // zero at restart points
+	start := off + n1 + n2 + n3
+	return it.b.data[start : start+int(nonShared)]
+}
+
+func (it *blockIter) next() {
+	if it.off >= len(it.b.data) {
+		it.ok = false
+		return
+	}
+	shared, n1 := binary.Uvarint(it.b.data[it.off:])
+	nonShared, n2 := binary.Uvarint(it.b.data[it.off+n1:])
+	valLen, n3 := binary.Uvarint(it.b.data[it.off+n1+n2:])
+	if n1 <= 0 || n2 <= 0 || n3 <= 0 {
+		it.ok = false
+		return
+	}
+	start := it.off + n1 + n2 + n3
+	if start+int(nonShared)+int(valLen) > len(it.b.data) || int(shared) > len(it.key) {
+		it.ok = false
+		return
+	}
+	it.key = append(it.key[:int(shared)], it.b.data[start:start+int(nonShared)]...)
+	it.val = it.b.data[start+int(nonShared) : start+int(nonShared)+int(valLen)]
+	it.off = start + int(nonShared) + int(valLen)
+	it.ok = true
+}

@@ -1,0 +1,256 @@
+package sstable
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func buildTable(t *testing.T, kv map[string]string) *Reader {
+	t.Helper()
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w := NewWriter(nil)
+	for _, k := range keys {
+		if err := w.Add([]byte(k), []byte(kv[k])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := NewReader(w.Finish(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestGetSmallTable(t *testing.T) {
+	kv := map[string]string{"apple": "1", "banana": "2", "cherry": "3"}
+	r := buildTable(t, kv)
+	for k, v := range kv {
+		got, ok, err := r.Get([]byte(k))
+		if err != nil || !ok || string(got) != v {
+			t.Fatalf("Get(%s) = %q,%v,%v", k, got, ok, err)
+		}
+	}
+	for _, absent := range []string{"", "aardvark", "banan", "bananaa", "zzz"} {
+		if _, ok, _ := r.Get([]byte(absent)); ok {
+			t.Fatalf("found absent key %q", absent)
+		}
+	}
+}
+
+func TestLargeTableMultiBlock(t *testing.T) {
+	kv := map[string]string{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("user%06d", rng.Intn(1000000))
+		kv[k] = fmt.Sprintf("value-%d-%s", i, k)
+	}
+	r := buildTable(t, kv)
+	for k, v := range kv {
+		got, ok, err := r.Get([]byte(k))
+		if err != nil || !ok || string(got) != v {
+			t.Fatalf("Get(%s) = %q,%v,%v", k, got, ok, err)
+		}
+	}
+}
+
+func TestIteratorFullScan(t *testing.T) {
+	kv := map[string]string{}
+	for i := 0; i < 3000; i++ {
+		kv[fmt.Sprintf("key%08d", i*7)] = fmt.Sprint(i)
+	}
+	r := buildTable(t, kv)
+	var keys []string
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	it := r.NewIterator()
+	i := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		if string(it.Key()) != keys[i] {
+			t.Fatalf("position %d: %q want %q", i, it.Key(), keys[i])
+		}
+		if string(it.Value()) != kv[keys[i]] {
+			t.Fatalf("value mismatch at %q", it.Key())
+		}
+		i++
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if i != len(keys) {
+		t.Fatalf("scanned %d of %d", i, len(keys))
+	}
+}
+
+func TestIteratorSeek(t *testing.T) {
+	kv := map[string]string{}
+	for i := 0; i < 1000; i++ {
+		kv[fmt.Sprintf("k%05d", i*10)] = "v"
+	}
+	r := buildTable(t, kv)
+	it := r.NewIterator()
+
+	it.Seek([]byte("k00095"))
+	if !it.Valid() || string(it.Key()) != "k00100" {
+		t.Fatalf("Seek between keys: %q", it.Key())
+	}
+	it.Seek([]byte("k00100"))
+	if !it.Valid() || string(it.Key()) != "k00100" {
+		t.Fatalf("Seek exact: %q", it.Key())
+	}
+	it.Seek([]byte("k99999"))
+	if it.Valid() {
+		t.Fatal("Seek past end should be invalid")
+	}
+	it.Seek([]byte(""))
+	if !it.Valid() || string(it.Key()) != "k00000" {
+		t.Fatalf("Seek before start: %q", it.Key())
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	w := NewWriter(nil)
+	r, err := NewReader(w.Finish(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := r.Get([]byte("x")); ok {
+		t.Fatal("empty table found a key")
+	}
+	it := r.NewIterator()
+	it.SeekToFirst()
+	if it.Valid() {
+		t.Fatal("empty table iterator valid")
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	w := NewWriter(nil)
+	w.Add([]byte("b"), nil)
+	if err := w.Add([]byte("a"), nil); err == nil {
+		t.Fatal("out-of-order key accepted")
+	}
+	if err := w.Add([]byte("b"), nil); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	w := NewWriter(nil)
+	for i := 0; i < 100; i++ {
+		w.Add([]byte(fmt.Sprintf("key%04d", i)), []byte("value"))
+	}
+	img := w.Finish()
+
+	// Truncated.
+	if _, err := NewReader(img[:10], nil); err == nil {
+		t.Fatal("truncated table accepted")
+	}
+	// Bad magic.
+	bad := append([]byte(nil), img...)
+	bad[len(bad)-1] ^= 0xff
+	if _, err := NewReader(bad, nil); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Flipped data byte: block CRC must catch it on access.
+	bad = append([]byte(nil), img...)
+	bad[50] ^= 0x01
+	r, err := NewReader(bad, nil)
+	if err == nil {
+		_, _, err = r.Get([]byte("key0000"))
+		if err == nil {
+			t.Fatal("corrupt block served a read")
+		}
+	}
+}
+
+func TestWriterMetadata(t *testing.T) {
+	w := NewWriter(nil)
+	w.Add([]byte("aaa"), []byte("1"))
+	w.Add([]byte("zzz"), []byte("2"))
+	if string(w.FirstKey()) != "aaa" || string(w.LastKey()) != "zzz" || w.Count() != 2 {
+		t.Fatalf("metadata: %q %q %d", w.FirstKey(), w.LastKey(), w.Count())
+	}
+}
+
+func TestQuickRandomTables(t *testing.T) {
+	f := func(raw map[string]string) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := NewWriter(nil)
+		keys := make([]string, 0, len(raw))
+		for k := range raw {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := w.Add([]byte(k), []byte(raw[k])); err != nil {
+				return false
+			}
+		}
+		r, err := NewReader(w.Finish(), nil)
+		if err != nil {
+			return false
+		}
+		for k, v := range raw {
+			got, ok, err := r.Get([]byte(k))
+			if err != nil || !ok || !bytes.Equal(got, []byte(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixCompressionShrinksOutput(t *testing.T) {
+	// Heavily shared prefixes must compress versus unique keys.
+	shared := NewWriter(nil)
+	unique := NewWriter(nil)
+	for i := 0; i < 2000; i++ {
+		shared.Add([]byte(fmt.Sprintf("averylongcommonprefix/%08d", i)), []byte("v"))
+		unique.Add([]byte(fmt.Sprintf("%08d-averylongsuffixpad", i)), []byte("v"))
+	}
+	if len(shared.Finish()) >= len(unique.Finish()) {
+		t.Fatal("prefix compression ineffective")
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	w := NewWriter(nil)
+	for i := 0; i < 100000; i++ {
+		w.Add([]byte(fmt.Sprintf("key%08d", i)), []byte("0123456789abcdef"))
+	}
+	r, err := NewReader(w.Finish(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Get([]byte(fmt.Sprintf("key%08d", (i*7919)%100000)))
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	val := make([]byte, 100)
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(nil)
+		for j := 0; j < 1000; j++ {
+			w.Add([]byte(fmt.Sprintf("key%08d", j)), val)
+		}
+		w.Finish()
+	}
+}

@@ -1,0 +1,164 @@
+// Package tcp implements a reliable transport over the simulated NIC and
+// fabric: three-way handshake, cumulative and delayed acknowledgements,
+// flow control, Reno congestion control with fast retransmit, retransmission
+// timeout with Karn-adjusted RTT estimation, out-of-order reassembly in a
+// red-black tree, and connection teardown.
+//
+// The implementation is deliberately structured the way the paper describes
+// production stacks (§4.1): every segment is a pkt.Buf; the retransmission
+// queue holds the payload buffers while transmitted copies travel down the
+// stack; received payloads are handed to the application as packet buffers
+// (ReadBufs) without copying, carrying the NIC's checksum state and
+// hardware timestamps — the raw material the packetstore persists.
+package tcp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"packetstore/internal/checksum"
+	"packetstore/internal/ipv4"
+)
+
+// Header flags.
+const (
+	flagFIN = 0x01
+	flagSYN = 0x02
+	flagRST = 0x04
+	flagPSH = 0x08
+	flagACK = 0x10
+)
+
+// headerLen is the TCP header size without options.
+const headerLen = 20
+
+// mssOptLen is the encoded size of the MSS option.
+const mssOptLen = 4
+
+// header is a decoded TCP header.
+type header struct {
+	srcPort, dstPort uint16
+	seq, ack         uint32
+	dataOff          int // bytes
+	flags            uint8
+	wnd              uint16
+	csum             uint16
+	mss              uint16 // from options; 0 if absent
+}
+
+func (h header) String() string {
+	fl := ""
+	for _, f := range []struct {
+		bit  uint8
+		name string
+	}{{flagSYN, "S"}, {flagACK, "."}, {flagFIN, "F"}, {flagRST, "R"}, {flagPSH, "P"}} {
+		if h.flags&f.bit != 0 {
+			fl += f.name
+		}
+	}
+	return fmt.Sprintf("%d>%d seq=%d ack=%d wnd=%d [%s]", h.srcPort, h.dstPort, h.seq, h.ack, h.wnd, fl)
+}
+
+// encode writes the header (and MSS option if h.mss != 0) into b and
+// returns the header length. The checksum field is left zero.
+func (h header) encode(b []byte) int {
+	doff := headerLen
+	if h.mss != 0 {
+		doff += mssOptLen
+	}
+	binary.BigEndian.PutUint16(b[0:2], h.srcPort)
+	binary.BigEndian.PutUint16(b[2:4], h.dstPort)
+	binary.BigEndian.PutUint32(b[4:8], h.seq)
+	binary.BigEndian.PutUint32(b[8:12], h.ack)
+	b[12] = byte(doff/4) << 4
+	b[13] = h.flags
+	binary.BigEndian.PutUint16(b[14:16], h.wnd)
+	b[16], b[17] = 0, 0 // checksum
+	b[18], b[19] = 0, 0 // urgent
+	if h.mss != 0 {
+		b[20], b[21] = 2, 4
+		binary.BigEndian.PutUint16(b[22:24], h.mss)
+	}
+	return doff
+}
+
+// decodeHeader parses a TCP header from b (the TCP segment).
+func decodeHeader(b []byte) (header, error) {
+	if len(b) < headerLen {
+		return header{}, fmt.Errorf("tcp: segment too short (%d)", len(b))
+	}
+	var h header
+	h.srcPort = binary.BigEndian.Uint16(b[0:2])
+	h.dstPort = binary.BigEndian.Uint16(b[2:4])
+	h.seq = binary.BigEndian.Uint32(b[4:8])
+	h.ack = binary.BigEndian.Uint32(b[8:12])
+	h.dataOff = int(b[12]>>4) * 4
+	if h.dataOff < headerLen || h.dataOff > len(b) {
+		return header{}, fmt.Errorf("tcp: bad data offset %d", h.dataOff)
+	}
+	h.flags = b[13]
+	h.wnd = binary.BigEndian.Uint16(b[14:16])
+	h.csum = binary.BigEndian.Uint16(b[16:18])
+	// Options: only MSS (kind 2) is interpreted.
+	opts := b[headerLen:h.dataOff]
+	for len(opts) > 0 {
+		switch opts[0] {
+		case 0: // end of options
+			opts = nil
+		case 1: // nop
+			opts = opts[1:]
+		default:
+			if len(opts) < 2 || int(opts[1]) > len(opts) || opts[1] < 2 {
+				return header{}, fmt.Errorf("tcp: malformed option")
+			}
+			if opts[0] == 2 && opts[1] == 4 {
+				h.mss = binary.BigEndian.Uint16(opts[2:4])
+			}
+			opts = opts[opts[1]:]
+		}
+	}
+	return h, nil
+}
+
+// verifyChecksum validates a whole TCP segment against the IPv4 pseudo
+// header.
+func verifyChecksum(src, dst ipv4.Addr, seg []byte) bool {
+	sum := checksum.PseudoHeaderSum(src, dst, ipv4.ProtoTCP, len(seg))
+	sum = checksum.Combine(sum, checksum.Partial(0, seg))
+	return checksum.Fold(sum) == 0xffff
+}
+
+// Sequence-space comparisons with wraparound (RFC 793 arithmetic).
+func seqLT(a, b uint32) bool  { return int32(a-b) < 0 }
+func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+func seqGT(a, b uint32) bool  { return int32(a-b) > 0 }
+func seqGEQ(a, b uint32) bool { return int32(a-b) >= 0 }
+
+// state is the TCP connection state.
+type state int
+
+const (
+	stateClosed state = iota
+	stateListen
+	stateSynSent
+	stateSynRcvd
+	stateEstablished
+	stateFinWait1
+	stateFinWait2
+	stateCloseWait
+	stateClosing
+	stateLastAck
+	stateTimeWait
+)
+
+var stateNames = [...]string{
+	"Closed", "Listen", "SynSent", "SynRcvd", "Established",
+	"FinWait1", "FinWait2", "CloseWait", "Closing", "LastAck", "TimeWait",
+}
+
+func (s state) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}

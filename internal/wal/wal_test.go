@@ -1,0 +1,148 @@
+package wal
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, recs [][]byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, want := range recs {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d mismatch: %d vs %d bytes", i, len(got), len(want))
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestSmallRecords(t *testing.T) {
+	roundTrip(t, [][]byte{[]byte("one"), []byte("two"), {}, []byte("three")})
+}
+
+func TestRecordSpanningBlocks(t *testing.T) {
+	big := make([]byte, 3*BlockSize+123)
+	rand.New(rand.NewSource(1)).Read(big)
+	roundTrip(t, [][]byte{[]byte("pre"), big, []byte("post")})
+}
+
+func TestRecordExactlyFillingBlock(t *testing.T) {
+	roundTrip(t, [][]byte{
+		make([]byte, BlockSize-headerSize),
+		make([]byte, BlockSize-2*headerSize),
+		[]byte("after"),
+	})
+}
+
+func TestBlockTailPadding(t *testing.T) {
+	// First record leaves < headerSize in the block, forcing padding.
+	roundTrip(t, [][]byte{
+		make([]byte, BlockSize-headerSize-3),
+		[]byte("next-block"),
+	})
+}
+
+func TestManyRandomRecords(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var recs [][]byte
+	for i := 0; i < 500; i++ {
+		r := make([]byte, rng.Intn(2000))
+		rng.Read(r)
+		recs = append(recs, r)
+	}
+	roundTrip(t, recs)
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(recs [][]byte) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, r := range recs {
+			if err := w.Append(r); err != nil {
+				return false
+			}
+		}
+		rd := NewReader(&buf)
+		for _, want := range recs {
+			got, err := rd.Next()
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		_, err := rd.Next()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Append([]byte("good record"))
+	w.Append([]byte("will be damaged"))
+	raw := buf.Bytes()
+	raw[headerSize+11+headerSize+3] ^= 0x40 // flip a bit in record 2's body
+
+	r := NewReader(bytes.NewReader(raw))
+	got, err := r.Next()
+	if err != nil || string(got) != "good record" {
+		t.Fatalf("first record: %q %v", got, err)
+	}
+	if _, err := r.Next(); err != ErrCorrupt {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Append([]byte("intact"))
+	big := make([]byte, 2*BlockSize)
+	w.Append(big)
+	// Truncate mid-record (simulating a crash during append).
+	raw := buf.Bytes()[:BlockSize+100]
+
+	r := NewReader(bytes.NewReader(raw))
+	if got, err := r.Next(); err != nil || string(got) != "intact" {
+		t.Fatalf("first: %q %v", got, err)
+	}
+	if _, err := r.Next(); err != ErrCorrupt && err != io.EOF {
+		t.Fatalf("torn tail: %v", err)
+	}
+}
+
+func TestWrittenCounter(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Append(make([]byte, 100))
+	if w.Written() != int64(buf.Len()) || w.Written() != 107 {
+		t.Fatalf("Written=%d buf=%d", w.Written(), buf.Len())
+	}
+}
+
+func BenchmarkAppend1K(b *testing.B) {
+	w := NewWriter(io.Discard)
+	rec := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		w.Append(rec)
+	}
+}

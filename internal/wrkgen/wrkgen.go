@@ -1,0 +1,203 @@
+// Package wrkgen is the load generator: the role wrk plays on the paper's
+// testbed. It opens N persistent connections, issues continual storage
+// requests, and reports throughput and a latency distribution.
+package wrkgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"packetstore/internal/hdrhist"
+	"packetstore/internal/kvclient"
+)
+
+// Dist selects the key distribution.
+type Dist int
+
+// Distributions.
+const (
+	DistSeq Dist = iota
+	DistUniform
+	DistZipf
+)
+
+// Config describes a workload.
+type Config struct {
+	// Conns is the number of concurrent persistent connections.
+	Conns int
+	// Duration bounds the measured run (after Warmup).
+	Duration time.Duration
+	// Warmup runs load without recording.
+	Warmup time.Duration
+	// Requests, when > 0, bounds the total measured requests instead of
+	// Duration.
+	Requests int
+	// ValueSize is the PUT payload size (the paper uses 1KB).
+	ValueSize int
+	// KeySpace is the number of distinct keys.
+	KeySpace int
+	// KeyDist selects how keys are drawn.
+	KeyDist Dist
+	// PutPct/GetPct/DeletePct are the operation mix out of 100; the
+	// remainder is GETs.
+	PutPct    int
+	DeletePct int
+	// Seed makes runs reproducible; each connection derives its own
+	// stream.
+	Seed int64
+}
+
+// Result aggregates a run.
+type Result struct {
+	Requests uint64
+	Errors   uint64
+	Elapsed  time.Duration
+	Hist     hdrhist.Hist
+}
+
+// Throughput returns requests per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// String summarizes the result.
+func (r Result) String() string {
+	return fmt.Sprintf("%.0f req/s, %s", r.Throughput(), r.Hist.String())
+}
+
+// Dialer opens workload connections.
+type Dialer func() (kvclient.Conn, error)
+
+// Run executes the workload and blocks until done.
+func Run(cfg Config, dial Dialer) (Result, error) {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 1
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 1024
+	}
+	if cfg.KeySpace <= 0 {
+		cfg.KeySpace = 10000
+	}
+	if cfg.PutPct == 0 && cfg.DeletePct == 0 {
+		cfg.PutPct = 100
+	}
+	if cfg.Duration <= 0 && cfg.Requests <= 0 {
+		cfg.Duration = time.Second
+	}
+
+	type connResult struct {
+		reqs, errs uint64
+		hist       hdrhist.Hist
+		err        error
+	}
+	results := make([]connResult, cfg.Conns)
+	var wg sync.WaitGroup
+
+	var startMeasure, stop time.Time
+	measureStart := time.Now().Add(cfg.Warmup)
+	if cfg.Duration > 0 {
+		stop = measureStart.Add(cfg.Duration)
+	}
+	startMeasure = measureStart
+
+	perConnReqs := 0
+	if cfg.Requests > 0 {
+		perConnReqs = (cfg.Requests + cfg.Conns - 1) / cfg.Conns
+	}
+
+	for ci := 0; ci < cfg.Conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			res := &results[ci]
+			conn, err := dial()
+			if err != nil {
+				res.err = err
+				return
+			}
+			cl := kvclient.New(conn)
+			defer cl.Close()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*7919))
+			var zipf *rand.Zipf
+			if cfg.KeyDist == DistZipf {
+				zipf = rand.NewZipf(rng, 1.1, 1, uint64(cfg.KeySpace-1))
+			}
+			value := make([]byte, cfg.ValueSize)
+			rng.Read(value)
+			seqKey := ci // stride sequential keys across connections
+
+			measured := 0
+			for {
+				now := time.Now()
+				if perConnReqs > 0 {
+					if measured >= perConnReqs {
+						return
+					}
+				} else if now.After(stop) {
+					return
+				}
+				var keyID int
+				switch cfg.KeyDist {
+				case DistSeq:
+					keyID = seqKey % cfg.KeySpace
+					seqKey += cfg.Conns
+				case DistUniform:
+					keyID = rng.Intn(cfg.KeySpace)
+				case DistZipf:
+					keyID = int(zipf.Uint64())
+				}
+				key := []byte(fmt.Sprintf("key%012d", keyID))
+
+				op := rng.Intn(100)
+				t0 := time.Now()
+				var err error
+				switch {
+				case op < cfg.PutPct:
+					err = cl.Put(key, value)
+				case op < cfg.PutPct+cfg.DeletePct:
+					_, err = cl.Delete(key)
+				default:
+					_, _, err = cl.Get(key)
+				}
+				lat := time.Since(t0)
+				if t0.After(startMeasure) {
+					measured++
+					res.reqs++
+					if err != nil {
+						res.errs++
+					} else {
+						res.hist.Record(lat)
+					}
+				}
+				if err != nil {
+					res.err = err
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+
+	var out Result
+	var firstErr error
+	for i := range results {
+		out.Requests += results[i].reqs
+		out.Errors += results[i].errs
+		out.Hist.Merge(&results[i].hist)
+		if results[i].err != nil && firstErr == nil {
+			firstErr = results[i].err
+		}
+	}
+	if cfg.Duration > 0 {
+		out.Elapsed = cfg.Duration
+	} else {
+		out.Elapsed = time.Since(startMeasure)
+	}
+	return out, firstErr
+}

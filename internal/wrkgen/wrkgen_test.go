@@ -1,0 +1,152 @@
+package wrkgen
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"packetstore/internal/httpmsg"
+	"packetstore/internal/kvclient"
+)
+
+// fakeConn is an in-process server speaking just enough of the protocol.
+type fakeConn struct {
+	mu      sync.Mutex
+	pending bytes.Buffer
+	parser  *httpmsg.RequestParser
+	closed  bool
+	puts    *int64
+	gets    *int64
+	countMu *sync.Mutex
+}
+
+func newFakeDialer() (Dialer, *int64, *int64, *sync.Mutex) {
+	var puts, gets int64
+	var mu sync.Mutex
+	return func() (kvclient.Conn, error) {
+		return &fakeConn{parser: httpmsg.NewRequestParser(0), puts: &puts, gets: &gets, countMu: &mu}, nil
+	}, &puts, &gets, &mu
+}
+
+func (c *fakeConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, errors.New("closed")
+	}
+	rest := p
+	for len(rest) > 0 {
+		res := c.parser.Feed(rest)
+		if res.Err != nil {
+			return 0, res.Err
+		}
+		rest = rest[res.Consumed:]
+		if res.Done {
+			req := c.parser.Request()
+			c.countMu.Lock()
+			switch req.Method {
+			case "PUT":
+				*c.puts++
+				c.pending.Write(httpmsg.AppendResponse(nil, 200, 0))
+			case "GET":
+				*c.gets++
+				c.pending.Write(httpmsg.AppendResponse(nil, 404, 0))
+			case "DELETE":
+				c.pending.Write(httpmsg.AppendResponse(nil, 204, 0))
+			}
+			c.countMu.Unlock()
+			c.parser.Reset()
+		}
+	}
+	return len(p), nil
+}
+
+func (c *fakeConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pending.Len() == 0 {
+		if c.closed {
+			return 0, io.EOF
+		}
+		return 0, errors.New("fakeConn: read with nothing pending")
+	}
+	return c.pending.Read(p)
+}
+
+func (c *fakeConn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return nil
+}
+
+func TestRunRequestsMode(t *testing.T) {
+	dial, puts, _, mu := newFakeDialer()
+	res, err := Run(Config{
+		Conns: 4, Requests: 100, ValueSize: 64,
+		KeySpace: 10, PutPct: 100, Seed: 1,
+	}, dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests < 100 {
+		t.Fatalf("%d requests, want >= 100", res.Requests)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors", res.Errors)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if *puts < 100 {
+		t.Fatalf("server saw %d puts", *puts)
+	}
+	if res.Hist.Count() == 0 || res.Throughput() <= 0 {
+		t.Fatal("no latency samples or throughput")
+	}
+	if res.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestRunDurationModeWithMix(t *testing.T) {
+	dial, puts, gets, mu := newFakeDialer()
+	res, err := Run(Config{
+		Conns: 2, Duration: 100 * time.Millisecond, Warmup: 20 * time.Millisecond,
+		ValueSize: 32, KeySpace: 100, KeyDist: DistUniform,
+		PutPct: 50, DeletePct: 10, Seed: 3,
+	}, dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests in duration mode")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if *puts == 0 || *gets == 0 {
+		t.Fatalf("mix not exercised: %d puts %d gets", *puts, *gets)
+	}
+}
+
+func TestRunZipf(t *testing.T) {
+	dial, _, _, _ := newFakeDialer()
+	res, err := Run(Config{
+		Conns: 1, Requests: 50, KeySpace: 1000, KeyDist: DistZipf,
+		PutPct: 100, Seed: 5,
+	}, dial)
+	if err != nil || res.Requests < 50 {
+		t.Fatalf("%v %d", err, res.Requests)
+	}
+}
+
+func TestRunDialFailure(t *testing.T) {
+	wantErr := errors.New("dial boom")
+	_, err := Run(Config{Conns: 2, Requests: 10},
+		func() (kvclient.Conn, error) { return nil, wantErr })
+	if err != wantErr {
+		t.Fatalf("got %v", err)
+	}
+}

@@ -1,0 +1,81 @@
+package packetstore
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestClusterQuickstartFlow(t *testing.T) {
+	cluster, err := NewCluster(ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	cl, err := cluster.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	val := []byte("hello persistent packets")
+	if err := cl.Put([]byte("greeting"), val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := cl.Get([]byte("greeting"))
+	if err != nil || !ok || !bytes.Equal(got, val) {
+		t.Fatalf("get: %q %v %v", got, ok, err)
+	}
+	if cluster.Store.Len() != 1 {
+		t.Fatalf("store has %d records", cluster.Store.Len())
+	}
+	st := cluster.ServerStats()
+	if st.ZeroCopyPuts != 1 {
+		t.Fatalf("zero-copy path inactive: %+v", st)
+	}
+}
+
+func TestClusterSurvivesReboot(t *testing.T) {
+	cluster, err := NewCluster(ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := cluster.Dial()
+	if err := cl.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	region := cluster.Region
+	cluster.Close()
+
+	region.Crash(rand.New(rand.NewSource(1)))
+
+	cluster2, err := NewCluster(ClusterConfig{Region: region})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster2.Close()
+	cl2, _ := cluster2.Dial()
+	got, ok, err := cl2.Get([]byte("k"))
+	if err != nil || !ok || string(got) != "v" {
+		t.Fatalf("after reboot: %q %v %v", got, ok, err)
+	}
+}
+
+func TestDirectStoreAPI(t *testing.T) {
+	r := NewRegion(StoreConfig{}.RegionSize(), NoLatencyProfile())
+	s, err := Open(r, StoreConfig{VerifyOnGet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("direct"), []byte("api")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get([]byte("direct"))
+	if err != nil || !ok || string(v) != "api" {
+		t.Fatalf("%q %v %v", v, ok, err)
+	}
+	if String() == "" {
+		t.Fatal("empty String")
+	}
+}
