@@ -4,11 +4,13 @@
 //
 // Usage:
 //
-//	pktbench -experiment table1|figure2|table2|ablation|figure3|recovery|metasize|all \
-//	         [-profile paper|fast|off] [-requests N] [-duration D] [-conns 1,25,50,75,100]
+//	pktbench -experiment table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|all \
+//	         [-profile paper|fast|off] [-requests N] [-duration D] [-conns 1,25,50,75,100] \
+//	         [-shards 1,2,4,8] [-json FILE]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,11 +24,13 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1|figure2|table2|ablation|figure3|recovery|metasize|all")
+		experiment = flag.String("experiment", "all", "table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|all")
 		profile    = flag.String("profile", "paper", "latency profile: paper|fast|off")
 		requests   = flag.Int("requests", 4000, "requests per RTT measurement")
 		duration   = flag.Duration("duration", time.Second, "measurement window per throughput point")
 		connsFlag  = flag.String("conns", "1,25,50,75,100", "connection counts for figure sweeps")
+		shardsFlag = flag.String("shards", "1,2,4,8", "shard counts for the scaling sweep")
+		jsonPath   = flag.String("json", "", "also write the scaling result as JSON to FILE")
 	)
 	flag.Parse()
 
@@ -35,15 +39,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
 		os.Exit(2)
 	}
-	var conns []int
-	for _, f := range strings.Split(*connsFlag, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || n <= 0 {
-			fmt.Fprintf(os.Stderr, "bad -conns entry %q\n", f)
-			os.Exit(2)
+	parseInts := func(flagName, s string) []int {
+		var out []int
+		for _, f := range strings.Split(s, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "bad -%s entry %q\n", flagName, f)
+				os.Exit(2)
+			}
+			out = append(out, n)
 		}
-		conns = append(conns, n)
+		return out
 	}
+	conns := parseInts("conns", *connsFlag)
+	shards := parseInts("shards", *shardsFlag)
 
 	run := func(name string, fn func() error) {
 		fmt.Printf("=== %s (profile %s) ===\n", name, prof.Name)
@@ -124,6 +133,32 @@ func main() {
 				return err
 			}
 			res.Print(os.Stdout)
+			return nil
+		})
+	}
+	if want("scaling") {
+		run("E8 scaling", func() error {
+			// The scaling sweep defaults to the issue's grid: shards
+			// 1,2,4,8 x 25,100 connections.
+			sc := conns
+			if *connsFlag == "1,25,50,75,100" {
+				sc = []int{25, 100}
+			}
+			res, err := bench.RunScaling(prof, shards, sc, *duration)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			if *jsonPath != "" {
+				blob, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *jsonPath)
+			}
 			return nil
 		})
 	}

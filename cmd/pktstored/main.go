@@ -30,25 +30,36 @@ func main() {
 		pmPath    = flag.String("pm", "pktstored.img", "persistent-memory image file")
 		metaSlots = flag.Int("meta-slots", 65536, "metadata slots (fixed at image creation)")
 		dataSlots = flag.Int("data-slots", 65536, "data slots (fixed at image creation)")
+		shards    = flag.Int("shards", 1, "store partitions (fixed at image creation; slots are per shard)")
 	)
 	flag.Parse()
+	if *shards < 1 {
+		fatal(fmt.Errorf("-shards must be >= 1, got %d", *shards))
+	}
 
 	cfg := core.Config{MetaSlots: *metaSlots, DataSlots: *dataSlots, VerifyOnGet: true}
-	r, err := pmem.OpenFile(*pmPath, cfg.RegionSize(), calib.Off())
+	// Single-shard images keep the exact pre-sharding size, so existing
+	// image files stay openable.
+	size := cfg.RegionSize()
+	if *shards > 1 {
+		size = core.ShardedRegionSize(cfg, *shards)
+	}
+	r, err := pmem.OpenFile(*pmPath, size, calib.Off())
 	if err != nil {
 		fatal(err)
 	}
-	store, err := core.Open(r, cfg)
+	ss, err := core.OpenSharded(r, cfg, *shards)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("pktstored: %d records recovered from %s\n", store.Len(), *pmPath)
+	fmt.Printf("pktstored: %d records recovered from %s (%d shards)\n",
+		ss.Len(), *pmPath, ss.Shards())
 
 	lst, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatal(err)
 	}
-	srv := kvserver.NewNetServer(lst, kvserver.PktStore{S: store})
+	srv := kvserver.NewNetServer(lst, kvserver.ShardedPktStore{S: ss})
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -32,8 +32,10 @@ import (
 	"packetstore/internal/kvclient"
 	"packetstore/internal/kvserver"
 	"packetstore/internal/lsm"
+	"packetstore/internal/nic"
 	"packetstore/internal/pmem"
 	"packetstore/internal/rawpm"
+	"packetstore/internal/tcp"
 	"packetstore/internal/wrkgen"
 )
 
@@ -42,6 +44,7 @@ type deployment struct {
 	tb    *host.Testbed
 	srv   *kvserver.Server
 	store *core.Store
+	ss    *core.ShardedStore // sharded pktstore deployments
 	db    *lsm.DB
 	pm    *pmem.Region
 }
@@ -51,11 +54,31 @@ func (d *deployment) close() {
 	d.tb.Close()
 	// Deployments hold multi-hundred-MB regions; reclaim them now so GC
 	// work does not bleed into the next measurement on a small host.
-	d.pm, d.store, d.db = nil, nil, nil
+	d.pm, d.store, d.ss, d.db = nil, nil, nil, nil
 	runtime.GC()
 }
 
 func (d *deployment) dial() (kvclient.Conn, error) { return d.tb.Dial(80) }
+
+// align wires the hash-alignment invariant into a workload config: each
+// connection learns its server RSS queue and draws keys from that
+// queue's shard subspace, so every PUT arrives at the loop owning its
+// shard. A no-op for unsharded deployments.
+func (d *deployment) align(cfg wrkgen.Config) wrkgen.Config {
+	if d.ss == nil || d.ss.Shards() == 1 {
+		return cfg
+	}
+	n := d.ss.Shards()
+	serverIP := d.tb.Server.IP
+	cfg.QueueOf = func(c kvclient.Conn) int {
+		tc := c.(*tcp.Conn)
+		ip, port := tc.LocalAddr()
+		// The server NIC hashes incoming frames: src = client, dst = server.
+		return nic.RSSQueue(ip, serverIP, port, 80, n)
+	}
+	cfg.ShardOfKey = func(k []byte) int { return core.ShardOf(k, n) }
+	return cfg
+}
 
 // backendKind selects the server configuration.
 type backendKind int
@@ -72,7 +95,8 @@ type deployOptions struct {
 	profile    calib.Profile
 	kind       backendKind
 	storeCfg   core.Config // pktstore
-	zeroCopy   bool        // pktstore: PM rx pool
+	shards     int         // pktstore: partitions (= RSS queues = server loops)
+	zeroCopy   bool        // pktstore: PM rx pool(s)
 	pmBytes    int         // region size for rawpm / novelsm
 	noPersist  bool        // zero the PM flush/fence latencies (Table 1 methodology)
 	noChecksum bool        // disable the LSM's checksum phase
@@ -123,6 +147,20 @@ func deploy(opt deployOptions) (*deployment, error) {
 		}
 		if cfg.DataSlots == 0 {
 			cfg.DataSlots = 1 << 16
+		}
+		if opt.shards > 1 {
+			d.pm = pmem.New(core.ShardedRegionSize(cfg, opt.shards), pmProf)
+			ss, err := core.OpenSharded(d.pm, cfg, opt.shards)
+			if err != nil {
+				return nil, err
+			}
+			d.ss = ss
+			d.store = ss.Shard(0)
+			backend = kvserver.ShardedPktStore{S: ss}
+			if opt.zeroCopy {
+				hostOpt.ServerRxPools = ss.Pools()
+			}
+			break
 		}
 		d.pm = pmem.New(cfg.RegionSize(), pmProf)
 		store, err := core.Open(d.pm, cfg)

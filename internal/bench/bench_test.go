@@ -101,6 +101,31 @@ func TestAblationSmoke(t *testing.T) {
 	}
 }
 
+func TestScalingSmoke(t *testing.T) {
+	res, err := RunScaling(calib.Off(), []int{1, 2}, []int{4}, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Throughput <= 0 {
+			t.Fatalf("zero throughput at %d shards", p.Shards)
+		}
+		if p.Puts == 0 || p.ZeroCopyPuts != p.Puts {
+			// Aligned load means every PUT must take the zero-copy path,
+			// at every shard count — the hash-alignment invariant.
+			t.Fatalf("%d shards: %d/%d PUTs zero-copy", p.Shards, p.ZeroCopyPuts, p.Puts)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("Speedup")) {
+		t.Fatal("print output missing speedups")
+	}
+}
+
 func TestRecoverySmoke(t *testing.T) {
 	res, err := RunRecovery(calib.Off(), []int{500, 2000})
 	if err != nil {

@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"io"
+	"time"
+
+	"packetstore/internal/calib"
+	"packetstore/internal/wrkgen"
+)
+
+// ScalingPoint is one (shards, connections) measurement.
+type ScalingPoint struct {
+	Shards int
+	Conns  int
+	// Throughput is measured req/s.
+	Throughput float64
+	MeanLatUs  float64
+	P99LatUs   float64
+	// Puts / ZeroCopyPuts verify the hash-alignment invariant held: with
+	// aligned clients every PUT should take the zero-copy path.
+	Puts         uint64
+	ZeroCopyPuts uint64
+	// LoopRequests / LoopBusyUs are each event loop's request count and
+	// serving wall time. Their spread shows how evenly RSS + key
+	// hashing split the load over the shards.
+	LoopRequests []uint64
+	LoopBusyUs   []float64
+}
+
+// Balance reports how evenly requests spread over the loops: total
+// requests over (loops x busiest loop). 1.0 is a perfect split; 1/N
+// means one loop served everything. Wall-clock speedup on a host with
+// >= shards idle CPUs approaches shards x Balance.
+func (p ScalingPoint) Balance() float64 {
+	var busiest, total uint64
+	for _, n := range p.LoopRequests {
+		total += n
+		if n > busiest {
+			busiest = n
+		}
+	}
+	if busiest == 0 {
+		return 0
+	}
+	return float64(total) / (float64(len(p.LoopRequests)) * float64(busiest))
+}
+
+// ScalingResult reproduces experiment E8: continual 1KB writes against
+// the packetstore partitioned 1..N ways, with NIC RSS queues, PM
+// partitions and server event loops scaled together. The single-shard
+// row is exactly the Figure 2/3 packetstore configuration; the paper
+// (§5.2) leaves multicore scaling as future work, so this measures the
+// design's answer.
+type ScalingResult struct {
+	Duration time.Duration
+	Shards   []int
+	Conns    []int
+	Points   []ScalingPoint
+}
+
+// RunScaling sweeps shard counts × connection counts over the sharded
+// packetstore deployment with RSS-aligned load.
+func RunScaling(profile calib.Profile, shards, conns []int, duration time.Duration) (ScalingResult, error) {
+	if len(shards) == 0 {
+		shards = []int{1, 2, 4, 8}
+	}
+	if len(conns) == 0 {
+		conns = []int{25, 100}
+	}
+	if duration <= 0 {
+		duration = time.Second
+	}
+	out := ScalingResult{Duration: duration, Shards: shards, Conns: conns}
+
+	for _, ns := range shards {
+		for _, nc := range conns {
+			// Partition a constant total store geometry: N shards of
+			// 1/N-th the slots each, so the sweep varies parallelism,
+			// not capacity or memory footprint.
+			cfg := storeCfgLarge()
+			cfg.MetaSlots /= ns
+			cfg.DataSlots /= ns
+			d, err := deploy(deployOptions{
+				profile: profile, kind: kindPktStore, zeroCopy: true,
+				shards: ns, storeCfg: cfg,
+			})
+			if err != nil {
+				return out, err
+			}
+			res, err := wrkgen.Run(d.align(wrkgen.Config{
+				Conns: nc, Duration: duration, Warmup: duration / 5,
+				ValueSize: 1024, KeySpace: 1 << 16, KeyDist: wrkgen.DistSeq,
+				PutPct: 100, Seed: 7,
+			}), d.dial)
+			st := d.srv.Stats()
+			var busy []float64
+			var lreqs []uint64
+			for _, ls := range d.srv.LoopStats() {
+				busy = append(busy, us(ls.BusyTime))
+				lreqs = append(lreqs, ls.Requests)
+			}
+			d.close()
+			if err != nil {
+				return out, err
+			}
+			out.Points = append(out.Points, ScalingPoint{
+				Shards: ns, Conns: nc,
+				Throughput: res.Throughput(),
+				MeanLatUs:  us(res.Hist.Mean()),
+				P99LatUs:   us(res.Hist.Percentile(99)),
+				Puts: st.Puts, ZeroCopyPuts: st.ZeroCopyPuts,
+				LoopRequests: lreqs, LoopBusyUs: busy,
+			})
+		}
+	}
+	return out, nil
+}
+
+// point returns the measurement for (shards, conns), or nil.
+func (r ScalingResult) point(ns, nc int) *ScalingPoint {
+	for i := range r.Points {
+		if r.Points[i].Shards == ns && r.Points[i].Conns == nc {
+			return &r.Points[i]
+		}
+	}
+	return nil
+}
+
+// Print renders the sweep as throughput/latency tables plus speedups
+// over the single-shard row.
+func (r ScalingResult) Print(w io.Writer) {
+	fprintf(w, "Scaling: continual 1KB writes, shards x connections (%v per point)\n", r.Duration)
+	fprintf(w, "\nThroughput (k req/s):\n%-10s", "shards")
+	for _, nc := range r.Conns {
+		fprintf(w, "%8d co", nc)
+	}
+	fprintf(w, "\n")
+	for _, ns := range r.Shards {
+		fprintf(w, "%-10d", ns)
+		for _, nc := range r.Conns {
+			if p := r.point(ns, nc); p != nil {
+				fprintf(w, "%11.1f", p.Throughput/1000)
+			}
+		}
+		fprintf(w, "\n")
+	}
+	fprintf(w, "\nMean latency (us):\n%-10s", "shards")
+	for _, nc := range r.Conns {
+		fprintf(w, "%8d co", nc)
+	}
+	fprintf(w, "\n")
+	for _, ns := range r.Shards {
+		fprintf(w, "%-10d", ns)
+		for _, nc := range r.Conns {
+			if p := r.point(ns, nc); p != nil {
+				fprintf(w, "%11.1f", p.MeanLatUs)
+			}
+		}
+		fprintf(w, "\n")
+	}
+	fprintf(w, "\nSpeedup vs 1 shard (wall-clock), load balance, zero-copy PUT fraction:\n")
+	for _, nc := range r.Conns {
+		base := r.point(r.Shards[0], nc)
+		if base == nil || base.Throughput <= 0 {
+			continue
+		}
+		for _, ns := range r.Shards {
+			p := r.point(ns, nc)
+			if p == nil {
+				continue
+			}
+			zc := 0.0
+			if p.Puts > 0 {
+				zc = float64(p.ZeroCopyPuts) / float64(p.Puts) * 100
+			}
+			fprintf(w, "  %3d conns, %d shards: %.2fx, balance %.2f, %.0f%% zero-copy\n",
+				nc, ns, p.Throughput/base.Throughput, p.Balance(), zc)
+		}
+	}
+	fprintf(w, "(balance = total requests / (loops x busiest loop); wall-clock speedup\n")
+	fprintf(w, " approaches shards x balance once the host has >= shards idle CPUs)\n")
+}

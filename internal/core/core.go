@@ -170,12 +170,15 @@ type Breakdown struct {
 	Flush    time.Duration // cache-line write-backs and fences
 }
 
-// Store is the packetstore.
+// Store is the packetstore. A Store occupies [base, base+RegionSize())
+// of its region; a ShardedStore lays several Stores side by side in one
+// region, each with its own allocators, index and commit sequence.
 type Store struct {
 	mu  sync.Mutex
 	r   *pmem.Region
 	cfg Config
 
+	base     int // region offset of this store's superblock
 	metaBase int
 	dataBase int
 
@@ -192,13 +195,20 @@ type Store struct {
 
 // Open formats (fresh region) or recovers (existing) a Store over r.
 func Open(r *pmem.Region, cfg Config) (*Store, error) {
+	return openAt(r, cfg, 0)
+}
+
+// openAt opens a Store whose superblock starts at base within r (shard
+// layouts place several stores in one region).
+func openAt(r *pmem.Region, cfg Config, base int) (*Store, error) {
 	cfg.fill()
-	if cfg.RegionSize() > r.Size() {
-		return nil, fmt.Errorf("pktstore: region %d bytes, need %d", r.Size(), cfg.RegionSize())
+	if base+cfg.RegionSize() > r.Size() {
+		return nil, fmt.Errorf("pktstore: region %d bytes, need %d at base %d", r.Size(), cfg.RegionSize(), base)
 	}
 	s := &Store{
 		r: r, cfg: cfg,
-		metaBase: superblockSize,
+		base:     base,
+		metaBase: base + superblockSize,
 		rng:      rand.New(rand.NewSource(0x9e3779b9)),
 	}
 	s.dataBase = s.metaBase + cfg.MetaSlots*cfg.SlotSize
@@ -208,7 +218,7 @@ func Open(r *pmem.Region, cfg Config) (*Store, error) {
 	}
 	s.pool = pkt.NewPMPool(r, s.dataBase, cfg.DataBufSize, cfg.DataSlots)
 
-	if r.ReadUint64(sbOMagic) == sbMagic {
+	if r.ReadUint64(base+sbOMagic) == sbMagic {
 		if err := s.validateSuperblock(); err != nil {
 			return nil, err
 		}
@@ -262,15 +272,15 @@ func (s *Store) ResetBreakdown() {
 func (s *Store) format() {
 	r := s.r
 	zero := make([]byte, superblockSize)
-	r.Write(0, zero)
-	r.WriteUint64(sbOMetaBase, uint64(s.metaBase))
-	r.WriteUint64(sbOMetaSlots, uint64(s.cfg.MetaSlots))
-	r.WriteUint64(sbOSlotSize, uint64(s.cfg.SlotSize))
-	r.WriteUint64(sbODataBase, uint64(s.dataBase))
-	r.WriteUint64(sbODataSlots, uint64(s.cfg.DataSlots))
-	r.WriteUint64(sbOBufSize, uint64(s.cfg.DataBufSize))
-	r.WriteUint64(sbOMagic, sbMagic)
-	r.Persist(0, superblockSize)
+	r.Write(s.base, zero)
+	r.WriteUint64(s.base+sbOMetaBase, uint64(s.metaBase))
+	r.WriteUint64(s.base+sbOMetaSlots, uint64(s.cfg.MetaSlots))
+	r.WriteUint64(s.base+sbOSlotSize, uint64(s.cfg.SlotSize))
+	r.WriteUint64(s.base+sbODataBase, uint64(s.dataBase))
+	r.WriteUint64(s.base+sbODataSlots, uint64(s.cfg.DataSlots))
+	r.WriteUint64(s.base+sbOBufSize, uint64(s.cfg.DataBufSize))
+	r.WriteUint64(s.base+sbOMagic, sbMagic)
+	r.Persist(s.base, superblockSize)
 	s.metaFree = make([]int, 0, s.cfg.MetaSlots)
 	for i := s.cfg.MetaSlots - 1; i >= 0; i-- {
 		s.metaFree = append(s.metaFree, i)
@@ -279,12 +289,12 @@ func (s *Store) format() {
 
 func (s *Store) validateSuperblock() error {
 	r := s.r
-	if int(r.ReadUint64(sbOMetaBase)) != s.metaBase ||
-		int(r.ReadUint64(sbOMetaSlots)) != s.cfg.MetaSlots ||
-		int(r.ReadUint64(sbOSlotSize)) != s.cfg.SlotSize ||
-		int(r.ReadUint64(sbODataBase)) != s.dataBase ||
-		int(r.ReadUint64(sbODataSlots)) != s.cfg.DataSlots ||
-		int(r.ReadUint64(sbOBufSize)) != s.cfg.DataBufSize {
+	if int(r.ReadUint64(s.base+sbOMetaBase)) != s.metaBase ||
+		int(r.ReadUint64(s.base+sbOMetaSlots)) != s.cfg.MetaSlots ||
+		int(r.ReadUint64(s.base+sbOSlotSize)) != s.cfg.SlotSize ||
+		int(r.ReadUint64(s.base+sbODataBase)) != s.dataBase ||
+		int(r.ReadUint64(s.base+sbODataSlots)) != s.cfg.DataSlots ||
+		int(r.ReadUint64(s.base+sbOBufSize)) != s.cfg.DataBufSize {
 		return fmt.Errorf("%w: geometry mismatch with configuration", ErrCorrupt)
 	}
 	return nil
@@ -297,11 +307,11 @@ func (s *Store) slotOff(idx int) int { return s.metaBase + idx*s.cfg.SlotSize }
 func (s *Store) slot(idx int) []byte { return s.r.Slice(s.slotOff(idx), s.cfg.SlotSize) }
 
 func (s *Store) headNext(level int) int {
-	return int(s.r.ReadUint32(sbOTower+4*level)) - 1
+	return int(s.r.ReadUint32(s.base+sbOTower+4*level)) - 1
 }
 
 func (s *Store) setHeadNext(level, idx int) {
-	s.r.WriteUint32(sbOTower+4*level, uint32(idx+1))
+	s.r.WriteUint32(s.base+sbOTower+4*level, uint32(idx+1))
 }
 
 func slotNext(sl []byte, level int) int {

@@ -249,7 +249,7 @@ func (s *Store) putLocked(key []byte, vlen int, opt PutOptions) error {
 	// Persist the level-0 link (the durable chain).
 	tLinkFlush := time.Now()
 	if prev[0] < 0 {
-		s.r.Persist(sbOTower, 4)
+		s.r.Persist(s.base+sbOTower, 4)
 	} else {
 		s.r.Persist(s.slotOff(prev[0])+oTower, 4)
 	}
@@ -458,7 +458,7 @@ func (s *Store) Delete(key []byte) (bool, error) {
 		}
 	}
 	if prev[0] < 0 {
-		s.r.Persist(sbOTower, 4)
+		s.r.Persist(s.base+sbOTower, 4)
 	} else {
 		s.r.Persist(s.slotOff(prev[0])+oTower, 4)
 	}

@@ -122,7 +122,7 @@ func (s *Store) recover() error {
 		}
 	}
 	// Persist the rebuilt level-0 chain and head.
-	s.r.Flush(sbOTower, 4*maxHeight)
+	s.r.Flush(s.base+sbOTower, 4*maxHeight)
 	for _, rv := range survivors {
 		s.r.Flush(s.slotOff(rv.idx)+oTower, 4*maxHeight)
 	}

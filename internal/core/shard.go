@@ -1,0 +1,257 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"packetstore/internal/pkt"
+	"packetstore/internal/pmem"
+)
+
+// shardAlign keeps every shard's superblock page-aligned so no cache
+// line is shared between shards (independent flush/fence streams).
+const shardAlign = 4096
+
+// ShardOf maps a key to its owning shard: FNV-1a over the key bytes,
+// folded onto the shard set. The kvserver's per-queue loops, the NIC RSS
+// steering and aligned clients all use this one function — the
+// hash-alignment invariant documented in DESIGN.md §5.7 holds only if
+// every layer routes with ShardOf.
+func ShardOf(key []byte, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return int(h % uint32(shards))
+}
+
+// shardStride returns the per-shard region footprint.
+func shardStride(cfg Config) int {
+	return (cfg.RegionSize() + shardAlign - 1) &^ (shardAlign - 1)
+}
+
+// ShardedRegionSize returns the PM region size shards copies of cfg
+// need when laid side by side.
+func ShardedRegionSize(cfg Config, shards int) int {
+	if shards <= 1 {
+		shards = 1
+	}
+	cc := cfg
+	cc.fill()
+	return shards * shardStride(cc)
+}
+
+// ShardedStore partitions a PM region into independent Stores — each
+// with its own slab allocators, persistent skip-list index, commit
+// sequence and mutex — and routes operations by key hash. With a single
+// shard it is a transparent wrapper: the layout and behaviour are
+// bit-for-bit those of a plain Store.
+type ShardedStore struct {
+	r      *pmem.Region
+	cfg    Config
+	stride int
+	shards []*Store
+}
+
+// OpenSharded formats or recovers a ShardedStore of shards partitions
+// over r. Each shard gets an independent copy of cfg's geometry.
+// Recovery scans all shards in parallel: each partition's metadata scan
+// and index rebuild is independent, so post-crash restart time scales
+// with the largest shard, not the sum.
+func OpenSharded(r *pmem.Region, cfg Config, shards int) (*ShardedStore, error) {
+	if shards <= 0 {
+		shards = 1
+	}
+	cc := cfg
+	cc.fill()
+	// Each shard's event loop is its own simulated core; PM stalls must
+	// not busy-wait the other loops off the physical CPUs.
+	r.SetMultiCore(shards > 1)
+	ss := &ShardedStore{r: r, cfg: cc, stride: shardStride(cc), shards: make([]*Store, shards)}
+	var wg sync.WaitGroup
+	errs := make([]error, shards)
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ss.shards[i], errs[i] = openAt(r, cc, i*ss.stride)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return ss, nil
+}
+
+// WrapSharded presents an existing single Store as a one-shard
+// ShardedStore (servers use the sharded API uniformly).
+func WrapSharded(s *Store) *ShardedStore {
+	return &ShardedStore{r: s.r, cfg: s.cfg, stride: shardStride(s.cfg), shards: []*Store{s}}
+}
+
+// Shards returns the shard count.
+func (ss *ShardedStore) Shards() int { return len(ss.shards) }
+
+// Shard returns shard i's Store.
+func (ss *ShardedStore) Shard(i int) *Store { return ss.shards[i] }
+
+// ShardFor returns the index of the shard owning key.
+func (ss *ShardedStore) ShardFor(key []byte) int { return ShardOf(key, len(ss.shards)) }
+
+// StoreFor returns the Store owning key.
+func (ss *ShardedStore) StoreFor(key []byte) *Store { return ss.shards[ss.ShardFor(key)] }
+
+// Region returns the backing PM region.
+func (ss *ShardedStore) Region() *pmem.Region { return ss.r }
+
+// Pools returns each shard's data-area packet pool, indexed by shard —
+// the per-RSS-queue NIC receive pools of the aligned configuration.
+func (ss *ShardedStore) Pools() []*pkt.Pool {
+	pools := make([]*pkt.Pool, len(ss.shards))
+	for i, s := range ss.shards {
+		pools[i] = s.Pool()
+	}
+	return pools
+}
+
+// ShardByOff maps a region offset (e.g. a DMA buffer's PMOff) to the
+// shard whose partition contains it, or -1 if outside every partition.
+func (ss *ShardedStore) ShardByOff(off int) int {
+	if off < 0 {
+		return -1
+	}
+	i := off / ss.stride
+	if i >= len(ss.shards) {
+		return -1
+	}
+	return i
+}
+
+// Put routes the copying write to the owning shard.
+func (ss *ShardedStore) Put(key, value []byte) error { return ss.StoreFor(key).Put(key, value) }
+
+// PutExtents routes the zero-copy write to the owning shard. The
+// extents and key must live in that shard's data area (the caller
+// checks alignment; misaligned ingest takes Put).
+func (ss *ShardedStore) PutExtents(key []byte, vlen int, opt PutOptions) error {
+	return ss.StoreFor(key).PutExtents(key, vlen, opt)
+}
+
+// Get routes the read to the owning shard.
+func (ss *ShardedStore) Get(key []byte) ([]byte, bool, error) { return ss.StoreFor(key).Get(key) }
+
+// GetRef routes the zero-copy read to the owning shard.
+func (ss *ShardedStore) GetRef(key []byte) (Ref, bool, error) { return ss.StoreFor(key).GetRef(key) }
+
+// Delete routes the delete to the owning shard.
+func (ss *ShardedStore) Delete(key []byte) (bool, error) { return ss.StoreFor(key).Delete(key) }
+
+// Len sums live records across shards.
+func (ss *ShardedStore) Len() int {
+	n := 0
+	for _, s := range ss.shards {
+		n += s.Len()
+	}
+	return n
+}
+
+// Stats aggregates per-shard counters.
+func (ss *ShardedStore) Stats() Stats {
+	var out Stats
+	for _, s := range ss.shards {
+		st := s.Stats()
+		out.Puts += st.Puts
+		out.Gets += st.Gets
+		out.Deletes += st.Deletes
+		out.Ranges += st.Ranges
+		out.Hits += st.Hits
+		out.ChecksumReused += st.ChecksumReused
+		out.ChecksumComputed += st.ChecksumComputed
+		out.BytesStored += st.BytesStored
+		out.Records += st.Records
+	}
+	return out
+}
+
+// Breakdown aggregates per-shard put-phase timings.
+func (ss *ShardedStore) Breakdown() Breakdown {
+	var out Breakdown
+	for _, s := range ss.shards {
+		bd := s.Breakdown()
+		out.Ops += bd.Ops
+		out.Parse += bd.Parse
+		out.Checksum += bd.Checksum
+		out.Copy += bd.Copy
+		out.Alloc += bd.Alloc
+		out.Meta += bd.Meta
+		out.Flush += bd.Flush
+	}
+	return out
+}
+
+// Range merges the per-shard ordered walks into one globally ordered
+// result of up to limit records with start <= key < end. Each shard is
+// consulted for at most limit records, then the sorted runs are merged.
+func (ss *ShardedStore) Range(start, end []byte, limit int) ([]Record, error) {
+	if len(ss.shards) == 1 {
+		return ss.shards[0].Range(start, end, limit)
+	}
+	if limit <= 0 {
+		limit = 1 << 30
+	}
+	runs := make([][]Record, len(ss.shards))
+	for i, s := range ss.shards {
+		recs, err := s.Range(start, end, limit)
+		if err != nil {
+			return nil, err
+		}
+		runs[i] = recs
+	}
+	return mergeRuns(runs, limit), nil
+}
+
+// mergeRuns k-way merges sorted record runs (keys are unique across
+// shards, so no tie-breaking is needed).
+func mergeRuns(runs [][]Record, limit int) []Record {
+	var out []Record
+	heads := make([]int, len(runs))
+	for len(out) < limit {
+		best := -1
+		for i := range runs {
+			if heads[i] >= len(runs[i]) {
+				continue
+			}
+			if best < 0 || bytes.Compare(runs[i][heads[i]].Key, runs[best][heads[best]].Key) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, runs[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+// Verify scrubs every shard, returning all keys whose stored bytes fail
+// their transport-derived checksum.
+func (ss *ShardedStore) Verify() ([][]byte, error) {
+	var bad [][]byte
+	for _, s := range ss.shards {
+		b, err := s.Verify()
+		if err != nil {
+			return nil, err
+		}
+		bad = append(bad, b...)
+	}
+	return bad, nil
+}

@@ -38,6 +38,11 @@ type Options struct {
 	// ServerRxPool overrides the server NIC's receive pool — pass the
 	// packetstore's PM pool for the PASTE configuration. nil uses DRAM.
 	ServerRxPool *pkt.Pool
+	// ServerRxPools gives the server NIC one RSS queue per pool, each
+	// queue DMAing into its own pool — pass a sharded packetstore's
+	// per-shard PM pools so every flow's payloads land in the partition
+	// of the shard serving its queue. Overrides ServerRxPool.
+	ServerRxPools []*pkt.Pool
 	// RxPoolBufs sizes the DRAM receive pools (default 4096).
 	RxPoolBufs int
 	// Loss/Reorder/Duplicate inject fabric impairments (tests).
@@ -82,8 +87,8 @@ func NewTestbed(opt Options) *Testbed {
 	}
 	pa, pb := netsim.NewLink(link)
 
-	mk := func(id int, name string, port *netsim.Port, rxPool *pkt.Pool) *Host {
-		if rxPool == nil {
+	mk := func(id int, name string, port *netsim.Port, rxPool *pkt.Pool, rxPools []*pkt.Pool) *Host {
+		if rxPool == nil && len(rxPools) == 0 {
 			rxPool = pkt.NewPool(2048, opt.RxPoolBufs)
 		}
 		h := &Host{
@@ -94,6 +99,7 @@ func NewTestbed(opt Options) *Testbed {
 		h.NIC = nic.New(nic.Config{
 			MAC:         h.MAC,
 			RxPool:      rxPool,
+			RxPools:     rxPools,
 			Offloads:    off,
 			PerPacket:   opt.Profile.NICPerPacket,
 			PerPacketSW: opt.Profile.StackPerPacket,
@@ -102,8 +108,8 @@ func NewTestbed(opt Options) *Testbed {
 		return h
 	}
 	tb := &Testbed{
-		Client: mk(1, "client", pa, nil),
-		Server: mk(2, "server", pb, opt.ServerRxPool),
+		Client: mk(1, "client", pa, nil, nil),
+		Server: mk(2, "server", pb, opt.ServerRxPool, opt.ServerRxPools),
 	}
 	tb.Client.Stack.AddNeighbor(tb.Server.IP, tb.Server.MAC)
 	tb.Server.Stack.AddNeighbor(tb.Client.IP, tb.Client.MAC)

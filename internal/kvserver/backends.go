@@ -137,3 +137,37 @@ func (b PktStore) Range(start, end []byte, limit int) ([]kvproto.KV, error) {
 	}
 	return out, nil
 }
+
+// ShardedPktStore adapts a multi-shard packetstore: point operations
+// route to the owning shard by key hash and RANGE merges the per-shard
+// ordered runs. The server detects it (like PktStore) and activates the
+// per-queue zero-copy paths on every loop whose receive pool is a
+// shard's PM partition.
+type ShardedPktStore struct {
+	S *core.ShardedStore
+}
+
+// Name implements Backend.
+func (ShardedPktStore) Name() string { return "pktstore-sharded" }
+
+// Put implements Backend (copy path; routes by key hash).
+func (b ShardedPktStore) Put(key, value []byte) error { return b.S.Put(key, value) }
+
+// Get implements Backend.
+func (b ShardedPktStore) Get(key []byte) ([]byte, bool, error) { return b.S.Get(key) }
+
+// Delete implements Backend.
+func (b ShardedPktStore) Delete(key []byte) (bool, error) { return b.S.Delete(key) }
+
+// Range implements Backend (cross-shard merge).
+func (b ShardedPktStore) Range(start, end []byte, limit int) ([]kvproto.KV, error) {
+	recs, err := b.S.Range(start, end, limit)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]kvproto.KV, len(recs))
+	for i, rec := range recs {
+		out[i] = kvproto.KV{Key: rec.Key, Value: rec.Value}
+	}
+	return out, nil
+}

@@ -3,7 +3,7 @@ package kvserver
 import (
 	"fmt"
 	"net/url"
-	"sync/atomic"
+	"sync"
 	"time"
 
 	"packetstore/internal/checksum"
@@ -14,48 +14,46 @@ import (
 	"packetstore/internal/tcp"
 )
 
-// Stats counts server activity.
-type Stats struct {
-	Requests, Puts, Gets, Deletes, Ranges uint64
-	Errors                                uint64
-	BytesIn, BytesOut                     uint64
-	ZeroCopyPuts                          uint64
-	ZeroCopyGets                          uint64
-	DerivedSums                           uint64 // body checksums harvested from the NIC
-	SoftwareSums                          uint64 // body checksums computed in software
-	ParseTime                             time.Duration
-}
-
-// Server is the storage server application: one goroutine services
-// accepts and readable events, emulating the paper's single-CPU-core
-// busy-polling server.
+// Server is the storage server application. One event-loop goroutine per
+// NIC RSS queue emulates the paper's busy-polling server cores. With a
+// sharded packetstore, loop q serves exactly the store shard whose PM
+// partition backs queue q's receive pool, so zero-copy ingest never
+// crosses cores: the NIC DMAs a flow's payloads straight into the
+// partition of the shard that will index them (DESIGN.md §5.7). With one
+// queue and one shard this degenerates to the original single-core loop.
 type Server struct {
-	stk      *tcp.Stack
-	lst      *tcp.Listener
-	backend  Backend
-	store    *core.Store // non-nil enables the zero-copy fast path
-	zeroCopy bool
+	stk     *tcp.Stack
+	lst     *tcp.Listener
+	backend Backend
+	sharded *core.ShardedStore // non-nil for packetstore backends
 
-	conns map[*tcp.Conn]*connState
+	loops []*loop
 	done  chan struct{}
 	ret   chan struct{}
+}
 
-	// Key arena: small key copies land in store data slots so records
-	// can reference them (values are never copied).
+// loop is one event-loop "core": it owns the connections whose flows RSS
+// to its queue plus, in sharded mode, the store shard backing that
+// queue's receive pool. Loops share no mutable state — each has its own
+// connection table, key arena and stats counters.
+type loop struct {
+	srv   *Server
+	q     int
+	store *core.Store // shard for the zero-copy paths; nil = copy only
+	shard int         // index of store within srv.sharded (-1 if none)
+	conns map[*tcp.Conn]*connState
+	stats statsCounters
+
+	// Key arena: small key copies land in the shard's data slots so
+	// records can reference them (values are never copied).
 	arenaOff   int
 	arenaUsed  int
 	arenaUnpin func()
-
-	requests, puts, gets, deletes, ranges atomic.Uint64
-	errors                                atomic.Uint64
-	bytesIn, bytesOut                     atomic.Uint64
-	zcPuts, zcGets                        atomic.Uint64
-	derivedSums, softwareSums             atomic.Uint64
-	parseNanos                            atomic.Int64
 }
 
-// New creates a server listening on port. If backend is PktStore and the
-// stack's NIC receives into the store's PM pool, the zero-copy paths
+// New creates a server listening on port, with one event loop per NIC
+// RSS queue. If backend is PktStore or ShardedPktStore and a loop's
+// receive pool is a store shard's PM pool, that loop's zero-copy paths
 // activate automatically.
 func New(stk *tcp.Stack, port uint16, backend Backend) (*Server, error) {
 	lst, err := stk.Listen(port)
@@ -63,63 +61,79 @@ func New(stk *tcp.Stack, port uint16, backend Backend) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		stk:      stk,
-		lst:      lst,
-		backend:  backend,
-		conns:    make(map[*tcp.Conn]*connState),
-		done:     make(chan struct{}),
-		ret:      make(chan struct{}),
-		arenaOff: -1,
+		stk:     stk,
+		lst:     lst,
+		backend: backend,
+		done:    make(chan struct{}),
+		ret:     make(chan struct{}),
 	}
-	if ps, ok := backend.(PktStore); ok {
-		s.store = ps.S
-		s.zeroCopy = stk.NIC().RxPool() == ps.S.Pool()
+	switch b := backend.(type) {
+	case PktStore:
+		s.sharded = core.WrapSharded(b.S)
+	case ShardedPktStore:
+		s.sharded = b.S
+	}
+	nq := stk.Queues()
+	s.loops = make([]*loop, nq)
+	for q := 0; q < nq; q++ {
+		lp := &loop{
+			srv:      s,
+			q:        q,
+			shard:    -1,
+			conns:    make(map[*tcp.Conn]*connState),
+			arenaOff: -1,
+		}
+		if s.sharded != nil {
+			pool := stk.NIC().RxPoolQ(q)
+			for i := 0; i < s.sharded.Shards(); i++ {
+				if s.sharded.Shard(i).Pool() == pool {
+					lp.store, lp.shard = s.sharded.Shard(i), i
+					break
+				}
+			}
+		}
+		s.loops[q] = lp
 	}
 	return s, nil
 }
 
-// Stats returns a snapshot of the counters.
+// Stats aggregates all loops' counters into one snapshot.
 func (s *Server) Stats() Stats {
-	return Stats{
-		Requests: s.requests.Load(), Puts: s.puts.Load(), Gets: s.gets.Load(),
-		Deletes: s.deletes.Load(), Ranges: s.ranges.Load(),
-		Errors: s.errors.Load(), BytesIn: s.bytesIn.Load(), BytesOut: s.bytesOut.Load(),
-		ZeroCopyPuts: s.zcPuts.Load(), ZeroCopyGets: s.zcGets.Load(),
-		DerivedSums: s.derivedSums.Load(), SoftwareSums: s.softwareSums.Load(),
-		ParseTime: time.Duration(s.parseNanos.Load()),
+	var out Stats
+	for _, lp := range s.loops {
+		out.merge(lp.stats.Snapshot())
 	}
+	return out
 }
 
-// Run services the event loop until Close. It is the single "server CPU
-// core": all request processing happens here.
+// LoopStats returns each event loop's own snapshot, indexed by RSS
+// queue — the per-core view of a sharded deployment.
+func (s *Server) LoopStats() []Stats {
+	out := make([]Stats, len(s.loops))
+	for i, lp := range s.loops {
+		out[i] = lp.stats.Snapshot()
+	}
+	return out
+}
+
+// Run services the event loops until Close. The caller's goroutine runs
+// loop 0 (which also drains accepts); loops 1..n-1 get their own
+// goroutines — the per-core serving threads of the sharded deployment.
 func (s *Server) Run() {
 	defer close(s.ret)
-	for {
-		select {
-		case <-s.done:
-			return
-		case c, ok := <-s.lst.AcceptCh():
-			if !ok {
-				return
-			}
-			s.conns[c] = s.newConnState(c)
-		case c, ok := <-s.stk.Readable():
-			if !ok {
-				return
-			}
-			c.ClearReady()
-			st := s.conns[c]
-			if st == nil {
-				// Raced with accept: register now.
-				st = s.newConnState(c)
-				s.conns[c] = st
-			}
-			s.service(st)
-		}
+	var wg sync.WaitGroup
+	for _, lp := range s.loops[1:] {
+		wg.Add(1)
+		go func(lp *loop) {
+			defer wg.Done()
+			lp.run(nil)
+		}(lp)
 	}
+	s.loops[0].run(s.lst.AcceptCh())
+	wg.Wait()
 }
 
-// Close stops the server loop.
+// Close stops the server loops.
 func (s *Server) Close() {
 	select {
 	case <-s.done:
@@ -129,6 +143,40 @@ func (s *Server) Close() {
 	close(s.done)
 	<-s.ret
 	s.lst.Close()
+}
+
+// run is one loop's event cycle. Only loop 0 receives acceptCh (nil
+// elsewhere; a nil channel never fires in select).
+func (lp *loop) run(acceptCh <-chan *tcp.Conn) {
+	s := lp.srv
+	rx := s.stk.ReadableQ(lp.q)
+	for {
+		select {
+		case <-s.done:
+			return
+		case c, ok := <-acceptCh:
+			if !ok {
+				return
+			}
+			// Register only flows RSS-steered to this loop's queue; the
+			// owning loop picks its conns up lazily on first readable.
+			if c.RxQueue() == lp.q {
+				lp.conns[c] = newConnState(c)
+			}
+		case c, ok := <-rx:
+			if !ok {
+				return
+			}
+			c.ClearReady()
+			st := lp.conns[c]
+			if st == nil {
+				// Accepted on loop 0 (or raced with accept): register now.
+				st = newConnState(c)
+				lp.conns[c] = st
+			}
+			lp.service(st)
+		}
+	}
 }
 
 type connState struct {
@@ -156,36 +204,38 @@ type pendingReq struct {
 	adopted []int
 }
 
-func (s *Server) newConnState(c *tcp.Conn) *connState {
+func newConnState(c *tcp.Conn) *connState {
 	return &connState{c: c, parser: httpmsg.NewRequestParser(0)}
 }
 
 // service drains all pending packet buffers on one connection.
-func (s *Server) service(st *connState) {
+func (lp *loop) service(st *connState) {
 	if st.dead {
 		return
 	}
+	t0 := time.Now()
+	defer func() { lp.stats.busyNanos.Add(int64(time.Since(t0))) }()
 	for {
 		bufs := st.c.TryReadBufs()
 		if bufs == nil {
 			break
 		}
 		for _, b := range bufs {
-			s.bytesIn.Add(uint64(b.Len()))
-			s.handleBuf(st, b)
+			lp.stats.bytesIn.Add(uint64(b.Len()))
+			lp.handleBuf(st, b)
 		}
 	}
-	s.flushResp(st)
+	lp.flushResp(st)
 	if st.c.EOF() || st.c.Err() != nil {
 		st.dead = true
 		if st.cur != nil {
 			for _, base := range st.cur.adopted {
-				s.store.ReleaseUnused(base)
+				lp.store.ReleaseUnused(base)
 			}
 			st.cur = nil
 		}
 		st.c.Close()
-		delete(s.conns, st.c)
+		delete(lp.conns, st.c)
 	}
 }
 
@@ -197,9 +247,9 @@ type bodySpan struct {
 }
 
 // handleBuf processes one received packet buffer.
-func (s *Server) handleBuf(st *connState, b *pkt.Buf) {
+func (lp *loop) handleBuf(st *connState, b *pkt.Buf) {
 	p := b.Bytes()
-	zc := s.zeroCopy && b.PMOff() >= 0
+	zc := lp.store != nil && b.PMOff() >= 0
 	t0 := time.Now()
 
 	var spans []bodySpan
@@ -212,12 +262,12 @@ func (s *Server) handleBuf(st *connState, b *pkt.Buf) {
 		}
 		res := st.parser.Feed(p[pos:])
 		if res.Err != nil {
-			s.protocolError(st, res.Err)
+			lp.protocolError(st, res.Err)
 			b.Release()
 			return
 		}
 		if res.HeaderDone {
-			s.beginRequest(st, b, zc)
+			lp.beginRequest(st, b, zc)
 		}
 		if res.Body.Len > 0 {
 			spans = append(spans, bodySpan{off: pos + res.Body.Off, n: res.Body.Len, pr: st.cur})
@@ -229,27 +279,37 @@ func (s *Server) handleBuf(st *connState, b *pkt.Buf) {
 		}
 		if res.Consumed == 0 && !res.Done {
 			// Defensive: the parser always progresses, but never spin.
-			s.protocolError(st, fmt.Errorf("kvserver: parser stalled"))
+			lp.protocolError(st, fmt.Errorf("kvserver: parser stalled"))
 			b.Release()
 			return
 		}
 	}
-	s.parseNanos.Add(int64(time.Since(t0)))
+	lp.stats.parseNanos.Add(int64(time.Since(t0)))
 
 	adoptedBase := -1
-	if zc && len(spans) > 0 {
-		adoptedBase = s.store.AdoptBuf(b)
-		s.attachSpansZeroCopy(b, p, spans)
-	} else if len(spans) > 0 {
+	if len(spans) > 0 {
+		// A span stores zero-copy only if its PUT's key hashes to this
+		// loop's shard (keyOff >= 0); misaligned PUTs fall back to the
+		// copy path so correctness never depends on client alignment.
+		anyZC := false
 		for _, sp := range spans {
-			if sp.pr.req.Op == kvproto.OpPut {
+			if sp.pr.req.Op != kvproto.OpPut {
+				continue
+			}
+			if sp.pr.keyOff >= 0 {
+				anyZC = true
+			} else {
 				sp.pr.body = append(sp.pr.body, p[sp.off:sp.off+sp.n]...)
 			}
+		}
+		if anyZC {
+			adoptedBase = lp.store.AdoptBuf(b)
+			lp.attachSpansZeroCopy(b, p, spans)
 		}
 	}
 
 	for _, pr := range completed {
-		s.dispatch(st, pr)
+		lp.dispatch(st, pr)
 	}
 	b.Release()
 	if adoptedBase >= 0 {
@@ -259,13 +319,13 @@ func (s *Server) handleBuf(st *connState, b *pkt.Buf) {
 			// resolves.
 			st.cur.adopted = append(st.cur.adopted, adoptedBase)
 		} else {
-			s.store.ReleaseUnused(adoptedBase)
+			lp.store.ReleaseUnused(adoptedBase)
 		}
 	}
 }
 
 // beginRequest parses the request line once headers complete.
-func (s *Server) beginRequest(st *connState, b *pkt.Buf, zc bool) {
+func (lp *loop) beginRequest(st *connState, b *pkt.Buf, zc bool) {
 	hreq := st.parser.Request()
 	req, err := kvproto.Parse(hreq.Method, hreq.Path)
 	pr := st.cur
@@ -276,10 +336,10 @@ func (s *Server) beginRequest(st *connState, b *pkt.Buf, zc bool) {
 		return
 	}
 	pr.req = req
-	if req.Op == kvproto.OpPut && zc {
+	if req.Op == kvproto.OpPut && zc && lp.srv.sharded.ShardFor(req.Key) == lp.shard {
 		// Copy the (small) key into the arena so the record can
 		// reference it; values stay in place.
-		off := s.allocKey(req.Key)
+		off := lp.allocKey(req.Key)
 		if off < 0 {
 			pr.parseErr = core.ErrFull
 			return
@@ -292,8 +352,9 @@ func (s *Server) beginRequest(st *connState, b *pkt.Buf, zc bool) {
 // attachSpansZeroCopy turns packet body spans into store extents,
 // deriving the largest span's checksum from the NIC's whole-payload sum
 // (everything else is summed in software — those are header-sized
-// leftovers).
-func (s *Server) attachSpansZeroCopy(b *pkt.Buf, p []byte, spans []bodySpan) {
+// leftovers). Spans of misaligned PUTs participate in the checksum
+// accounting but get no extents (their bodies were copied).
+func (lp *loop) attachSpansZeroCopy(b *pkt.Buf, p []byte, spans []bodySpan) {
 	pmBase := b.PMOff()
 	useNIC := b.CsumStatus == pkt.CsumComplete
 	largest := -1
@@ -336,13 +397,13 @@ func (s *Server) attachSpansZeroCopy(b *pkt.Buf, p []byte, spans []bodySpan) {
 				contrib = checksum.Swap16(contrib)
 			}
 			sum = uint32(contrib)
-			s.derivedSums.Add(1)
+			lp.stats.derivedSums.Add(1)
 		} else {
 			sum = checksum.Partial(0, p[sp.off:sp.off+sp.n])
-			s.softwareSums.Add(1)
+			lp.stats.softwareSums.Add(1)
 		}
-		if sp.pr.req.Op != kvproto.OpPut {
-			continue // body on a non-PUT: parsed and ignored
+		if sp.pr.req.Op != kvproto.OpPut || sp.pr.keyOff < 0 {
+			continue // body on a non-PUT or a copy-path PUT: no extents
 		}
 		if !useNIC {
 			// Sum computed in software either way; still valid.
@@ -355,25 +416,26 @@ func (s *Server) attachSpansZeroCopy(b *pkt.Buf, p []byte, spans []bodySpan) {
 }
 
 // dispatch executes one completed request and queues its response.
-func (s *Server) dispatch(st *connState, pr *pendingReq) {
-	s.requests.Add(1)
+func (lp *loop) dispatch(st *connState, pr *pendingReq) {
+	s := lp.srv
+	lp.stats.requests.Add(1)
 	defer func() {
 		for _, base := range pr.adopted {
-			s.store.ReleaseUnused(base)
+			lp.store.ReleaseUnused(base)
 		}
 	}()
 	if pr.parseErr != nil {
-		s.errors.Add(1)
+		lp.stats.errors.Add(1)
 		st.resp = httpmsg.AppendResponse(st.resp, 400, 0)
 		return
 	}
 	switch pr.req.Op {
 	case kvproto.OpPut:
-		s.puts.Add(1)
+		lp.stats.puts.Add(1)
 		var err error
 		if pr.keyOff >= 0 {
-			s.zcPuts.Add(1)
-			err = s.store.PutExtents(pr.req.Key, pr.vlen, core.PutOptions{
+			lp.stats.zcPuts.Add(1)
+			err = lp.store.PutExtents(pr.req.Key, pr.vlen, core.PutOptions{
 				Extents: pr.exts, KeyOff: pr.keyOff,
 				HasSum: pr.sumsOK, HWTime: pr.hwtime,
 			})
@@ -381,21 +443,21 @@ func (s *Server) dispatch(st *connState, pr *pendingReq) {
 			err = s.backend.Put(pr.req.Key, pr.body)
 		}
 		if err != nil {
-			s.errors.Add(1)
+			lp.stats.errors.Add(1)
 			st.resp = httpmsg.AppendResponse(st.resp, 507, 0)
 			return
 		}
 		st.resp = httpmsg.AppendResponse(st.resp, 200, 0)
 	case kvproto.OpGet:
-		s.gets.Add(1)
-		if s.zeroCopy && s.store != nil {
-			s.zeroCopyGet(st, pr.req.Key)
+		lp.stats.gets.Add(1)
+		if lp.store != nil {
+			lp.zeroCopyGet(st, pr.req.Key)
 			return
 		}
 		val, ok, err := s.backend.Get(pr.req.Key)
 		switch {
 		case err != nil:
-			s.errors.Add(1)
+			lp.stats.errors.Add(1)
 			st.resp = httpmsg.AppendResponse(st.resp, 500, 0)
 		case !ok:
 			st.resp = httpmsg.AppendResponse(st.resp, 404, 0)
@@ -404,11 +466,11 @@ func (s *Server) dispatch(st *connState, pr *pendingReq) {
 			st.resp = append(st.resp, val...)
 		}
 	case kvproto.OpDelete:
-		s.deletes.Add(1)
+		lp.stats.deletes.Add(1)
 		found, err := s.backend.Delete(pr.req.Key)
 		switch {
 		case err != nil:
-			s.errors.Add(1)
+			lp.stats.errors.Add(1)
 			st.resp = httpmsg.AppendResponse(st.resp, 500, 0)
 		case !found:
 			st.resp = httpmsg.AppendResponse(st.resp, 404, 0)
@@ -416,10 +478,10 @@ func (s *Server) dispatch(st *connState, pr *pendingReq) {
 			st.resp = httpmsg.AppendResponse(st.resp, 204, 0)
 		}
 	case kvproto.OpRange:
-		s.ranges.Add(1)
+		lp.stats.ranges.Add(1)
 		kvs, err := s.backend.Range(pr.req.Start, pr.req.End, pr.req.Limit)
 		if err != nil {
-			s.errors.Add(1)
+			lp.stats.errors.Add(1)
 			st.resp = httpmsg.AppendResponse(st.resp, 500, 0)
 			return
 		}
@@ -427,17 +489,20 @@ func (s *Server) dispatch(st *connState, pr *pendingReq) {
 		st.resp = httpmsg.AppendResponse(st.resp, 200, len(body))
 		st.resp = append(st.resp, body...)
 	default:
-		s.errors.Add(1)
+		lp.stats.errors.Add(1)
 		st.resp = httpmsg.AppendResponse(st.resp, 400, 0)
 	}
 }
 
 // zeroCopyGet transmits a stored value directly from PM as packet
-// fragments, pinning the data until the transport releases it (post-ACK).
-func (s *Server) zeroCopyGet(st *connState, key []byte) {
-	ref, ok, err := s.store.GetRef(key)
+// fragments, pinning the data until the transport releases it
+// (post-ACK). The value may live in any shard — extents are absolute
+// region offsets, so cross-shard GETs stay zero-copy.
+func (lp *loop) zeroCopyGet(st *connState, key []byte) {
+	tgt := lp.srv.sharded.StoreFor(key)
+	ref, ok, err := tgt.GetRef(key)
 	if err != nil {
-		s.errors.Add(1)
+		lp.stats.errors.Add(1)
 		st.resp = httpmsg.AppendResponse(st.resp, 500, 0)
 		return
 	}
@@ -451,21 +516,21 @@ func (s *Server) zeroCopyGet(st *connState, key []byte) {
 	if len(hdr)+ref.VLen > st.c.MaxSegment() {
 		val := make([]byte, 0, ref.VLen)
 		for _, e := range ref.Extents {
-			val = append(val, s.store.Slice(e.Off, e.Len)...)
+			val = append(val, tgt.Slice(e.Off, e.Len)...)
 		}
 		st.resp = append(st.resp, hdr...)
 		st.resp = append(st.resp, val...)
 		return
 	}
-	s.flushResp(st) // preserve pipelined response order
-	s.zcGets.Add(1)
-	release := s.store.PinExtents(ref.Extents)
+	lp.flushResp(st) // preserve pipelined response order
+	lp.stats.zcGets.Add(1)
+	release := tgt.PinExtents(ref.Extents)
 	head := pkt.NewBuf(make([]byte, tcp.HeaderRoom()+len(hdr)))
 	head.Pull(tcp.HeaderRoom())
 	copy(head.Bytes(), hdr)
 	for i, e := range ref.Extents {
 		fr := pkt.Frag{
-			B: s.store.Slice(e.Off, e.Len), PMOff: e.Off,
+			B: tgt.Slice(e.Off, e.Len), PMOff: e.Off,
 			Sum: e.Sum, HasSum: true,
 		}
 		if i == 0 {
@@ -473,7 +538,7 @@ func (s *Server) zeroCopyGet(st *connState, key []byte) {
 		}
 		head.AddFrag(fr)
 	}
-	s.bytesOut.Add(uint64(len(hdr) + ref.VLen))
+	lp.stats.bytesOut.Add(uint64(len(hdr) + ref.VLen))
 	if err := st.c.WriteBufs(head); err != nil {
 		release()
 		st.dead = true
@@ -481,46 +546,46 @@ func (s *Server) zeroCopyGet(st *connState, key []byte) {
 }
 
 // flushResp writes the batched response bytes.
-func (s *Server) flushResp(st *connState) {
+func (lp *loop) flushResp(st *connState) {
 	if len(st.resp) == 0 || st.dead {
 		return
 	}
-	s.bytesOut.Add(uint64(len(st.resp)))
+	lp.stats.bytesOut.Add(uint64(len(st.resp)))
 	if _, err := st.c.Write(st.resp); err != nil {
 		st.dead = true
 	}
 	st.resp = st.resp[:0]
 }
 
-func (s *Server) protocolError(st *connState, err error) {
-	s.errors.Add(1)
+func (lp *loop) protocolError(st *connState, err error) {
+	lp.stats.errors.Add(1)
 	st.resp = httpmsg.AppendResponse(st.resp, 400, 0)
-	s.flushResp(st)
+	lp.flushResp(st)
 	st.dead = true
 	st.c.Close()
-	delete(s.conns, st.c)
+	delete(lp.conns, st.c)
 }
 
 // allocKey copies key bytes into the key arena, returning their region
-// offset (-1 on exhaustion). The arena is a store data slot pinned while
-// the server appends into it; records referencing the keys keep the slot
-// alive after rotation.
-func (s *Server) allocKey(key []byte) int {
-	if s.arenaOff < 0 || s.arenaUsed+len(key) > s.store.DataBufSize() {
-		if s.arenaUnpin != nil {
-			s.arenaUnpin()
+// offset (-1 on exhaustion). The arena is a data slot of this loop's
+// shard pinned while the loop appends into it; records referencing the
+// keys keep the slot alive after rotation.
+func (lp *loop) allocKey(key []byte) int {
+	if lp.arenaOff < 0 || lp.arenaUsed+len(key) > lp.store.DataBufSize() {
+		if lp.arenaUnpin != nil {
+			lp.arenaUnpin()
 		}
-		base := s.store.AllocDataSlot()
+		base := lp.store.AllocDataSlot()
 		if base < 0 {
 			return -1
 		}
-		s.arenaOff = base
-		s.arenaUsed = 0
-		s.arenaUnpin = s.store.PinExtents([]core.Extent{{Off: base, Len: 1}})
+		lp.arenaOff = base
+		lp.arenaUsed = 0
+		lp.arenaUnpin = lp.store.PinExtents([]core.Extent{{Off: base, Len: 1}})
 	}
-	off := s.arenaOff + s.arenaUsed
-	s.store.WriteData(off, key)
-	s.arenaUsed += len(key)
+	off := lp.arenaOff + lp.arenaUsed
+	lp.store.WriteData(off, key)
+	lp.arenaUsed += len(key)
 	return off
 }
 

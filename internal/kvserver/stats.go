@@ -1,0 +1,66 @@
+package kvserver
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stats counts server activity.
+type Stats struct {
+	Requests, Puts, Gets, Deletes, Ranges uint64
+	Errors                                uint64
+	BytesIn, BytesOut                     uint64
+	ZeroCopyPuts                          uint64
+	ZeroCopyGets                          uint64
+	DerivedSums                           uint64 // body checksums harvested from the NIC
+	SoftwareSums                          uint64 // body checksums computed in software
+	ParseTime                             time.Duration
+	// BusyTime is the time this loop (core) spent servicing requests —
+	// the serving critical path, including emulated PM stalls. Per-loop
+	// snapshots (Server.LoopStats) expose how evenly sharding splits it.
+	BusyTime time.Duration
+}
+
+// merge accumulates o into s (per-shard snapshot aggregation).
+func (s *Stats) merge(o Stats) {
+	s.Requests += o.Requests
+	s.Puts += o.Puts
+	s.Gets += o.Gets
+	s.Deletes += o.Deletes
+	s.Ranges += o.Ranges
+	s.Errors += o.Errors
+	s.BytesIn += o.BytesIn
+	s.BytesOut += o.BytesOut
+	s.ZeroCopyPuts += o.ZeroCopyPuts
+	s.ZeroCopyGets += o.ZeroCopyGets
+	s.DerivedSums += o.DerivedSums
+	s.SoftwareSums += o.SoftwareSums
+	s.ParseTime += o.ParseTime
+	s.BusyTime += o.BusyTime
+}
+
+// statsCounters is the atomic mirror of Stats: one instance per server
+// loop, so counting never contends across shards and aggregation is a
+// loop over Snapshot calls.
+type statsCounters struct {
+	requests, puts, gets, deletes, ranges atomic.Uint64
+	errors                                atomic.Uint64
+	bytesIn, bytesOut                     atomic.Uint64
+	zcPuts, zcGets                        atomic.Uint64
+	derivedSums, softwareSums             atomic.Uint64
+	parseNanos                            atomic.Int64
+	busyNanos                             atomic.Int64
+}
+
+// Snapshot reads the counters into a Stats value.
+func (c *statsCounters) Snapshot() Stats {
+	return Stats{
+		Requests: c.requests.Load(), Puts: c.puts.Load(), Gets: c.gets.Load(),
+		Deletes: c.deletes.Load(), Ranges: c.ranges.Load(),
+		Errors: c.errors.Load(), BytesIn: c.bytesIn.Load(), BytesOut: c.bytesOut.Load(),
+		ZeroCopyPuts: c.zcPuts.Load(), ZeroCopyGets: c.zcGets.Load(),
+		DerivedSums: c.derivedSums.Load(), SoftwareSums: c.softwareSums.Load(),
+		ParseTime: time.Duration(c.parseNanos.Load()),
+		BusyTime:  time.Duration(c.busyNanos.Load()),
+	}
+}

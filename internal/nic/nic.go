@@ -50,6 +50,12 @@ type Offloads struct {
 type Config struct {
 	MAC    eth.Addr
 	RxPool *pkt.Pool
+	// RxPools, when set, gives each RSS queue its own receive pool:
+	// queue q DMAs into RxPools[q]. This is the steering a sharded
+	// packetstore exploits — each queue's pool is the PM data area of
+	// the shard serving that queue, so a flow's packets land in the
+	// partition that owns its keys. Overrides RxPool and Queues.
+	RxPools []*pkt.Pool
 	// Queues is the number of RSS receive queues (default 1). Flows hash
 	// by 4-tuple onto queues.
 	Queues int
@@ -93,12 +99,13 @@ type txDesc struct {
 
 // NIC is a simulated adapter bound to one fabric port.
 type NIC struct {
-	cfg  Config
-	port *netsim.Port
-	rxqs []chan *pkt.Buf
-	txq  chan txDesc
-	done chan struct{}
-	wg   sync.WaitGroup
+	cfg     Config
+	port    *netsim.Port
+	rxqs    []chan *pkt.Buf
+	rxPools []*pkt.Pool // per-queue receive pools
+	txq     chan txDesc
+	done    chan struct{}
+	wg      sync.WaitGroup
 
 	rxPackets, rxBytes, rxDropNoBuf, rxDropRing atomic.Uint64
 	txPackets, txBytes, txDropRing, tsoSegments atomic.Uint64
@@ -107,6 +114,9 @@ type NIC struct {
 
 // New creates a NIC on port and starts its rx/tx engines.
 func New(cfg Config, port *netsim.Port) *NIC {
+	if len(cfg.RxPools) > 0 {
+		cfg.Queues = len(cfg.RxPools)
+	}
 	if cfg.Queues <= 0 {
 		cfg.Queues = 1
 	}
@@ -121,6 +131,14 @@ func New(cfg Config, port *netsim.Port) *NIC {
 		port: port,
 		txq:  make(chan txDesc, cfg.RingLen),
 		done: make(chan struct{}),
+	}
+	if len(cfg.RxPools) > 0 {
+		n.rxPools = cfg.RxPools
+	} else {
+		n.rxPools = make([]*pkt.Pool, cfg.Queues)
+		for i := range n.rxPools {
+			n.rxPools[i] = cfg.RxPool
+		}
 	}
 	n.rxqs = make([]chan *pkt.Buf, cfg.Queues)
 	for i := range n.rxqs {
@@ -141,8 +159,11 @@ func (n *NIC) MSS() int { return n.cfg.MSS }
 // Offloads returns the active offload set.
 func (n *NIC) Offloads() Offloads { return n.cfg.Offloads }
 
-// RxPool returns the receive buffer pool.
-func (n *NIC) RxPool() *pkt.Pool { return n.cfg.RxPool }
+// RxPool returns queue 0's receive buffer pool.
+func (n *NIC) RxPool() *pkt.Pool { return n.rxPools[0] }
+
+// RxPoolQ returns queue q's receive buffer pool.
+func (n *NIC) RxPoolQ(q int) *pkt.Pool { return n.rxPools[q] }
 
 // Rx returns receive queue q's channel of packets.
 func (n *NIC) Rx(q int) <-chan *pkt.Buf { return n.rxqs[q] }
@@ -296,7 +317,12 @@ func (n *NIC) rxLoop() {
 
 func (n *NIC) receive(frame []byte) {
 	latency.Spin(n.cfg.PerPacket + n.cfg.PerPacketSW)
-	b := n.cfg.RxPool.Alloc(0)
+	// RSS steering happens in the NIC pipeline before DMA: the queue
+	// choice selects the descriptor ring AND its buffer pool, so with
+	// per-queue PM pools the payload lands in the owning partition.
+	q := n.rssQueue(frame)
+	pool := n.rxPools[q]
+	b := pool.Alloc(0)
 	if b == nil {
 		n.rxDropNoBuf.Add(1)
 		return
@@ -310,7 +336,7 @@ func (n *NIC) receive(frame []byte) {
 	// DMA: the frame lands in the pool buffer; if the pool is PM-backed,
 	// the lines are dirty (DDIO leaves them unflushed).
 	copy(b.Append(len(frame)), frame)
-	if r := n.cfg.RxPool.Region(); r != nil {
+	if r := pool.Region(); r != nil {
 		r.MarkDirty(b.PMOff(), len(frame))
 	}
 	if n.cfg.Offloads.HWTimestamp {
@@ -319,7 +345,7 @@ func (n *NIC) receive(frame []byte) {
 	n.rxPackets.Add(1)
 	n.rxBytes.Add(uint64(len(frame)))
 
-	q := n.parseAndHash(b)
+	n.parseOffloads(b)
 
 	select {
 	case n.rxqs[q] <- b:
@@ -329,30 +355,82 @@ func (n *NIC) receive(frame []byte) {
 	}
 }
 
-// parseAndHash sets layer offsets, runs the receive checksum offload, and
-// returns the RSS queue for the packet's flow.
-func (n *NIC) parseAndHash(b *pkt.Buf) int {
-	f := b.Bytes()
+// rssQueue parses the raw frame just far enough to steer it: the RSS
+// hash of the TCP/IPv4 4-tuple picks the receive queue. Non-TCP and
+// short frames land on queue 0.
+func (n *NIC) rssQueue(f []byte) int {
+	if len(n.rxqs) == 1 {
+		return 0
+	}
 	if len(f) < eth.HeaderLen+ipv4.HeaderLen {
 		return 0
 	}
+	if binary.BigEndian.Uint16(f[12:14]) != eth.TypeIPv4 {
+		return 0
+	}
+	ihl := int(f[eth.HeaderLen]&0x0f) * 4
+	if f[eth.HeaderLen+9] != ipv4.ProtoTCP || len(f) < eth.HeaderLen+ihl+20 {
+		return 0
+	}
+	srcIP := binary.BigEndian.Uint32(f[eth.HeaderLen+12 : eth.HeaderLen+16])
+	dstIP := binary.BigEndian.Uint32(f[eth.HeaderLen+16 : eth.HeaderLen+20])
+	ports := binary.BigEndian.Uint32(f[eth.HeaderLen+ihl : eth.HeaderLen+ihl+4])
+	return rssSpread(rssHash(srcIP, dstIP, ports), len(n.rxqs))
+}
+
+// rssHash is the Toeplitz stand-in: fold the 4-tuple through a
+// multiplicative hash.
+func rssHash(srcIP, dstIP, ports uint32) uint32 {
+	return (srcIP ^ dstIP ^ ports) * 0x9e3779b1
+}
+
+// rssSpread maps a hash onto [0, queues) through the product's HIGH bits
+// (fastrange). A plain modulo would read the low bits, which a
+// multiplicative hash barely perturbs: flows from one host differ only
+// in the ephemeral port (bits 16+ of the input), so hash%queues would
+// steer every flow of a client to the same queue.
+func rssSpread(h uint32, queues int) int {
+	return int((uint64(h) * uint64(queues)) >> 32)
+}
+
+// RSSQueue computes, for a frame with the given 4-tuple (as seen by the
+// receiving NIC), the queue an adapter with the given queue count steers
+// it to. Exported so stacks and clients can align flows with the shard
+// serving a queue — the NIC-offload-to-storage-partition mapping.
+func RSSQueue(srcIP, dstIP ipv4.Addr, srcPort, dstPort uint16, queues int) int {
+	if queues <= 1 {
+		return 0
+	}
+	src := binary.BigEndian.Uint32(srcIP[:])
+	dst := binary.BigEndian.Uint32(dstIP[:])
+	ports := uint32(srcPort)<<16 | uint32(dstPort)
+	return rssSpread(rssHash(src, dst, ports), queues)
+}
+
+// parseOffloads sets layer offsets and runs the receive checksum
+// offload.
+func (n *NIC) parseOffloads(b *pkt.Buf) {
+	f := b.Bytes()
+	if len(f) < eth.HeaderLen+ipv4.HeaderLen {
+		return
+	}
 	et := binary.BigEndian.Uint16(f[12:14])
 	if et != eth.TypeIPv4 {
-		return 0
+		return
 	}
 	l3 := b.HeadOffset() + eth.HeaderLen
 	b.L3 = l3
 	ihl := int(f[eth.HeaderLen]&0x0f) * 4
 	proto := f[eth.HeaderLen+9]
 	if proto != ipv4.ProtoTCP || len(f) < eth.HeaderLen+ihl+20 {
-		return 0
+		return
 	}
 	l4 := l3 + ihl
 	b.L4 = l4
 	tcp := f[eth.HeaderLen+ihl:]
 	doff := int(tcp[12]>>4) * 4
 	if doff < 20 || len(tcp) < doff {
-		return 0
+		return
 	}
 	b.Payload = l4 + doff
 
@@ -380,15 +458,4 @@ func (n *NIC) parseAndHash(b *pkt.Buf) int {
 			}
 		}
 	}
-
-	// RSS: Toeplitz stand-in — fold the 4-tuple through a multiplicative
-	// hash onto the queue set.
-	if len(n.rxqs) == 1 {
-		return 0
-	}
-	srcIP := binary.BigEndian.Uint32(f[eth.HeaderLen+12 : eth.HeaderLen+16])
-	dstIP := binary.BigEndian.Uint32(f[eth.HeaderLen+16 : eth.HeaderLen+20])
-	ports := binary.BigEndian.Uint32(tcp[0:4])
-	h := (srcIP ^ dstIP ^ ports) * 0x9e3779b1
-	return int(h % uint32(len(n.rxqs)))
 }

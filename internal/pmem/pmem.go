@@ -32,6 +32,7 @@ import (
 	"math/rand"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"packetstore/internal/calib"
@@ -77,9 +78,25 @@ type Region struct {
 	flushLine time.Duration
 	fence     time.Duration
 
+	// multiCore: the region serves several simulated cores (sharded
+	// stores with one event loop each), so a PM stall must yield the
+	// physical CPU to the other loops instead of busy-waiting — see
+	// charge.
+	multiCore atomic.Bool
+
 	stats   Stats
 	statsMu sync.Mutex
 }
+
+// SetMultiCore declares whether several simulated cores issue PM
+// operations concurrently. Single-core deployments (the paper's) leave
+// it off: a stall busy-waits, stalling the one simulated CPU exactly as
+// clwb/sfence drains stall a real one. Sharded deployments turn it on:
+// each shard's event loop is its own simulated core, and on a host with
+// fewer physical CPUs than loops a busy wait would falsely stall the
+// *other* simulated cores too, so stalls yield instead (the wall-clock
+// charge is identical; only scheduling differs).
+func (r *Region) SetMultiCore(on bool) { r.multiCore.Store(on) }
 
 // New creates an in-memory Region of the given size with latencies taken
 // from profile. Size is rounded up to a whole number of lines.
@@ -176,8 +193,14 @@ func (r *Region) charge(d time.Duration) {
 		return
 	}
 	// PM access and flush delays stall the issuing core (blocking loads,
-	// clwb retire, sfence drain), so they spin hot rather than yield.
-	latency.SpinHot(d)
+	// clwb retire, sfence drain), so they spin hot rather than yield —
+	// unless several simulated cores share the physical ones, where a
+	// hot spin would stall the whole simulation (SetMultiCore).
+	if r.multiCore.Load() {
+		latency.Spin(d)
+	} else {
+		latency.SpinHot(d)
+	}
 	r.statsMu.Lock()
 	r.stats.Charged += d
 	r.statsMu.Unlock()

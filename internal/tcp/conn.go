@@ -7,6 +7,7 @@ import (
 
 	"packetstore/internal/eth"
 	"packetstore/internal/ipv4"
+	"packetstore/internal/nic"
 	"packetstore/internal/pkt"
 	"packetstore/internal/rbtree"
 )
@@ -50,6 +51,7 @@ func (s *segment) end() uint32 {
 type Conn struct {
 	stk      *Stack
 	key      flowKey
+	rxq      int // NIC RSS queue this flow's incoming packets hash to
 	state    state
 	listener *Listener
 	mss      int
@@ -96,6 +98,7 @@ func (s *Stack) newConn(key flowKey) *Conn {
 	c := &Conn{
 		stk:    s,
 		key:    key,
+		rxq:    nic.RSSQueue(key.raddr, s.addr, key.rport, key.lport, s.nic.Queues()),
 		mss:    s.nic.MSS(),
 		ooo:    rbtree.New[uint32, *pkt.Buf](seqLT),
 		rto:    200 * time.Millisecond,
@@ -118,6 +121,10 @@ func (c *Conn) RemoteAddr() (ipv4.Addr, uint16) { return c.key.raddr, c.key.rpor
 
 // MSS returns the effective maximum segment size.
 func (c *Conn) MSS() int { return c.mss }
+
+// RxQueue returns the NIC RSS queue (and so the Stack readable channel)
+// this connection's incoming segments are steered to.
+func (c *Conn) RxQueue() int { return c.rxq }
 
 // Stack returns the owning stack.
 func (c *Conn) Stack() *Stack { return c.stk }

@@ -76,7 +76,7 @@ type Stack struct {
 	neighbors map[ipv4.Addr]eth.Addr
 	conns     map[flowKey]*Conn
 	listeners map[uint16]*Listener
-	ready     chan *Conn
+	ready     []chan *Conn // readable events, partitioned by NIC RSS queue
 	nextPort  uint16
 	ipID      uint16
 	closed    bool
@@ -96,9 +96,12 @@ func NewStack(n *nic.NIC, addr ipv4.Addr, cfg Config) *Stack {
 		neighbors: make(map[ipv4.Addr]eth.Addr),
 		conns:     make(map[flowKey]*Conn),
 		listeners: make(map[uint16]*Listener),
-		ready:     make(chan *Conn, cfg.ReadyLen),
+		ready:     make([]chan *Conn, n.Queues()),
 		nextPort:  32768,
 		done:      make(chan struct{}),
+	}
+	for q := range s.ready {
+		s.ready[q] = make(chan *Conn, cfg.ReadyLen)
 	}
 	for q := 0; q < n.Queues(); q++ {
 		s.wg.Add(1)
@@ -121,11 +124,19 @@ func (s *Stack) AddNeighbor(ip ipv4.Addr, mac eth.Addr) {
 	s.mu.Unlock()
 }
 
-// Readable returns the channel of connections that transitioned to having
-// data (or EOF, or an error) pending. Each connection appears at most once
-// until the application drains it — an edge-triggered epoll analogue for
-// the single-threaded server loop.
-func (s *Stack) Readable() <-chan *Conn { return s.ready }
+// Readable returns queue 0's channel of connections that transitioned to
+// having data (or EOF, or an error) pending. Each connection appears at
+// most once until the application drains it — an edge-triggered epoll
+// analogue for the single-threaded server loop. Multi-queue servers use
+// ReadableQ per loop; a connection's events always arrive on the channel
+// of the RSS queue its flow hashes to.
+func (s *Stack) Readable() <-chan *Conn { return s.ready[0] }
+
+// ReadableQ returns the readable-event channel of RSS queue q.
+func (s *Stack) ReadableQ(q int) <-chan *Conn { return s.ready[q] }
+
+// Queues returns the number of RSS queues (= readable channels).
+func (s *Stack) Queues() int { return len(s.ready) }
 
 // Close shuts the stack down: all connections error out, the NIC closes,
 // and the receive loops exit.
@@ -449,7 +460,7 @@ func (s *Stack) pushReadyLocked(c *Conn) {
 		return
 	}
 	select {
-	case s.ready <- c:
+	case s.ready[c.rxq] <- c:
 		c.readyQueued = true
 	default:
 		// Event queue overflow: the server loop will still find the data

@@ -47,6 +47,16 @@ type Config struct {
 	// Seed makes runs reproducible; each connection derives its own
 	// stream.
 	Seed int64
+	// QueueOf, when set together with ShardOfKey, maps a freshly dialed
+	// connection to the server RSS queue its flow hashes to. The
+	// generator then salts each key until it hashes to that queue's
+	// shard — the client side of the hash-alignment invariant
+	// (DESIGN.md §5.7): every PUT arrives at the loop owning its shard,
+	// keeping the zero-copy ingest path core-local.
+	QueueOf func(kvclient.Conn) int
+	// ShardOfKey maps a key to its owning shard (bind core.ShardOf to
+	// the shard count).
+	ShardOfKey func(key []byte) int
 }
 
 // Result aggregates a run.
@@ -123,6 +133,33 @@ func Run(cfg Config, dial Dialer) (Result, error) {
 			}
 			cl := kvclient.New(conn)
 			defer cl.Close()
+			alignQ := -1
+			var keyCache map[int][]byte
+			if cfg.QueueOf != nil && cfg.ShardOfKey != nil {
+				alignQ = cfg.QueueOf(conn)
+				keyCache = make(map[int][]byte)
+			}
+			makeKey := func(keyID int) []byte {
+				if alignQ < 0 {
+					return []byte(fmt.Sprintf("key%012d", keyID))
+				}
+				if k, ok := keyCache[keyID]; ok {
+					return k
+				}
+				// Deterministic rejection sampling: the first salt that
+				// lands the key on this connection's queue (expected
+				// iterations = shard count). Each queue thus works a
+				// disjoint key subspace, like per-core wrk streams.
+				var k []byte
+				for salt := 0; ; salt++ {
+					k = []byte(fmt.Sprintf("key%012d-%04d", keyID, salt))
+					if cfg.ShardOfKey(k) == alignQ {
+						break
+					}
+				}
+				keyCache[keyID] = k
+				return k
+			}
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*7919))
 			var zipf *rand.Zipf
 			if cfg.KeyDist == DistZipf {
@@ -152,7 +189,7 @@ func Run(cfg Config, dial Dialer) (Result, error) {
 				case DistZipf:
 					keyID = int(zipf.Uint64())
 				}
-				key := []byte(fmt.Sprintf("key%012d", keyID))
+				key := makeKey(keyID)
 
 				op := rng.Intn(100)
 				t0 := time.Now()

@@ -45,6 +45,9 @@ type (
 	Record = core.Record
 	// PutOptions drives the zero-copy ingest path.
 	PutOptions = core.PutOptions
+	// ShardedStore partitions a region into independent store shards
+	// routed by key hash (see DESIGN.md §5.7).
+	ShardedStore = core.ShardedStore
 
 	// Region is the simulated persistent-memory device.
 	Region = pmem.Region
@@ -82,12 +85,27 @@ func OpenRegionFile(path string, size int, p Profile) (*Region, error) {
 // Open formats or recovers a Store over a region.
 func Open(r *Region, cfg StoreConfig) (*Store, error) { return core.Open(r, cfg) }
 
+// OpenSharded formats or recovers a ShardedStore of n partitions over a
+// region (recovery scans shards in parallel). Size the region with
+// ShardedRegionSize.
+func OpenSharded(r *Region, cfg StoreConfig, n int) (*ShardedStore, error) {
+	return core.OpenSharded(r, cfg, n)
+}
+
+// ShardedRegionSize returns the region size n shards of cfg need.
+func ShardedRegionSize(cfg StoreConfig, n int) int { return core.ShardedRegionSize(cfg, n) }
+
 // Cluster is a complete simulated deployment: a storage server running
 // the packetstore over the simulated network stack, and a client host to
 // connect from. It is the programmatic form of the paper's testbed.
 type Cluster struct {
+	// Store is shard 0 — the whole store in the default single-shard
+	// deployment.
 	Store  *Store
 	Region *Region
+	// Sharded is the full sharded view (one shard unless
+	// ClusterConfig.Shards > 1).
+	Sharded *ShardedStore
 
 	tb  *host.Testbed
 	srv *kvserver.Server
@@ -103,6 +121,11 @@ type ClusterConfig struct {
 	// Region supplies an existing PM region (e.g. file-backed, or one
 	// that survived a simulated crash); nil allocates a fresh one.
 	Region *Region
+	// Shards partitions the store (and the server) N ways: N store
+	// shards, N NIC RSS queues each receiving into its shard's PM
+	// partition, N server event loops. 0 or 1 keeps the original
+	// single-core deployment bit-for-bit.
+	Shards int
 }
 
 // NewCluster builds and starts a simulated deployment. The server NIC
@@ -113,25 +136,54 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if sc.MetaSlots == 0 && sc.DataSlots == 0 {
 		sc.ChecksumReuse = true
 	}
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
+	}
 	r := cfg.Region
 	if r == nil {
-		r = pmem.New(sc.RegionSize(), cfg.Profile)
+		r = pmem.New(core.ShardedRegionSize(sc, n), cfg.Profile)
 	}
-	store, err := core.Open(r, sc)
+	if n == 1 {
+		// Single shard: the original deployment, unchanged layout and
+		// single-queue server path.
+		store, err := core.Open(r, sc)
+		if err != nil {
+			return nil, err
+		}
+		tb := host.NewTestbed(host.Options{
+			Profile:      cfg.Profile,
+			ServerRxPool: store.Pool(),
+		})
+		srv, err := kvserver.New(tb.Server.Stack, 80, kvserver.PktStore{S: store})
+		if err != nil {
+			tb.Close()
+			return nil, err
+		}
+		go srv.Run()
+		return &Cluster{
+			Store: store, Region: r, Sharded: core.WrapSharded(store),
+			tb: tb, srv: srv,
+		}, nil
+	}
+	ss, err := core.OpenSharded(r, sc, n)
 	if err != nil {
 		return nil, err
 	}
 	tb := host.NewTestbed(host.Options{
-		Profile:      cfg.Profile,
-		ServerRxPool: store.Pool(),
+		Profile:       cfg.Profile,
+		ServerRxPools: ss.Pools(),
 	})
-	srv, err := kvserver.New(tb.Server.Stack, 80, kvserver.PktStore{S: store})
+	srv, err := kvserver.New(tb.Server.Stack, 80, kvserver.ShardedPktStore{S: ss})
 	if err != nil {
 		tb.Close()
 		return nil, err
 	}
 	go srv.Run()
-	return &Cluster{Store: store, Region: r, tb: tb, srv: srv}, nil
+	return &Cluster{
+		Store: ss.Shard(0), Region: r, Sharded: ss,
+		tb: tb, srv: srv,
+	}, nil
 }
 
 // Dial opens a client connection to the cluster's server and wraps it in

@@ -62,6 +62,78 @@ func TestClusterSurvivesReboot(t *testing.T) {
 	}
 }
 
+func TestClusterSharded(t *testing.T) {
+	cluster, err := NewCluster(ClusterConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Keys land on all four shards regardless of which queue this one
+	// connection hashes to: aligned PUTs take the zero-copy path, the
+	// rest fall back to the copy path via the sharded backend.
+	const n = 64
+	key := func(i int) []byte { return []byte{byte('a' + i%26), byte('0' + i/26), 'k'} }
+	for i := 0; i < n; i++ {
+		if err := cl.Put(key(i), bytes.Repeat([]byte{byte(i)}, 100+i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		got, ok, err := cl.Get(key(i))
+		if err != nil || !ok || !bytes.Equal(got, bytes.Repeat([]byte{byte(i)}, 100+i)) {
+			t.Fatalf("get %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if cluster.Sharded.Len() != n {
+		t.Fatalf("sharded len %d, want %d", cluster.Sharded.Len(), n)
+	}
+	populated := 0
+	for i := 0; i < cluster.Sharded.Shards(); i++ {
+		if cluster.Sharded.Shard(i).Len() > 0 {
+			populated++
+		}
+	}
+	if populated < 2 {
+		t.Fatalf("keys landed on %d shards, want spread", populated)
+	}
+	kvs, err := cl.Range(nil, nil, 0)
+	if err != nil || len(kvs) != n {
+		t.Fatalf("range: %d kvs, err %v", len(kvs), err)
+	}
+	for i := 1; i < len(kvs); i++ {
+		if bytes.Compare(kvs[i-1].Key, kvs[i].Key) >= 0 {
+			t.Fatalf("range out of order at %d", i)
+		}
+	}
+	cl.Close()
+	region := cluster.Region
+	cluster.Close()
+
+	// Crash and reboot at the same shard count: parallel recovery must
+	// round-trip every committed record.
+	region.Crash(rand.New(rand.NewSource(7)))
+	cluster2, err := NewCluster(ClusterConfig{Region: region, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster2.Close()
+	cl2, err := cluster2.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	for i := 0; i < n; i++ {
+		got, ok, err := cl2.Get(key(i))
+		if err != nil || !ok || !bytes.Equal(got, bytes.Repeat([]byte{byte(i)}, 100+i)) {
+			t.Fatalf("after reboot, get %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+}
+
 func TestDirectStoreAPI(t *testing.T) {
 	r := NewRegion(StoreConfig{}.RegionSize(), NoLatencyProfile())
 	s, err := Open(r, StoreConfig{VerifyOnGet: true})
