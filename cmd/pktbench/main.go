@@ -4,9 +4,14 @@
 //
 // Usage:
 //
-//	pktbench -experiment table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|all \
+//	pktbench -experiment table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|all \
 //	         [-profile paper|fast|off] [-requests N] [-duration D] [-conns 1,25,50,75,100] \
-//	         [-shards 1,2,4,8] [-json FILE]
+//	         [-shards 1,2,4,8] [-seeds N] [-json FILE]
+//
+// The torture experiment sweeps the fault-injection harness (crash,
+// corruption, shard-loss and network-fault modes) over -seeds seeds and
+// writes BENCH_torture.json; any failing run names its seed and exits
+// non-zero.
 package main
 
 import (
@@ -24,7 +29,8 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|all")
+		experiment = flag.String("experiment", "all", "table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|all")
+		seeds      = flag.Int("seeds", 256, "torture runs for the crash mode (other modes scale down)")
 		profile    = flag.String("profile", "paper", "latency profile: paper|fast|off")
 		requests   = flag.Int("requests", 4000, "requests per RTT measurement")
 		duration   = flag.Duration("duration", time.Second, "measurement window per throughput point")
@@ -158,6 +164,31 @@ func main() {
 					return err
 				}
 				fmt.Printf("wrote %s\n", *jsonPath)
+			}
+			return nil
+		})
+	}
+	if want("torture") {
+		run("E9 torture", func() error {
+			res, err := bench.RunTorture(*seeds, 1000)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			out := *jsonPath
+			if out == "" || *experiment == "all" {
+				out = "BENCH_torture.json"
+			}
+			blob, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+			if res.Failed() {
+				return fmt.Errorf("torture sweep had failing runs (seeds above)")
 			}
 			return nil
 		})

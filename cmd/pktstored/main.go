@@ -31,6 +31,8 @@ func main() {
 		metaSlots = flag.Int("meta-slots", 65536, "metadata slots (fixed at image creation)")
 		dataSlots = flag.Int("data-slots", 65536, "data slots (fixed at image creation)")
 		shards    = flag.Int("shards", 1, "store partitions (fixed at image creation; slots are per shard)")
+		maxConns  = flag.Int("max-conns", 0, "connection cap; beyond it new connections are shed with 503 (0 = unlimited)")
+		idle      = flag.Duration("idle-timeout", 0, "close connections idle this long (0 = never)")
 	)
 	flag.Parse()
 	if *shards < 1 {
@@ -54,12 +56,18 @@ func main() {
 	}
 	fmt.Printf("pktstored: %d records recovered from %s (%d shards)\n",
 		ss.Len(), *pmPath, ss.Shards())
+	for i, h := range ss.Health() {
+		if h != nil {
+			fmt.Fprintf(os.Stderr, "pktstored: WARNING shard %d quarantined: %v (its keys answer 503)\n", i, h)
+		}
+	}
 
 	lst, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatal(err)
 	}
-	srv := kvserver.NewNetServer(lst, kvserver.ShardedPktStore{S: ss})
+	srv := kvserver.NewNetServerWithConfig(lst, kvserver.ShardedPktStore{S: ss},
+		kvserver.Config{MaxConns: *maxConns, IdleTimeout: *idle})
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

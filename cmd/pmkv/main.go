@@ -41,7 +41,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer r.Close()
 	s, err := core.Open(r, cfg)
 	if err != nil {
 		fatal(err)
@@ -115,6 +114,11 @@ func main() {
 		}
 	default:
 		usage()
+	}
+	// Close writes the durable image back to the file; a failure here
+	// means the mutation above did not land, so it must be fatal.
+	if err := s.Close(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -46,7 +46,7 @@ func main() {
 	cluster.Close()
 
 	fmt.Println("POWER FAILURE: unflushed cache lines are lost")
-	region.Crash(rand.New(rand.NewSource(time.Now().UnixNano() % 1000)))
+	region.Crash(time.Now().UnixNano() % 1000)
 
 	fmt.Println("rebooting: rescanning persistent packet metadata...")
 	t0 := time.Now()

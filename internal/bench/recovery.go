@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 	"io"
-	"math/rand"
 	"time"
 
 	"packetstore/internal/calib"
@@ -49,7 +48,7 @@ func RunRecovery(profile calib.Profile, counts []int) (RecoveryResult, error) {
 				return out, fmt.Errorf("load %d/%d: %w", i, n, err)
 			}
 		}
-		r.Crash(rand.New(rand.NewSource(int64(n))))
+		r.Crash(int64(n))
 
 		t0 := time.Now()
 		s2, err := core.Open(r, cfg)

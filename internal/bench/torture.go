@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"packetstore/internal/fault"
+	"packetstore/internal/pmem"
+)
+
+// TortureMode aggregates one fault mode's sweep.
+type TortureMode struct {
+	Mode        string
+	Runs        int
+	Failures    int
+	SuccessRate float64
+	// FailureNotes carries the first few failures verbatim — each names
+	// the seed that reproduces it.
+	FailureNotes []string `json:",omitempty"`
+	// SlotsQuarantined totals slots fenced off by recovery across the
+	// sweep; Detected totals corrupted keys surfaced as a miss or error.
+	SlotsQuarantined int
+	Detected         int
+	// Recovery time distribution across the mode's runs, microseconds.
+	RecoveryP50us float64
+	RecoveryP95us float64
+	RecoveryMaxus float64
+}
+
+// TortureResult is experiment E9: the randomized crash-consistency,
+// corruption, shard-loss and network-fault torture sweep. Success rate
+// below 1.0 is a correctness bug, not a performance result.
+type TortureResult struct {
+	BaseSeed int64
+	Modes    []TortureMode
+}
+
+// RunTorture sweeps all four fault modes. seeds scales the crash mode
+// (the headline); the other modes run proportionally smaller sweeps.
+func RunTorture(seeds int, baseSeed int64) (TortureResult, error) {
+	if seeds <= 0 {
+		seeds = 256
+	}
+	// The sweep injects one crash per run; record seeds in results
+	// instead of spamming the log.
+	pmem.SetCrashLogger(func(int64) {})
+	defer pmem.SetCrashLogger(nil)
+
+	out := TortureResult{BaseSeed: baseSeed}
+	sweep := func(mode string, runs int, one func(seed int64) (fault.RunStats, error)) {
+		m := TortureMode{Mode: mode, Runs: runs}
+		var recNs []int64
+		for i := 0; i < runs; i++ {
+			rs, err := one(baseSeed + int64(i))
+			m.SlotsQuarantined += rs.SlotsQuarantined
+			m.Detected += rs.Detected
+			if rs.RecoveryNs > 0 {
+				recNs = append(recNs, rs.RecoveryNs)
+			}
+			if err != nil {
+				m.Failures++
+				if len(m.FailureNotes) < 8 {
+					m.FailureNotes = append(m.FailureNotes, fmt.Sprintf("seed %d: %v", rs.Seed, err))
+				}
+			}
+		}
+		m.SuccessRate = float64(runs-m.Failures) / float64(runs)
+		m.RecoveryP50us = pctUs(recNs, 0.50)
+		m.RecoveryP95us = pctUs(recNs, 0.95)
+		m.RecoveryMaxus = pctUs(recNs, 1.00)
+		out.Modes = append(out.Modes, m)
+	}
+
+	sweep("crash", seeds, func(seed int64) (fault.RunStats, error) {
+		shards := 1
+		if seed%2 == 1 {
+			shards = 4
+		}
+		return fault.RunCrash(seed, shards)
+	})
+	sweep("corrupt", max(8, seeds/4), fault.RunCorrupt)
+	sweep("shard", max(4, seeds/8), fault.RunShard)
+	sweep("net", max(2, seeds/32), fault.RunNet)
+	return out, nil
+}
+
+// Failed reports whether any mode had a failing run.
+func (r TortureResult) Failed() bool {
+	for _, m := range r.Modes {
+		if m.Failures > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// pctUs returns the q-quantile of ns samples, in microseconds.
+func pctUs(ns []int64, q float64) float64 {
+	if len(ns) == 0 {
+		return 0
+	}
+	sort.Slice(ns, func(a, b int) bool { return ns[a] < ns[b] })
+	i := int(q*float64(len(ns))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(ns) {
+		i = len(ns) - 1
+	}
+	return float64(ns[i]) / 1000
+}
+
+// Print renders the torture summary.
+func (r TortureResult) Print(w io.Writer) {
+	fprintf(w, "Torture (E9): seeded fault injection, base seed %d\n", r.BaseSeed)
+	fprintf(w, "%8s %6s %6s %9s %12s %10s %14s %14s %14s\n",
+		"mode", "runs", "fail", "success", "quarantined", "detected",
+		"rec p50 [us]", "rec p95 [us]", "rec max [us]")
+	for _, m := range r.Modes {
+		fprintf(w, "%8s %6d %6d %8.1f%% %12d %10d %14.1f %14.1f %14.1f\n",
+			m.Mode, m.Runs, m.Failures, m.SuccessRate*100,
+			m.SlotsQuarantined, m.Detected,
+			m.RecoveryP50us, m.RecoveryP95us, m.RecoveryMaxus)
+		for _, note := range m.FailureNotes {
+			fprintf(w, "         FAIL %s\n", note)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package bench
+
+import "testing"
+
+// TestRunTortureSmoke runs a tiny sweep of every fault mode through the
+// bench wrapper; the full sweep is pktbench -experiment torture.
+func TestRunTortureSmoke(t *testing.T) {
+	res, err := RunTorture(4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Modes) != 4 {
+		t.Fatalf("want 4 modes, got %d", len(res.Modes))
+	}
+	if res.Failed() {
+		for _, m := range res.Modes {
+			for _, note := range m.FailureNotes {
+				t.Errorf("%s: %s", m.Mode, note)
+			}
+		}
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math/rand"
 	"sync"
 	"time"
@@ -81,6 +82,16 @@ const (
 	oChainExt     = 8
 	oChainNext    = 116
 
+	// oSlotSum holds a CRC32C over the slot image's immutable fields —
+	// including the commit sequence the slot will carry once committed —
+	// plus the key bytes (record slots), or over the whole image prefix
+	// (chain slots). Only the tower is excluded: it is retargeted at
+	// runtime without re-persisting. Recovery rejects — and quarantines —
+	// any committed slot whose stored sum does not match, so a flipped
+	// bit in the commit word itself, or a stale slot "resurrected" by a
+	// bit flip after its word was cleared, fails validation too.
+	oSlotSum = 120
+
 	// Superblock field offsets.
 	sbOMagic     = 0
 	sbOMetaBase  = 16
@@ -97,7 +108,37 @@ var (
 	ErrFull       = errors.New("pktstore: out of metadata or data slots")
 	ErrKeyTooLong = errors.New("pktstore: key exceeds 64KB")
 	ErrCorrupt    = errors.New("pktstore: corrupt store")
+	// ErrShardDown marks an operation routed to a quarantined shard: its
+	// recovery or verification failed, so it is fenced off while the rest
+	// of the store keeps serving. Errors carry the shard index and reason;
+	// match with errors.Is.
+	ErrShardDown = errors.New("pktstore: shard quarantined")
 )
+
+// slotCRCTable is the Castagnoli polynomial, the same one iSCSI/ext4 use
+// for metadata integrity (hardware CRC32C on amd64/arm64).
+var slotCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// slotSum computes a record slot's integrity checksum: CRC32C over the
+// immutable image regions — header, commit word, record fields, extents
+// and chain pointer — plus the key bytes, so a flipped bit in either the
+// metadata or the key itself is caught at recovery. Put computes it with
+// the record's future commit sequence stamped into the image (the
+// sequence is assigned before the image is built), so the sum stored
+// with the uncommitted image already matches the committed slot. Only
+// the tower [oTower,oExt) is excluded (see oSlotSum).
+func slotSum(img, key []byte) uint32 {
+	c := crc32.Update(0, slotCRCTable, img[oMagic:oTower])
+	c = crc32.Update(c, slotCRCTable, img[oExt:oSlotSum])
+	return crc32.Update(c, slotCRCTable, key)
+}
+
+// chainSum is the integrity checksum of an extent-chain slot: every chain
+// field lives in [0, oSlotSum), and chain slots are never mutated after
+// they persist, so the whole prefix is covered.
+func chainSum(img []byte) uint32 {
+	return crc32.Update(0, slotCRCTable, img[:oSlotSum])
+}
 
 // Config tunes a Store.
 type Config struct {
@@ -157,6 +198,9 @@ type Stats struct {
 	ChecksumComputed            uint64
 	BytesStored                 uint64
 	Records                     int
+	// SlotsQuarantined counts metadata slots fenced off by recovery after
+	// failing structural or checksum validation.
+	SlotsQuarantined int
 }
 
 // Breakdown accumulates per-phase put time for the Table 2 reproduction.
@@ -187,6 +231,10 @@ type Store struct {
 	dataRefs []int32   // per data slot: -1 pool-owned, >=0 store refs
 	seq      uint64
 	count    int
+	// quarantined counts committed slots that failed validation during
+	// recovery. They are fenced off: never served, never handed out for
+	// reuse (the corruption may be a media fault that would recur).
+	quarantined int
 
 	rng   *rand.Rand
 	stats Stats
@@ -218,7 +266,8 @@ func openAt(r *pmem.Region, cfg Config, base int) (*Store, error) {
 	}
 	s.pool = pkt.NewPMPool(r, s.dataBase, cfg.DataBufSize, cfg.DataSlots)
 
-	if r.ReadUint64(base+sbOMagic) == sbMagic {
+	switch magic := r.ReadUint64(base + sbOMagic); magic {
+	case sbMagic:
 		if err := s.validateSuperblock(); err != nil {
 			return nil, err
 		}
@@ -226,9 +275,14 @@ func openAt(r *pmem.Region, cfg Config, base int) (*Store, error) {
 			return nil, err
 		}
 		return s, nil
+	case 0:
+		s.format()
+		return s, nil
+	default:
+		// Neither our magic nor a fresh (zeroed) device: formatting here
+		// would silently destroy whatever the region holds.
+		return nil, fmt.Errorf("%w: unrecognized superblock magic %#x (refusing to format over existing data)", ErrCorrupt, magic)
 	}
-	s.format()
-	return s, nil
 }
 
 // Pool returns the data-area packet pool; the NIC uses it as its receive
@@ -252,8 +306,25 @@ func (s *Store) Stats() Stats {
 	defer s.mu.Unlock()
 	st := s.stats
 	st.Records = s.count
+	st.SlotsQuarantined = s.quarantined
 	return st
 }
+
+// Quarantined reports how many metadata slots recovery fenced off as
+// corrupt.
+func (s *Store) Quarantined() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined
+}
+
+// Sync writes the region's durable image to its backing file, if any.
+func (s *Store) Sync() error { return s.r.Sync() }
+
+// Close syncs the backing region and releases its file. The error
+// surfaces write failures that would otherwise silently lose the durable
+// image on file-backed deployments.
+func (s *Store) Close() error { return s.r.Close() }
 
 // Breakdown returns cumulative put-phase timings.
 func (s *Store) Breakdown() Breakdown {

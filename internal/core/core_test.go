@@ -353,7 +353,7 @@ func TestCrashRecoveryProperty(t *testing.T) {
 				ref[k] = v
 			}
 		}
-		r.Crash(rng)
+		r.Crash(rng.Int63())
 		s2, err := Open(r, cfg)
 		if err != nil {
 			t.Fatalf("seed %d: recovery failed: %v", seed, err)
@@ -392,7 +392,7 @@ func TestCrashDuringOverwriteKeepsOneVersion(t *testing.T) {
 		for i := 1; i <= 5; i++ {
 			s.Put([]byte("k"), []byte(fmt.Sprintf("v%d", i)))
 		}
-		r.Crash(rand.New(rand.NewSource(seed)))
+		r.Crash(seed)
 		s2, err := Open(r, cfg)
 		if err != nil {
 			t.Fatal(err)

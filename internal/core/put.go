@@ -201,6 +201,14 @@ func (s *Store) putLocked(key []byte, vlen int, opt PutOptions) error {
 		binary.LittleEndian.PutUint32(img[oChain:], uint32(chains[0]+1))
 		s.writeChainsLocked(chains, exts[inlineExtents:])
 	}
+	// The checksum covers the commit word, so compute it with the final
+	// sequence stamped in, then restore seq=0: the image persists
+	// uncommitted, and the later 8-byte commit write turns the slot into
+	// exactly what the sum describes.
+	seq := s.seq + 1
+	binary.LittleEndian.PutUint64(img[oSeq:], seq)
+	binary.LittleEndian.PutUint32(img[oSlotSum:], slotSum(img, key))
+	binary.LittleEndian.PutUint64(img[oSeq:], 0)
 	s.bd.Meta += time.Since(tMeta)
 
 	// Persist. Ordering needs three fences: (1) the data lines, key bytes
@@ -216,8 +224,8 @@ func (s *Store) putLocked(key []byte, vlen int, opt PutOptions) error {
 	s.r.Flush(opt.KeyOff, len(key))
 	s.r.Flush(off, s.cfg.SlotSize)
 	s.r.Fence()
-	s.seq++
-	s.r.WriteUint64(off+oSeq, s.seq)
+	s.seq = seq
+	s.r.WriteUint64(off+oSeq, seq)
 	s.r.Persist(off+oSeq, 8)
 	s.bd.Flush += time.Since(tFlush)
 
@@ -293,6 +301,7 @@ func (s *Store) writeChainsLocked(chains []int, exts []Extent) {
 		if ci+1 < len(chains) {
 			binary.LittleEndian.PutUint32(img[oChainNext:], uint32(chains[ci+1]+1))
 		}
+		binary.LittleEndian.PutUint32(img[oSlotSum:], chainSum(img))
 		off := s.slotOff(idx)
 		s.r.Write(off, img)
 		s.r.Flush(off, s.cfg.SlotSize)
@@ -313,7 +322,12 @@ func (s *Store) readExtentsLocked(sl []byte) ([]Extent, error) {
 		})
 	}
 	chain := int(binary.LittleEndian.Uint32(sl[oChain:])) - 1
-	for chain >= 0 {
+	for hops := 0; chain >= 0; hops++ {
+		if chain >= s.cfg.MetaSlots || hops >= s.cfg.MetaSlots {
+			// Out-of-range or cyclic chain pointer: corruption must not
+			// crash or hang the scan.
+			return nil, fmt.Errorf("%w: broken extent chain", ErrCorrupt)
+		}
 		cs := s.slot(chain)
 		if binary.LittleEndian.Uint32(cs[oMagic:]) != chainMagic {
 			return nil, fmt.Errorf("%w: broken extent chain", ErrCorrupt)

@@ -35,8 +35,16 @@ func (s *Store) recover() error {
 			continue // never committed, or deleted
 		}
 		if err := s.validateSlot(sl); err != nil {
-			// A committed slot that fails validation is corruption; be
-			// conservative and skip it rather than refuse to open.
+			if debugQuarantine != nil {
+				debugQuarantine(i, err)
+			}
+			// A committed slot that fails validation is corruption:
+			// quarantine it. It is never served (not indexed) and never
+			// reused (kept out of the free list — the fault may be media
+			// damage that would eat the next record too), and the store
+			// still opens: every other committed record keeps serving.
+			s.quarantined++
+			used[i] = true
 			continue
 		}
 		key := append([]byte(nil), s.slotKey(sl)...)
@@ -66,8 +74,8 @@ func (s *Store) recover() error {
 			return err
 		}
 		chain := int(binary.LittleEndian.Uint32(sl[oChain:])) - 1
-		for chain >= 0 {
-			if chain >= s.cfg.MetaSlots {
+		for hops := 0; chain >= 0; hops++ {
+			if chain >= s.cfg.MetaSlots || hops >= s.cfg.MetaSlots {
 				return fmt.Errorf("%w: chain index out of range", ErrCorrupt)
 			}
 			used[chain] = true
@@ -144,8 +152,10 @@ func (s *Store) adoptForRecovery(off int) {
 	}
 }
 
-// validateSlot sanity-checks a committed slot's offsets before trusting
-// them.
+// validateSlot sanity-checks a committed slot's offsets, then verifies
+// the stored CRC32C (slot image fields + key bytes, and every chain
+// slot) before trusting any of it. Structural checks run first so the
+// key read the checksum needs is itself safe.
 func (s *Store) validateSlot(sl []byte) error {
 	klen := int(binary.LittleEndian.Uint32(sl[oKLen:]))
 	koff := int(binary.LittleEndian.Uint32(sl[oKOff:]))
@@ -169,6 +179,20 @@ func (s *Store) validateSlot(sl []byte) error {
 	}
 	if total != vlen {
 		return fmt.Errorf("%w: extent lengths %d != value length %d", ErrCorrupt, total, vlen)
+	}
+	if binary.LittleEndian.Uint32(sl[oSlotSum:]) != slotSum(sl, s.slotKey(sl)) {
+		return fmt.Errorf("%w: slot checksum mismatch", ErrCorrupt)
+	}
+	chain := int(binary.LittleEndian.Uint32(sl[oChain:])) - 1
+	for hops := 0; chain >= 0; hops++ {
+		if chain >= s.cfg.MetaSlots || hops >= s.cfg.MetaSlots {
+			return fmt.Errorf("%w: broken extent chain", ErrCorrupt)
+		}
+		cs := s.slot(chain)
+		if binary.LittleEndian.Uint32(cs[oSlotSum:]) != chainSum(cs) {
+			return fmt.Errorf("%w: chain slot checksum mismatch", ErrCorrupt)
+		}
+		chain = int(binary.LittleEndian.Uint32(cs[oChainNext:])) - 1
 	}
 	return nil
 }
@@ -277,3 +301,9 @@ func (s *Store) Verify() ([][]byte, error) {
 	})
 	return bad, err
 }
+
+// debugQuarantine, when set, observes each quarantined slot (test hook).
+var debugQuarantine func(slot int, err error)
+
+// SetDebugQuarantine installs the quarantine observer (test hook).
+func SetDebugQuarantine(fn func(slot int, err error)) { debugQuarantine = fn }

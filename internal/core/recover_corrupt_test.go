@@ -1,0 +1,166 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"packetstore/internal/calib"
+	"packetstore/internal/pmem"
+)
+
+// Corruption-path recovery tests: each damages persisted metadata in a
+// specific way and requires recovery to quarantine exactly the damaged
+// record — never serve it, never crash, never lose the healthy ones.
+
+func corruptSetup(t *testing.T) (*pmem.Region, Config, *Store) {
+	t.Helper()
+	cfg := Config{MetaSlots: 64, SlotSize: 128, DataSlots: 64, DataBufSize: 512, VerifyOnGet: true}
+	r := pmem.New(cfg.RegionSize(), calib.Off())
+	s, err := Open(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"alpha", "beta", "gamma"} {
+		if err := s.Put([]byte(k), bytes.Repeat([]byte(k), 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r, cfg, s
+}
+
+// slotOf locates the committed slot holding key.
+func slotOf(t *testing.T, s *Store, key string) int {
+	t.Helper()
+	for i := 0; i < s.cfg.MetaSlots; i++ {
+		sl := s.slot(i)
+		if binary.LittleEndian.Uint32(sl[oMagic:]) != slotMagic ||
+			binary.LittleEndian.Uint64(sl[oSeq:]) == 0 {
+			continue
+		}
+		if string(s.slotKey(sl)) == key {
+			return i
+		}
+	}
+	t.Fatalf("no committed slot for %q", key)
+	return -1
+}
+
+// patch applies new over old at region offset off in both the volatile
+// and durable images (media damage, not a crash artifact).
+func patch(r *pmem.Region, off int, old, new []byte) {
+	for i := range old {
+		if old[i] != new[i] {
+			r.CorruptByte(off+i, old[i]^new[i])
+		}
+	}
+}
+
+// checkDegraded reopens the store and verifies: the damaged key is
+// quarantined (missing, never wrong bytes), the healthy keys serve
+// exactly, and the store still accepts writes.
+func checkDegraded(t *testing.T, r *pmem.Region, cfg Config, damaged string) *Store {
+	t.Helper()
+	s2, err := Open(r, cfg)
+	if err != nil {
+		t.Fatalf("store must open degraded, got: %v", err)
+	}
+	if got := s2.Quarantined(); got != 1 {
+		t.Fatalf("quarantined %d slots, want 1", got)
+	}
+	if _, ok, err := s2.Get([]byte(damaged)); ok || err != nil {
+		t.Fatalf("damaged key %q: ok=%v err=%v, want a clean miss", damaged, ok, err)
+	}
+	for _, k := range []string{"alpha", "beta", "gamma"} {
+		if k == damaged {
+			continue
+		}
+		got, ok, err := s2.Get([]byte(k))
+		if err != nil || !ok || !bytes.Equal(got, bytes.Repeat([]byte(k), 20)) {
+			t.Fatalf("healthy key %q lost: ok=%v err=%v", k, ok, err)
+		}
+	}
+	if err := s2.Put([]byte("post"), []byte("damage")); err != nil {
+		t.Fatalf("degraded store must accept writes: %v", err)
+	}
+	return s2
+}
+
+// TestRecoverTruncatedSlot wipes the tail half of a committed slot —
+// the state a torn multi-line metadata write-back leaves behind.
+func TestRecoverTruncatedSlot(t *testing.T) {
+	r, cfg, s := corruptSetup(t)
+	off := s.slotOff(slotOf(t, s, "beta")) + 64
+	old := append([]byte(nil), r.Slice(off, 64)...)
+	patch(r, off, old, make([]byte, 64))
+	checkDegraded(t, r, cfg, "beta")
+}
+
+// TestRecoverBadChecksum flips a single bit of a committed slot's
+// stored CRC.
+func TestRecoverBadChecksum(t *testing.T) {
+	r, cfg, s := corruptSetup(t)
+	r.CorruptByte(s.slotOff(slotOf(t, s, "gamma"))+oSlotSum, 0x01)
+	checkDegraded(t, r, cfg, "gamma")
+}
+
+// TestRecoverExtentOutOfArea points a committed slot's first extent
+// past the end of the data area — with the checksum recomputed to
+// match, so the structural validation is what must reject it.
+func TestRecoverExtentOutOfArea(t *testing.T) {
+	r, cfg, s := corruptSetup(t)
+	idx := slotOf(t, s, "alpha")
+	off := s.slotOff(idx)
+	old := append([]byte(nil), r.Slice(off, cfg.SlotSize)...)
+	img := append([]byte(nil), old...)
+	binary.LittleEndian.PutUint32(img[oExt:], uint32(s.dataBase+cfg.DataSlots*cfg.DataBufSize))
+	binary.LittleEndian.PutUint32(img[oSlotSum:], slotSum(img, s.slotKey(old)))
+	patch(r, off, old, img)
+	checkDegraded(t, r, cfg, "alpha")
+}
+
+// TestRecoverDuplicateSeq clones a committed slot bit-for-bit into a
+// free slot — same key, same sequence, both checksums valid. Recovery
+// must keep exactly one copy and clear the other, not crash and not
+// double-count.
+func TestRecoverDuplicateSeq(t *testing.T) {
+	r, cfg, s := corruptSetup(t)
+	idx := slotOf(t, s, "beta")
+	img := append([]byte(nil), r.Slice(s.slotOff(idx), cfg.SlotSize)...)
+	free := -1
+	for i := 0; i < cfg.MetaSlots; i++ {
+		if binary.LittleEndian.Uint32(s.slot(i)[oMagic:]) == 0 {
+			free = i
+			break
+		}
+	}
+	if free < 0 {
+		t.Fatal("no free slot")
+	}
+	fOff := s.slotOff(free)
+	patch(r, fOff, append([]byte(nil), r.Slice(fOff, cfg.SlotSize)...), img)
+
+	s2, err := Open(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Len(); got != 3 {
+		t.Fatalf("duplicate seq double-counted: len %d, want 3", got)
+	}
+	v, ok, err := s2.Get([]byte("beta"))
+	if err != nil || !ok || !bytes.Equal(v, bytes.Repeat([]byte("beta"), 20)) {
+		t.Fatalf("beta lost to dedup: ok=%v err=%v", ok, err)
+	}
+	committed := 0
+	for _, i := range []int{idx, free} {
+		if binary.LittleEndian.Uint64(s2.slot(i)[oSeq:]) != 0 {
+			committed++
+		}
+	}
+	if committed != 1 {
+		t.Fatalf("%d copies still committed, want 1 (loser's commit word cleared)", committed)
+	}
+	if got := s2.Quarantined(); got != 0 {
+		t.Fatalf("valid duplicate quarantined (%d); dedup should retire it", got)
+	}
+}

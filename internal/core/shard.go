@@ -55,7 +55,12 @@ type ShardedStore struct {
 	r      *pmem.Region
 	cfg    Config
 	stride int
+
+	// mu guards shards/down: a shard can be quarantined at runtime (nil
+	// entry + reason) while the others keep serving.
+	mu     sync.RWMutex
 	shards []*Store
+	down   []error // per shard: non-nil reason when quarantined
 }
 
 // OpenSharded formats or recovers a ShardedStore of shards partitions
@@ -63,6 +68,11 @@ type ShardedStore struct {
 // Recovery scans all shards in parallel: each partition's metadata scan
 // and index rebuild is independent, so post-crash restart time scales
 // with the largest shard, not the sum.
+//
+// Graceful degradation: in a multi-shard store, a shard whose recovery
+// fails is quarantined (its keyspace answers ErrShardDown) rather than
+// failing the whole open; only a single-shard store, or all shards
+// failing, makes Open return an error.
 func OpenSharded(r *pmem.Region, cfg Config, shards int) (*ShardedStore, error) {
 	if shards <= 0 {
 		shards = 1
@@ -72,7 +82,11 @@ func OpenSharded(r *pmem.Region, cfg Config, shards int) (*ShardedStore, error) 
 	// Each shard's event loop is its own simulated core; PM stalls must
 	// not busy-wait the other loops off the physical CPUs.
 	r.SetMultiCore(shards > 1)
-	ss := &ShardedStore{r: r, cfg: cc, stride: shardStride(cc), shards: make([]*Store, shards)}
+	ss := &ShardedStore{
+		r: r, cfg: cc, stride: shardStride(cc),
+		shards: make([]*Store, shards),
+		down:   make([]error, shards),
+	}
 	var wg sync.WaitGroup
 	errs := make([]error, shards)
 	for i := 0; i < shards; i++ {
@@ -83,10 +97,19 @@ func OpenSharded(r *pmem.Region, cfg Config, shards int) (*ShardedStore, error) 
 		}(i)
 	}
 	wg.Wait()
+	downCount := 0
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("shard %d: %w", i, err)
+			if shards == 1 {
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+			ss.shards[i] = nil
+			ss.down[i] = err
+			downCount++
 		}
+	}
+	if downCount == shards {
+		return nil, fmt.Errorf("all %d shards failed: %w", shards, errs[0])
 	}
 	return ss, nil
 }
@@ -94,30 +117,114 @@ func OpenSharded(r *pmem.Region, cfg Config, shards int) (*ShardedStore, error) 
 // WrapSharded presents an existing single Store as a one-shard
 // ShardedStore (servers use the sharded API uniformly).
 func WrapSharded(s *Store) *ShardedStore {
-	return &ShardedStore{r: s.r, cfg: s.cfg, stride: shardStride(s.cfg), shards: []*Store{s}}
+	return &ShardedStore{
+		r: s.r, cfg: s.cfg, stride: shardStride(s.cfg),
+		shards: []*Store{s}, down: make([]error, 1),
+	}
 }
 
-// Shards returns the shard count.
-func (ss *ShardedStore) Shards() int { return len(ss.shards) }
+// Quarantine fences shard i off at runtime: a recovery rescan or a
+// Verify scrub found it untrustworthy. Its keyspace answers ErrShardDown
+// from then on; the other shards keep serving. Idempotent — the first
+// reason wins.
+func (ss *ShardedStore) Quarantine(i int, reason error) {
+	if reason == nil {
+		reason = ErrCorrupt
+	}
+	ss.mu.Lock()
+	if ss.down[i] == nil {
+		ss.down[i] = reason
+		ss.shards[i] = nil
+	}
+	ss.mu.Unlock()
+}
 
-// Shard returns shard i's Store.
-func (ss *ShardedStore) Shard(i int) *Store { return ss.shards[i] }
+// Health returns per-shard status: nil for a serving shard, the
+// quarantine reason for a down one.
+func (ss *ShardedStore) Health() []error {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	out := make([]error, len(ss.down))
+	copy(out, ss.down)
+	return out
+}
+
+// DownShards counts quarantined shards.
+func (ss *ShardedStore) DownShards() int {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	n := 0
+	for _, e := range ss.down {
+		if e != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// ShardErr returns nil when shard i is serving, or its typed
+// ErrShardDown (carrying index and reason) when quarantined.
+func (ss *ShardedStore) ShardErr(i int) error {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	return ss.shardErrLocked(i)
+}
+
+func (ss *ShardedStore) shardErrLocked(i int) error {
+	if ss.down[i] == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: shard %d: %v", ErrShardDown, i, ss.down[i])
+}
+
+// storeOr resolves key's shard, or the ErrShardDown explaining why it
+// cannot serve.
+func (ss *ShardedStore) storeOr(key []byte) (*Store, error) {
+	i := ShardOf(key, ss.shardCount())
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	if err := ss.shardErrLocked(i); err != nil {
+		return nil, err
+	}
+	return ss.shards[i], nil
+}
+
+// shardCount returns the partition count (fixed at open; no lock
+// needed for the length itself).
+func (ss *ShardedStore) shardCount() int { return len(ss.down) }
+
+// Shards returns the shard count (serving or not).
+func (ss *ShardedStore) Shards() int { return ss.shardCount() }
+
+// Shard returns shard i's Store, or nil if it is quarantined.
+func (ss *ShardedStore) Shard(i int) *Store {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	return ss.shards[i]
+}
 
 // ShardFor returns the index of the shard owning key.
-func (ss *ShardedStore) ShardFor(key []byte) int { return ShardOf(key, len(ss.shards)) }
+func (ss *ShardedStore) ShardFor(key []byte) int { return ShardOf(key, ss.shardCount()) }
 
-// StoreFor returns the Store owning key.
-func (ss *ShardedStore) StoreFor(key []byte) *Store { return ss.shards[ss.ShardFor(key)] }
+// StoreFor returns the Store owning key, or nil if that shard is
+// quarantined (storeOr returns the typed error instead).
+func (ss *ShardedStore) StoreFor(key []byte) *Store { return ss.Shard(ss.ShardFor(key)) }
 
 // Region returns the backing PM region.
 func (ss *ShardedStore) Region() *pmem.Region { return ss.r }
 
 // Pools returns each shard's data-area packet pool, indexed by shard —
-// the per-RSS-queue NIC receive pools of the aligned configuration.
+// the per-RSS-queue NIC receive pools of the aligned configuration. A
+// quarantined shard's entry is nil; deployments that wire NIC queues to
+// shard pools require every shard healthy (NewCluster checks).
 func (ss *ShardedStore) Pools() []*pkt.Pool {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
 	pools := make([]*pkt.Pool, len(ss.shards))
 	for i, s := range ss.shards {
-		pools[i] = s.Pool()
+		if s != nil {
+			pools[i] = s.Pool()
+		}
 	}
 	return pools
 }
@@ -135,38 +242,80 @@ func (ss *ShardedStore) ShardByOff(off int) int {
 	return i
 }
 
-// Put routes the copying write to the owning shard.
-func (ss *ShardedStore) Put(key, value []byte) error { return ss.StoreFor(key).Put(key, value) }
+// Put routes the copying write to the owning shard; a quarantined
+// shard's keys answer ErrShardDown.
+func (ss *ShardedStore) Put(key, value []byte) error {
+	s, err := ss.storeOr(key)
+	if err != nil {
+		return err
+	}
+	return s.Put(key, value)
+}
 
 // PutExtents routes the zero-copy write to the owning shard. The
 // extents and key must live in that shard's data area (the caller
 // checks alignment; misaligned ingest takes Put).
 func (ss *ShardedStore) PutExtents(key []byte, vlen int, opt PutOptions) error {
-	return ss.StoreFor(key).PutExtents(key, vlen, opt)
+	s, err := ss.storeOr(key)
+	if err != nil {
+		return err
+	}
+	return s.PutExtents(key, vlen, opt)
 }
 
 // Get routes the read to the owning shard.
-func (ss *ShardedStore) Get(key []byte) ([]byte, bool, error) { return ss.StoreFor(key).Get(key) }
+func (ss *ShardedStore) Get(key []byte) ([]byte, bool, error) {
+	s, err := ss.storeOr(key)
+	if err != nil {
+		return nil, false, err
+	}
+	return s.Get(key)
+}
 
 // GetRef routes the zero-copy read to the owning shard.
-func (ss *ShardedStore) GetRef(key []byte) (Ref, bool, error) { return ss.StoreFor(key).GetRef(key) }
+func (ss *ShardedStore) GetRef(key []byte) (Ref, bool, error) {
+	s, err := ss.storeOr(key)
+	if err != nil {
+		return Ref{}, false, err
+	}
+	return s.GetRef(key)
+}
 
 // Delete routes the delete to the owning shard.
-func (ss *ShardedStore) Delete(key []byte) (bool, error) { return ss.StoreFor(key).Delete(key) }
+func (ss *ShardedStore) Delete(key []byte) (bool, error) {
+	s, err := ss.storeOr(key)
+	if err != nil {
+		return false, err
+	}
+	return s.Delete(key)
+}
 
-// Len sums live records across shards.
+// serving snapshots the live shards (quarantined ones excluded).
+func (ss *ShardedStore) serving() []*Store {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	out := make([]*Store, 0, len(ss.shards))
+	for _, s := range ss.shards {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Len sums live records across serving shards.
 func (ss *ShardedStore) Len() int {
 	n := 0
-	for _, s := range ss.shards {
+	for _, s := range ss.serving() {
 		n += s.Len()
 	}
 	return n
 }
 
-// Stats aggregates per-shard counters.
+// Stats aggregates per-shard counters over serving shards.
 func (ss *ShardedStore) Stats() Stats {
 	var out Stats
-	for _, s := range ss.shards {
+	for _, s := range ss.serving() {
 		st := s.Stats()
 		out.Puts += st.Puts
 		out.Gets += st.Gets
@@ -177,6 +326,7 @@ func (ss *ShardedStore) Stats() Stats {
 		out.ChecksumComputed += st.ChecksumComputed
 		out.BytesStored += st.BytesStored
 		out.Records += st.Records
+		out.SlotsQuarantined += st.SlotsQuarantined
 	}
 	return out
 }
@@ -184,7 +334,7 @@ func (ss *ShardedStore) Stats() Stats {
 // Breakdown aggregates per-shard put-phase timings.
 func (ss *ShardedStore) Breakdown() Breakdown {
 	var out Breakdown
-	for _, s := range ss.shards {
+	for _, s := range ss.serving() {
 		bd := s.Breakdown()
 		out.Ops += bd.Ops
 		out.Parse += bd.Parse
@@ -201,14 +351,27 @@ func (ss *ShardedStore) Breakdown() Breakdown {
 // result of up to limit records with start <= key < end. Each shard is
 // consulted for at most limit records, then the sorted runs are merged.
 func (ss *ShardedStore) Range(start, end []byte, limit int) ([]Record, error) {
-	if len(ss.shards) == 1 {
-		return ss.shards[0].Range(start, end, limit)
+	// The hash split spreads every key range across all shards, so a
+	// range over a store with a quarantined shard would silently omit
+	// that shard's records — fail it explicitly instead.
+	ss.mu.RLock()
+	for i := range ss.down {
+		if err := ss.shardErrLocked(i); err != nil {
+			ss.mu.RUnlock()
+			return nil, err
+		}
+	}
+	shards := make([]*Store, len(ss.shards))
+	copy(shards, ss.shards)
+	ss.mu.RUnlock()
+	if len(shards) == 1 {
+		return shards[0].Range(start, end, limit)
 	}
 	if limit <= 0 {
 		limit = 1 << 30
 	}
-	runs := make([][]Record, len(ss.shards))
-	for i, s := range ss.shards {
+	runs := make([][]Record, len(shards))
+	for i, s := range shards {
 		recs, err := s.Range(start, end, limit)
 		if err != nil {
 			return nil, err
@@ -242,11 +405,11 @@ func mergeRuns(runs [][]Record, limit int) []Record {
 	return out
 }
 
-// Verify scrubs every shard, returning all keys whose stored bytes fail
-// their transport-derived checksum.
+// Verify scrubs every serving shard, returning all keys whose stored
+// bytes fail their transport-derived checksum.
 func (ss *ShardedStore) Verify() ([][]byte, error) {
 	var bad [][]byte
-	for _, s := range ss.shards {
+	for _, s := range ss.serving() {
 		b, err := s.Verify()
 		if err != nil {
 			return nil, err
@@ -255,3 +418,34 @@ func (ss *ShardedStore) Verify() ([][]byte, error) {
 	}
 	return bad, nil
 }
+
+// VerifyShards scrubs each serving shard and quarantines any whose scrub
+// errors or reports corrupt records. It returns the number of shards
+// newly quarantined — the graceful-degradation entry point for periodic
+// integrity sweeps.
+func (ss *ShardedStore) VerifyShards() int {
+	n := 0
+	for i := 0; i < ss.shardCount(); i++ {
+		s := ss.Shard(i)
+		if s == nil {
+			continue
+		}
+		bad, err := s.Verify()
+		switch {
+		case err != nil:
+			ss.Quarantine(i, err)
+			n++
+		case len(bad) > 0:
+			ss.Quarantine(i, fmt.Errorf("%w: %d records failed checksum scrub", ErrCorrupt, len(bad)))
+			n++
+		}
+	}
+	return n
+}
+
+// Sync writes the region's durable image to its backing file, if any.
+func (ss *ShardedStore) Sync() error { return ss.r.Sync() }
+
+// Close syncs the backing region and releases its file, surfacing write
+// errors instead of dropping them.
+func (ss *ShardedStore) Close() error { return ss.r.Close() }

@@ -156,7 +156,7 @@ func shardedModel(t *testing.T, seed int64) bool {
 	}
 	// Crash, then parallel recovery must round-trip every committed
 	// record at this shard count.
-	r.Crash(rng)
+	r.Crash(rng.Int63())
 	ss2, err := OpenSharded(r, cfg, shards)
 	if err != nil {
 		t.Logf("seed %d: recovery: %v", seed, err)

@@ -1,0 +1,75 @@
+package fault
+
+import (
+	"testing"
+)
+
+// tortureBase keeps CI runs on a fixed, known-good seed range; the
+// pktbench experiment can sweep arbitrary ranges.
+const tortureBase = int64(1000)
+
+// seeds returns the per-mode run count: a fixed subset in -short mode
+// (CI), the full sweep otherwise.
+func seeds(t *testing.T, short, full int) int {
+	t.Helper()
+	if testing.Short() {
+		return short
+	}
+	return full
+}
+
+// TestTortureCrash is the headline crash-consistency sweep: 200+ seeds
+// in full mode, alternating single-shard and sharded stores, each run
+// cutting power at a seed-chosen persist operation (half with a torn
+// cache line) and model-checking recovery.
+func TestTortureCrash(t *testing.T) {
+	n := seeds(t, 24, 208)
+	for i := 0; i < n; i++ {
+		shards := 1
+		if i%2 == 1 {
+			shards = 4
+		}
+		rs, err := RunCrash(tortureBase+int64(i), shards)
+		if err != nil {
+			t.Fatalf("seed %d (shards %d, cut %d/%d tear %d): %v",
+				rs.Seed, shards, rs.CutAt, rs.PersistOps, rs.TearBytes, err)
+		}
+	}
+}
+
+// TestTortureCorrupt flips random media bits and requires detection:
+// reads return correct bytes, a miss, or an error — never wrong data.
+func TestTortureCorrupt(t *testing.T) {
+	n := seeds(t, 8, 64)
+	for i := 0; i < n; i++ {
+		rs, err := RunCorrupt(tortureBase + int64(i))
+		if err != nil {
+			t.Fatalf("seed %d (quarantined %d, detected %d): %v",
+				rs.Seed, rs.SlotsQuarantined, rs.Detected, err)
+		}
+	}
+}
+
+// TestTortureShard destroys one shard's metadata and requires graceful
+// degradation: that shard quarantined, every other key still served.
+func TestTortureShard(t *testing.T) {
+	n := seeds(t, 4, 32)
+	for i := 0; i < n; i++ {
+		rs, err := RunShard(tortureBase + int64(i))
+		if err != nil {
+			t.Fatalf("seed %d: %v", rs.Seed, err)
+		}
+	}
+}
+
+// TestTortureNet drives the store through a lossy, reordering,
+// duplicating, bit-flipping wire: acked puts must be exactly durable.
+func TestTortureNet(t *testing.T) {
+	n := seeds(t, 2, 8)
+	for i := 0; i < n; i++ {
+		rs, err := RunNet(tortureBase + int64(i))
+		if err != nil {
+			t.Fatalf("seed %d (acked %d): %v", rs.Seed, rs.AckedOps, err)
+		}
+	}
+}

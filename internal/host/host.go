@@ -45,8 +45,10 @@ type Options struct {
 	ServerRxPools []*pkt.Pool
 	// RxPoolBufs sizes the DRAM receive pools (default 4096).
 	RxPoolBufs int
-	// Loss/Reorder/Duplicate inject fabric impairments (tests).
-	Loss, Reorder, Duplicate float64
+	// Loss/Reorder/Duplicate/Corrupt inject fabric impairments (tests
+	// and fault-injection harnesses). Corrupt flips one random bit per
+	// affected frame; the checksum path must catch it.
+	Loss, Reorder, Duplicate, Corrupt float64
 	// Seed for impairments.
 	Seed int64
 	// StackConfig tunes both TCP stacks.
@@ -82,6 +84,7 @@ func NewTestbed(opt Options) *Testbed {
 		Loss:      opt.Loss,
 		Reorder:   opt.Reorder,
 		Duplicate: opt.Duplicate,
+		Corrupt:   opt.Corrupt,
 		Seed:      opt.Seed,
 		QueueLen:  opt.QueueLen,
 	}

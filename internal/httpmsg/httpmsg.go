@@ -327,6 +327,8 @@ func StatusText(code int) string {
 		return "Not Found"
 	case 500:
 		return "Internal Server Error"
+	case 503:
+		return "Service Unavailable"
 	case 507:
 		return "Insufficient Storage"
 	}

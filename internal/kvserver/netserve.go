@@ -3,6 +3,8 @@ package kvserver
 import (
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"packetstore/internal/httpmsg"
 	"packetstore/internal/kvproto"
@@ -15,16 +17,33 @@ import (
 type NetServer struct {
 	backend Backend
 	lst     net.Listener
+	cfg     Config
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
 	closed  bool
 	wg      sync.WaitGroup
+
+	sheds      atomic.Uint64
+	idleClosed atomic.Uint64
 }
 
 // NewNetServer wraps an OS listener.
 func NewNetServer(lst net.Listener, backend Backend) *NetServer {
-	return &NetServer{backend: backend, lst: lst, conns: make(map[net.Conn]struct{})}
+	return NewNetServerWithConfig(lst, backend, Config{})
 }
+
+// NewNetServerWithConfig wraps an OS listener with overload tuning:
+// Config.MaxConns sheds connections beyond the cap with a 503, and
+// Config.IdleTimeout bounds every read so a stalled client cannot hold a
+// serving goroutine forever.
+func NewNetServerWithConfig(lst net.Listener, backend Backend, cfg Config) *NetServer {
+	return &NetServer{backend: backend, lst: lst, cfg: cfg, conns: make(map[net.Conn]struct{})}
+}
+
+// Sheds counts connections rejected at the MaxConns cap; IdleClosed
+// counts connections closed by the read deadline.
+func (s *NetServer) Sheds() uint64      { return s.sheds.Load() }
+func (s *NetServer) IdleClosed() uint64 { return s.idleClosed.Load() }
 
 // Serve accepts and services connections until Close.
 func (s *NetServer) Serve() error {
@@ -41,8 +60,17 @@ func (s *NetServer) Serve() error {
 			return err
 		}
 		s.mu.Lock()
-		s.conns[c] = struct{}{}
+		full := s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns
+		if !full {
+			s.conns[c] = struct{}{}
+		}
 		s.mu.Unlock()
+		if full {
+			s.sheds.Add(1)
+			c.Write(httpmsg.AppendResponse(nil, 503, 0))
+			c.Close()
+			continue
+		}
 		s.wg.Add(1)
 		go s.serveConn(c)
 	}
@@ -76,8 +104,14 @@ func (s *NetServer) serveConn(c net.Conn) {
 	var curErr error
 
 	for {
+		if s.cfg.IdleTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
 		n, err := c.Read(rbuf)
 		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				s.idleClosed.Add(1)
+			}
 			return
 		}
 		chunk := rbuf[:n]
@@ -116,14 +150,14 @@ func (s *NetServer) respond(resp []byte, req kvproto.Request, parseErr error, bo
 	switch req.Op {
 	case kvproto.OpPut:
 		if err := s.backend.Put(req.Key, body); err != nil {
-			return httpmsg.AppendResponse(resp, 507, 0)
+			return httpmsg.AppendResponse(resp, statusForErr(err), 0)
 		}
 		return httpmsg.AppendResponse(resp, 200, 0)
 	case kvproto.OpGet:
 		val, ok, err := s.backend.Get(req.Key)
 		switch {
 		case err != nil:
-			return httpmsg.AppendResponse(resp, 500, 0)
+			return httpmsg.AppendResponse(resp, statusForErr(err), 0)
 		case !ok:
 			return httpmsg.AppendResponse(resp, 404, 0)
 		}
@@ -133,7 +167,7 @@ func (s *NetServer) respond(resp []byte, req kvproto.Request, parseErr error, bo
 		found, err := s.backend.Delete(req.Key)
 		switch {
 		case err != nil:
-			return httpmsg.AppendResponse(resp, 500, 0)
+			return httpmsg.AppendResponse(resp, statusForErr(err), 0)
 		case !found:
 			return httpmsg.AppendResponse(resp, 404, 0)
 		}
@@ -141,7 +175,7 @@ func (s *NetServer) respond(resp []byte, req kvproto.Request, parseErr error, bo
 	case kvproto.OpRange:
 		kvs, err := s.backend.Range(req.Start, req.End, req.Limit)
 		if err != nil {
-			return httpmsg.AppendResponse(resp, 500, 0)
+			return httpmsg.AppendResponse(resp, statusForErr(err), 0)
 		}
 		b := kvproto.AppendRangeBody(nil, kvs)
 		resp = httpmsg.AppendResponse(resp, 200, len(b))

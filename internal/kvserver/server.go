@@ -1,6 +1,7 @@
 package kvserver
 
 import (
+	"errors"
 	"fmt"
 	"net/url"
 	"sync"
@@ -13,6 +14,21 @@ import (
 	"packetstore/internal/pkt"
 	"packetstore/internal/tcp"
 )
+
+// Config tunes the server's overload and robustness behaviour. The zero
+// value imposes no connection cap and no idle timeout (the original
+// trusted-testbed behaviour).
+type Config struct {
+	// MaxConns caps connections per event loop. A connection accepted
+	// beyond the cap is shed: it gets a 503 response and is closed
+	// immediately, so one loop's state stays bounded no matter how many
+	// clients pile on. 0 means unlimited.
+	MaxConns int
+	// IdleTimeout closes a connection that has not delivered a request
+	// for this long — a stalled or wedged client cannot pin an event
+	// loop's resources forever. 0 disables.
+	IdleTimeout time.Duration
+}
 
 // Server is the storage server application. One event-loop goroutine per
 // NIC RSS queue emulates the paper's busy-polling server cores. With a
@@ -27,6 +43,7 @@ type Server struct {
 	backend Backend
 	sharded *core.ShardedStore // non-nil for packetstore backends
 
+	cfg   Config
 	loops []*loop
 	done  chan struct{}
 	ret   chan struct{}
@@ -56,6 +73,11 @@ type loop struct {
 // receive pool is a store shard's PM pool, that loop's zero-copy paths
 // activate automatically.
 func New(stk *tcp.Stack, port uint16, backend Backend) (*Server, error) {
+	return NewWithConfig(stk, port, backend, Config{})
+}
+
+// NewWithConfig is New with overload/robustness tuning.
+func NewWithConfig(stk *tcp.Stack, port uint16, backend Backend, cfg Config) (*Server, error) {
 	lst, err := stk.Listen(port)
 	if err != nil {
 		return nil, err
@@ -64,6 +86,7 @@ func New(stk *tcp.Stack, port uint16, backend Backend) (*Server, error) {
 		stk:     stk,
 		lst:     lst,
 		backend: backend,
+		cfg:     cfg,
 		done:    make(chan struct{}),
 		ret:     make(chan struct{}),
 	}
@@ -86,8 +109,10 @@ func New(stk *tcp.Stack, port uint16, backend Backend) (*Server, error) {
 		if s.sharded != nil {
 			pool := stk.NIC().RxPoolQ(q)
 			for i := 0; i < s.sharded.Shards(); i++ {
-				if s.sharded.Shard(i).Pool() == pool {
-					lp.store, lp.shard = s.sharded.Shard(i), i
+				// Shard returns nil for a quarantined shard — its queue's
+				// loop then runs copy-path only, like a DRAM-pool loop.
+				if sh := s.sharded.Shard(i); sh != nil && sh.Pool() == pool {
+					lp.store, lp.shard = sh, i
 					break
 				}
 			}
@@ -97,11 +122,15 @@ func New(stk *tcp.Stack, port uint16, backend Backend) (*Server, error) {
 	return s, nil
 }
 
-// Stats aggregates all loops' counters into one snapshot.
+// Stats aggregates all loops' counters into one snapshot, plus the
+// store's shard-health gauge.
 func (s *Server) Stats() Stats {
 	var out Stats
 	for _, lp := range s.loops {
 		out.merge(lp.stats.Snapshot())
+	}
+	if s.sharded != nil {
+		out.ShardsDown = s.sharded.DownShards()
 	}
 	return out
 }
@@ -150,6 +179,16 @@ func (s *Server) Close() {
 func (lp *loop) run(acceptCh <-chan *tcp.Conn) {
 	s := lp.srv
 	rx := s.stk.ReadableQ(lp.q)
+	var idleTick <-chan time.Time
+	if s.cfg.IdleTimeout > 0 {
+		period := s.cfg.IdleTimeout / 4
+		if period < time.Millisecond {
+			period = time.Millisecond
+		}
+		t := time.NewTicker(period)
+		defer t.Stop()
+		idleTick = t.C
+	}
 	for {
 		select {
 		case <-s.done:
@@ -161,6 +200,9 @@ func (lp *loop) run(acceptCh <-chan *tcp.Conn) {
 			// Register only flows RSS-steered to this loop's queue; the
 			// owning loop picks its conns up lazily on first readable.
 			if c.RxQueue() == lp.q {
+				if lp.shedIfFull(c) {
+					continue
+				}
 				lp.conns[c] = newConnState(c)
 			}
 		case c, ok := <-rx:
@@ -171,12 +213,60 @@ func (lp *loop) run(acceptCh <-chan *tcp.Conn) {
 			st := lp.conns[c]
 			if st == nil {
 				// Accepted on loop 0 (or raced with accept): register now.
+				if lp.shedIfFull(c) {
+					continue
+				}
 				st = newConnState(c)
 				lp.conns[c] = st
 			}
 			lp.service(st)
+		case now := <-idleTick:
+			lp.sweepIdle(now)
 		}
 	}
+}
+
+// shedIfFull rejects a connection when this loop is at its MaxConns cap:
+// the client gets an immediate 503 and the connection closes, keeping
+// per-loop state bounded under connection floods.
+func (lp *loop) shedIfFull(c *tcp.Conn) bool {
+	max := lp.srv.cfg.MaxConns
+	if max <= 0 || len(lp.conns) < max {
+		return false
+	}
+	lp.stats.sheds.Add(1)
+	resp := httpmsg.AppendResponse(nil, 503, 0)
+	c.Write(resp)
+	c.Close()
+	return true
+}
+
+// sweepIdle closes connections that have not delivered a request within
+// the idle timeout, so a stalled client cannot wedge the loop's
+// resources.
+func (lp *loop) sweepIdle(now time.Time) {
+	timeout := lp.srv.cfg.IdleTimeout
+	for _, st := range lp.conns {
+		if now.Sub(st.lastActive) <= timeout {
+			continue
+		}
+		lp.stats.idleClosed.Add(1)
+		lp.dropConn(st)
+	}
+}
+
+// dropConn tears one connection down and releases anything its
+// half-assembled request adopted.
+func (lp *loop) dropConn(st *connState) {
+	st.dead = true
+	if st.cur != nil {
+		for _, base := range st.cur.adopted {
+			lp.store.ReleaseUnused(base)
+		}
+		st.cur = nil
+	}
+	st.c.Close()
+	delete(lp.conns, st.c)
 }
 
 type connState struct {
@@ -185,6 +275,9 @@ type connState struct {
 	cur    *pendingReq
 	resp   []byte
 	dead   bool
+	// lastActive is the last time the connection delivered bytes; the
+	// idle sweep closes connections stalled past Config.IdleTimeout.
+	lastActive time.Time
 }
 
 // pendingReq is a request whose body may still be arriving.
@@ -205,7 +298,7 @@ type pendingReq struct {
 }
 
 func newConnState(c *tcp.Conn) *connState {
-	return &connState{c: c, parser: httpmsg.NewRequestParser(0)}
+	return &connState{c: c, parser: httpmsg.NewRequestParser(0), lastActive: time.Now()}
 }
 
 // service drains all pending packet buffers on one connection.
@@ -214,6 +307,7 @@ func (lp *loop) service(st *connState) {
 		return
 	}
 	t0 := time.Now()
+	st.lastActive = t0
 	defer func() { lp.stats.busyNanos.Add(int64(time.Since(t0))) }()
 	for {
 		bufs := st.c.TryReadBufs()
@@ -227,15 +321,7 @@ func (lp *loop) service(st *connState) {
 	}
 	lp.flushResp(st)
 	if st.c.EOF() || st.c.Err() != nil {
-		st.dead = true
-		if st.cur != nil {
-			for _, base := range st.cur.adopted {
-				lp.store.ReleaseUnused(base)
-			}
-			st.cur = nil
-		}
-		st.c.Close()
-		delete(lp.conns, st.c)
+		lp.dropConn(st)
 	}
 }
 
@@ -336,7 +422,12 @@ func (lp *loop) beginRequest(st *connState, b *pkt.Buf, zc bool) {
 		return
 	}
 	pr.req = req
-	if req.Op == kvproto.OpPut && zc && lp.srv.sharded.ShardFor(req.Key) == lp.shard {
+	if req.Op == kvproto.OpPut && zc && lp.srv.sharded.ShardFor(req.Key) == lp.shard &&
+		lp.srv.sharded.ShardErr(lp.shard) == nil {
+		// The ShardErr check covers runtime quarantine: this loop's direct
+		// store pointer must not ingest into a shard the sharded router
+		// has taken down — the copy path routes through the router, which
+		// answers ErrShardDown (503).
 		// Copy the (small) key into the arena so the record can
 		// reference it; values stay in place.
 		off := lp.allocKey(req.Key)
@@ -415,6 +506,23 @@ func (lp *loop) attachSpansZeroCopy(b *pkt.Buf, p []byte, spans []bodySpan) {
 	}
 }
 
+// statusForErr maps a backend error to the KV protocol status: a
+// quarantined shard is 503 (the rest of the store still serves; retry
+// elsewhere is pointless, but the client learns it is not at fault),
+// exhaustion is 507, an oversized key 400, anything else 500.
+func statusForErr(err error) int {
+	switch {
+	case errors.Is(err, core.ErrShardDown):
+		return 503
+	case errors.Is(err, core.ErrFull):
+		return 507
+	case errors.Is(err, core.ErrKeyTooLong):
+		return 400
+	default:
+		return 500
+	}
+}
+
 // dispatch executes one completed request and queues its response.
 func (lp *loop) dispatch(st *connState, pr *pendingReq) {
 	s := lp.srv
@@ -444,7 +552,7 @@ func (lp *loop) dispatch(st *connState, pr *pendingReq) {
 		}
 		if err != nil {
 			lp.stats.errors.Add(1)
-			st.resp = httpmsg.AppendResponse(st.resp, 507, 0)
+			st.resp = httpmsg.AppendResponse(st.resp, statusForErr(err), 0)
 			return
 		}
 		st.resp = httpmsg.AppendResponse(st.resp, 200, 0)
@@ -458,7 +566,7 @@ func (lp *loop) dispatch(st *connState, pr *pendingReq) {
 		switch {
 		case err != nil:
 			lp.stats.errors.Add(1)
-			st.resp = httpmsg.AppendResponse(st.resp, 500, 0)
+			st.resp = httpmsg.AppendResponse(st.resp, statusForErr(err), 0)
 		case !ok:
 			st.resp = httpmsg.AppendResponse(st.resp, 404, 0)
 		default:
@@ -471,7 +579,7 @@ func (lp *loop) dispatch(st *connState, pr *pendingReq) {
 		switch {
 		case err != nil:
 			lp.stats.errors.Add(1)
-			st.resp = httpmsg.AppendResponse(st.resp, 500, 0)
+			st.resp = httpmsg.AppendResponse(st.resp, statusForErr(err), 0)
 		case !found:
 			st.resp = httpmsg.AppendResponse(st.resp, 404, 0)
 		default:
@@ -482,7 +590,7 @@ func (lp *loop) dispatch(st *connState, pr *pendingReq) {
 		kvs, err := s.backend.Range(pr.req.Start, pr.req.End, pr.req.Limit)
 		if err != nil {
 			lp.stats.errors.Add(1)
-			st.resp = httpmsg.AppendResponse(st.resp, 500, 0)
+			st.resp = httpmsg.AppendResponse(st.resp, statusForErr(err), 0)
 			return
 		}
 		body := kvproto.AppendRangeBody(nil, kvs)
@@ -500,10 +608,17 @@ func (lp *loop) dispatch(st *connState, pr *pendingReq) {
 // region offsets, so cross-shard GETs stay zero-copy.
 func (lp *loop) zeroCopyGet(st *connState, key []byte) {
 	tgt := lp.srv.sharded.StoreFor(key)
+	if tgt == nil {
+		// Owning shard is quarantined: its keyspace is down, the rest of
+		// the store keeps serving.
+		lp.stats.errors.Add(1)
+		st.resp = httpmsg.AppendResponse(st.resp, 503, 0)
+		return
+	}
 	ref, ok, err := tgt.GetRef(key)
 	if err != nil {
 		lp.stats.errors.Add(1)
-		st.resp = httpmsg.AppendResponse(st.resp, 500, 0)
+		st.resp = httpmsg.AppendResponse(st.resp, statusForErr(err), 0)
 		return
 	}
 	if !ok {

@@ -252,7 +252,7 @@ func TestPktStoreCrashRecoveryEndToEnd(t *testing.T) {
 	tb.Close()
 
 	// Power failure.
-	r.Crash(rand.New(rand.NewSource(4)))
+	r.Crash(4)
 
 	// Reboot: recover and serve again.
 	store2, err := core.Open(r, cfg)

@@ -14,7 +14,15 @@ type Stats struct {
 	ZeroCopyGets                          uint64
 	DerivedSums                           uint64 // body checksums harvested from the NIC
 	SoftwareSums                          uint64 // body checksums computed in software
-	ParseTime                             time.Duration
+	// Sheds counts connections rejected with 503 at the per-loop
+	// MaxConns cap; IdleClosed counts connections reaped by the idle
+	// sweep (Config.IdleTimeout).
+	Sheds      uint64
+	IdleClosed uint64
+	// ShardsDown is a gauge: store shards currently quarantined (served
+	// keyspace answers 503).
+	ShardsDown int
+	ParseTime  time.Duration
 	// BusyTime is the time this loop (core) spent servicing requests —
 	// the serving critical path, including emulated PM stalls. Per-loop
 	// snapshots (Server.LoopStats) expose how evenly sharding splits it.
@@ -35,6 +43,9 @@ func (s *Stats) merge(o Stats) {
 	s.ZeroCopyGets += o.ZeroCopyGets
 	s.DerivedSums += o.DerivedSums
 	s.SoftwareSums += o.SoftwareSums
+	s.Sheds += o.Sheds
+	s.IdleClosed += o.IdleClosed
+	s.ShardsDown += o.ShardsDown
 	s.ParseTime += o.ParseTime
 	s.BusyTime += o.BusyTime
 }
@@ -48,6 +59,7 @@ type statsCounters struct {
 	bytesIn, bytesOut                     atomic.Uint64
 	zcPuts, zcGets                        atomic.Uint64
 	derivedSums, softwareSums             atomic.Uint64
+	sheds, idleClosed                     atomic.Uint64
 	parseNanos                            atomic.Int64
 	busyNanos                             atomic.Int64
 }
@@ -60,6 +72,7 @@ func (c *statsCounters) Snapshot() Stats {
 		Errors: c.errors.Load(), BytesIn: c.bytesIn.Load(), BytesOut: c.bytesOut.Load(),
 		ZeroCopyPuts: c.zcPuts.Load(), ZeroCopyGets: c.zcGets.Load(),
 		DerivedSums: c.derivedSums.Load(), SoftwareSums: c.softwareSums.Load(),
+		Sheds: c.sheds.Load(), IdleClosed: c.idleClosed.Load(),
 		ParseTime: time.Duration(c.parseNanos.Load()),
 		BusyTime:  time.Duration(c.busyNanos.Load()),
 	}

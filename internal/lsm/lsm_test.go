@@ -247,7 +247,7 @@ func TestNoveLSMCrashRecovery(t *testing.T) {
 	}
 	seqBefore := db.Seq()
 
-	r.Crash(rand.New(rand.NewSource(7)))
+	r.Crash(7)
 
 	db2 := openNoveLSM(t, r, func(o *Options) { o.ArenaSize = 256 << 10; o.DisableCompaction = true })
 	defer db2.Close()
@@ -283,7 +283,7 @@ func TestNoveLSMRepeatedCrashes(t *testing.T) {
 			}
 			ref[k] = v
 		}
-		r.Crash(rng)
+		r.Crash(rng.Int63())
 		db2 := openNoveLSM(t, r, func(o *Options) { o.ArenaSize = 512 << 10; o.DisableCompaction = true })
 		for k, v := range ref {
 			got, ok, err := db2.Get([]byte(k))

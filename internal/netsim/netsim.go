@@ -32,6 +32,9 @@ type LinkConfig struct {
 	Reorder float64
 	// Duplicate is the probability that a frame is delivered twice.
 	Duplicate float64
+	// Corrupt is the probability that a frame has one random bit flipped
+	// in flight — the wire damage the transport checksum must catch.
+	Corrupt float64
 	// Seed seeds the impairment generator; each direction derives its own
 	// stream.
 	Seed int64
@@ -56,8 +59,9 @@ type Port struct {
 
 	drops struct {
 		sync.Mutex
-		queue uint64
-		loss  uint64
+		queue   uint64
+		loss    uint64
+		corrupt uint64
 	}
 }
 
@@ -124,6 +128,14 @@ func (p *Port) LossDrops() uint64 {
 	return p.drops.loss
 }
 
+// CorruptFrames reports frames bit-flipped by the corruption impairment
+// on this port's transmit direction.
+func (p *Port) CorruptFrames() uint64 {
+	p.drops.Lock()
+	defer p.drops.Unlock()
+	return p.drops.corrupt
+}
+
 // run is the per-direction pipeline: serialize (pace + impair) then hand
 // to the deliver stage.
 func (p *Port) run(peer *Port, seed int64) {
@@ -162,6 +174,15 @@ func (p *Port) run(peer *Port, seed int64) {
 				p.drops.loss++
 				p.drops.Unlock()
 				continue
+			}
+			if p.cfg.Corrupt > 0 && len(f.b) > 0 && rng.Float64() < p.cfg.Corrupt {
+				// Flip one random bit in flight. The NIC's receive-side
+				// checksum offload (or the stack's software verify) must
+				// catch this and drop the frame, forcing retransmission.
+				f.b[rng.Intn(len(f.b))] ^= 1 << uint(rng.Intn(8))
+				p.drops.Lock()
+				p.drops.corrupt++
+				p.drops.Unlock()
 			}
 			if held != nil {
 				emit(f)

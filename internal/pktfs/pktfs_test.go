@@ -161,7 +161,7 @@ func TestFilesystemSurvivesCrash(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	r.Crash(rand.New(rand.NewSource(3)))
+	r.Crash(3)
 	s2, err := core.Open(r, cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -122,7 +122,7 @@ func TestBumpAllocSurvivesCrash(t *testing.T) {
 	r := New(1<<16, calib.Off())
 	a := NewBumpAlloc(r, 0, 4096)
 	o1 := a.Alloc(64)
-	r.Crash(rand.New(rand.NewSource(5)))
+	r.Crash(5)
 	a2 := NewBumpAlloc(r, 0, 4096)
 	o2 := a2.Alloc(64)
 	if o2 <= o1 {

@@ -28,6 +28,7 @@ package pmem
 import (
 	"errors"
 	"fmt"
+	"log"
 	"math/bits"
 	"math/rand"
 	"os"
@@ -41,6 +42,54 @@ import (
 
 // LineSize is the cache-line granularity of flush operations, in bytes.
 const LineSize = 64
+
+// PersistOp identifies one durability-ordering operation on a Region, in
+// issue order: every Flush and every Fence counts as one op. Fault plans
+// index crash points by this count.
+type PersistOp uint8
+
+// Persist operations observed by a PersistHook.
+const (
+	OpFlush PersistOp = iota + 1
+	OpFence
+)
+
+// PersistDecision is a fault plan's verdict on one persist operation.
+type PersistDecision struct {
+	// Cut simulates power loss at this operation: the operation and every
+	// later Flush/Fence have no durable effect. The software under test
+	// keeps running against the volatile image (harmlessly — the power is
+	// already gone); the harness then calls Crash to discard it.
+	Cut bool
+	// TearBytes, with Cut at a Flush, persists only that prefix of the
+	// first dirty line of the flushed range — a torn cache-line
+	// write-back, the partial-line state real PM exposes when power dies
+	// mid-write-back. 0 cuts cleanly. Values are clamped to LineSize-1.
+	TearBytes int
+}
+
+// PersistHook observes every Flush and Fence on a Region and may cut the
+// power at any of them. It is called with the region lock held: it must
+// decide from its own state only and must not call back into the Region.
+type PersistHook func(op PersistOp) PersistDecision
+
+// SetPersistHook installs (or, with nil, removes) a fault-injection hook
+// consulted on every Flush and Fence. Crash removes the hook — the
+// rebooted device persists normally again.
+func (r *Region) SetPersistHook(h PersistHook) {
+	r.mu.Lock()
+	r.persistHook = h
+	r.mu.Unlock()
+}
+
+// PowerFailed reports whether an installed hook has cut the power (and
+// no Crash has rebooted the device yet). While failed, no Flush or Fence
+// has any durable effect.
+func (r *Region) PowerFailed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.failed
+}
 
 // Stats counts Region operations. Latencies are the emulated hardware
 // delays charged; they are included in wall-clock measurements because
@@ -70,6 +119,17 @@ type Region struct {
 	// line space.
 	pendingWords []int
 	closed       bool
+
+	// Fault injection: persistHook is consulted on every Flush/Fence;
+	// once it cuts the power, failed stays true until Crash reboots the
+	// device and no durability operation has any effect. frozen snapshots
+	// the pending lines' content at the instant of the cut: the software
+	// under test keeps running against the volatile image, but stores
+	// issued after power died must never reach the media, even when their
+	// line was already in the clwb/sfence window.
+	persistHook PersistHook
+	failed      bool
+	frozen      map[int][]byte
 
 	file *os.File // nil if purely in-memory
 
@@ -321,6 +381,17 @@ func (r *Region) Flush(off, n int) {
 	last := (off + n - 1) / LineSize
 	flushed := 0
 	r.mu.Lock()
+	if r.failed {
+		r.mu.Unlock()
+		return
+	}
+	if r.persistHook != nil {
+		if d := r.persistHook(OpFlush); d.Cut {
+			r.failLocked(first, last, d.TearBytes)
+			r.mu.Unlock()
+			return
+		}
+	}
 	for l := first; l <= last; l++ {
 		w, bit := l/64, uint64(1)<<(l%64)
 		if r.dirty[w]&bit != 0 {
@@ -340,10 +411,57 @@ func (r *Region) Flush(off, n int) {
 	r.statsMu.Unlock()
 }
 
+// failLocked cuts the power: all later persist operations become no-ops
+// until Crash. A torn flush persists tearBytes of the first dirty line in
+// [first, last] — the half-written-back line a real power cut can leave.
+func (r *Region) failLocked(first, last, tearBytes int) {
+	r.failed = true
+	// Freeze the flushed-but-unfenced lines as they are right now: Crash
+	// resolves each 50/50 from this snapshot, not from whatever the
+	// still-running (but already powerless) software writes afterwards.
+	r.frozen = make(map[int][]byte)
+	for _, w := range r.pendingWords {
+		bv := r.pending[w]
+		for bv != 0 {
+			l := w*64 + bits.TrailingZeros64(bv)
+			bv &= bv - 1
+			o := l * LineSize
+			r.frozen[l] = append([]byte(nil), r.buf[o:o+LineSize]...)
+		}
+	}
+	if tearBytes <= 0 {
+		return
+	}
+	if tearBytes >= LineSize {
+		tearBytes = LineSize - 1
+	}
+	for l := first; l <= last; l++ {
+		if r.dirty[l/64]&(1<<(l%64)) != 0 {
+			o := l * LineSize
+			copy(r.shadow[o:o+tearBytes], r.buf[o:o+tearBytes])
+			return
+		}
+	}
+}
+
 // Fence orders all previously flushed lines: the pending set is committed
 // to the durable shadow image.
 func (r *Region) Fence() {
 	r.mu.Lock()
+	if r.failed {
+		r.mu.Unlock()
+		return
+	}
+	if r.persistHook != nil {
+		if d := r.persistHook(OpFence); d.Cut {
+			// Power dies before the sfence retires: the pending (flushed
+			// but unordered) lines stay in their undefined window — Crash
+			// resolves each 50/50, exactly as for a missing fence.
+			r.failLocked(0, -1, 0)
+			r.mu.Unlock()
+			return
+		}
+	}
 	for _, w := range r.pendingWords {
 		bv := r.pending[w]
 		for bv != 0 {
@@ -368,14 +486,45 @@ func (r *Region) Persist(off, n int) {
 	r.Fence()
 }
 
+// crashLogger receives the seed of every injected crash. The default
+// writes through the standard logger so a failing test's output names
+// the seed that reproduces it; torture harnesses install a recorder.
+var crashLogger atomic.Value // func(seed int64)
+
+func init() {
+	crashLogger.Store(func(seed int64) {
+		log.Printf("pmem: injected crash (reproduce with seed %d)", seed)
+	})
+}
+
+// SetCrashLogger replaces the crash-seed logger (nil restores the
+// default). Harnesses that inject thousands of crashes record the seeds
+// into their results instead of spamming the log.
+func SetCrashLogger(fn func(seed int64)) {
+	if fn == nil {
+		fn = func(seed int64) {
+			log.Printf("pmem: injected crash (reproduce with seed %d)", seed)
+		}
+	}
+	crashLogger.Store(fn)
+}
+
 // Crash simulates a power failure and reboot: the volatile image is
 // discarded and rebuilt from the durable shadow. Each line that was
 // flushed but not yet fenced independently survives with probability 1/2,
-// drawn from rng — the undefined window between clwb and sfence. The
-// Region remains usable afterwards, representing the post-reboot device.
-func (r *Region) Crash(rng *rand.Rand) {
+// drawn from a generator seeded with the explicit seed — the undefined
+// window between clwb and sfence. The seed is logged (SetCrashLogger) so
+// any crash-consistency failure reproduces from its seed alone. The
+// Region remains usable afterwards, representing the post-reboot device:
+// any installed persist hook and power-failure state are cleared.
+func (r *Region) Crash(seed int64) {
+	crashLogger.Load().(func(seed int64))(seed)
+	rng := rand.New(rand.NewSource(seed))
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.persistHook = nil
+	r.failed = false
+	defer func() { r.frozen = nil }()
 	for _, w := range r.pendingWords {
 		bv := r.pending[w]
 		for bv != 0 {
@@ -383,7 +532,13 @@ func (r *Region) Crash(rng *rand.Rand) {
 			bv &= bv - 1
 			if rng.Intn(2) == 0 {
 				o := l * LineSize
-				copy(r.shadow[o:o+LineSize], r.buf[o:o+LineSize])
+				src := r.buf[o : o+LineSize]
+				if b, ok := r.frozen[l]; ok {
+					// The power cut froze this line before later volatile
+					// writes landed on it.
+					src = b
+				}
+				copy(r.shadow[o:o+LineSize], src)
 			}
 		}
 		r.pending[w] = 0
@@ -393,6 +548,18 @@ func (r *Region) Crash(rng *rand.Rand) {
 	for i := range r.dirty {
 		r.dirty[i] = 0
 	}
+}
+
+// CorruptByte XORs mask into the byte at off in both the volatile and the
+// durable image — media corruption (a flipped bit in a PM row) that
+// survives reboot. Fault injection uses it to prove checksum verification
+// detects, quarantines, and never serves corrupted data.
+func (r *Region) CorruptByte(off int, mask byte) {
+	r.check(off, 1)
+	r.mu.Lock()
+	r.buf[off] ^= mask
+	r.shadow[off] ^= mask
+	r.mu.Unlock()
 }
 
 // Sync writes the durable image to the backing file, if any.

@@ -2,7 +2,6 @@ package pmem
 
 import (
 	"bytes"
-	"math/rand"
 	"os"
 	"path/filepath"
 	"testing"
@@ -40,7 +39,7 @@ func TestUnflushedWriteLostOnCrash(t *testing.T) {
 	r.Write(0, []byte("durable"))
 	r.Persist(0, 7)
 	r.Write(64, []byte("volatile"))
-	r.Crash(rand.New(rand.NewSource(1)))
+	r.Crash(1)
 	if got := r.Slice(0, 7); string(got) != "durable" {
 		t.Fatalf("fenced data lost: %q", got)
 	}
@@ -57,7 +56,7 @@ func TestFlushWithoutFenceIsUndefined(t *testing.T) {
 		r := New(4096, off())
 		r.Write(0, []byte{0xaa})
 		r.Flush(0, 1)
-		r.Crash(rand.New(rand.NewSource(seed)))
+		r.Crash(seed)
 		if r.Slice(0, 1)[0] == 0xaa {
 			survived++
 		} else {
@@ -73,7 +72,7 @@ func TestSliceWriteWithoutMarkDirtyVanishes(t *testing.T) {
 	r := New(4096, off())
 	copy(r.Slice(0, 4), "ABCD")
 	r.Persist(0, 4) // flush sees no dirty lines -> nothing persists
-	r.Crash(rand.New(rand.NewSource(2)))
+	r.Crash(2)
 	if string(r.Slice(0, 4)) == "ABCD" {
 		t.Fatal("untracked slice write should be lost")
 	}
@@ -81,7 +80,7 @@ func TestSliceWriteWithoutMarkDirtyVanishes(t *testing.T) {
 	copy(r.Slice(0, 4), "ABCD")
 	r.MarkDirty(0, 4)
 	r.Persist(0, 4)
-	r.Crash(rand.New(rand.NewSource(3)))
+	r.Crash(3)
 	if string(r.Slice(0, 4)) != "ABCD" {
 		t.Fatal("MarkDirty+Persist write lost")
 	}
@@ -115,7 +114,7 @@ func TestPartialLineFlush(t *testing.T) {
 	}
 	r.MarkDirty(0, 128)
 	r.Persist(0, 64) // only line 0
-	r.Crash(rand.New(rand.NewSource(4)))
+	r.Crash(4)
 	if r.Slice(0, 1)[0] != 0 {
 		t.Fatal("line 0 content wrong")
 	}
@@ -175,7 +174,7 @@ func TestCrashQuick(t *testing.T) {
 			r.Persist(off, n)
 			copy(ref[off:], o.Data[:n])
 		}
-		r.Crash(rand.New(rand.NewSource(seed)))
+		r.Crash(seed)
 		return bytes.Equal(r.Slice(0, r.Size()), ref)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {

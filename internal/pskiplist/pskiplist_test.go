@@ -173,7 +173,7 @@ func TestCrashDurability(t *testing.T) {
 			}
 			kv[k] = v
 		}
-		r.Crash(rng)
+		r.Crash(rng.Int63())
 		l2, err := Recover(r, 0, 1<<20, bytes.Compare)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
@@ -206,7 +206,7 @@ func TestCrashMidWorkloadStillSearchable(t *testing.T) {
 			}
 			kv[k] = v
 		}
-		r.Crash(rng)
+		r.Crash(rng.Int63())
 		var err error
 		l, err = Recover(r, 0, 2<<20, bytes.Compare)
 		if err != nil {

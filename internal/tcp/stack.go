@@ -36,6 +36,10 @@ type Config struct {
 	DelayedACK time.Duration
 	// ReadyLen bounds the readable-event queue. Default 4096.
 	ReadyLen int
+	// Backlog bounds each listener's accept queue; SYNs beyond it are
+	// refused (RST) instead of growing server state without bound.
+	// Default 128.
+	Backlog int
 }
 
 func (c *Config) fill() {
@@ -53,6 +57,9 @@ func (c *Config) fill() {
 	}
 	if c.ReadyLen == 0 {
 		c.ReadyLen = 4096
+	}
+	if c.Backlog == 0 {
+		c.Backlog = 128
 	}
 }
 
@@ -173,7 +180,7 @@ func (s *Stack) Listen(port uint16) (*Listener, error) {
 	if _, busy := s.listeners[port]; busy {
 		return nil, ErrListenerUsed
 	}
-	l := &Listener{stk: s, port: port, acceptQ: make(chan *Conn, 128)}
+	l := &Listener{stk: s, port: port, acceptQ: make(chan *Conn, s.cfg.Backlog)}
 	s.listeners[port] = l
 	return l, nil
 }

@@ -63,6 +63,9 @@ var (
 	ErrFull       = core.ErrFull
 	ErrKeyTooLong = core.ErrKeyTooLong
 	ErrCorrupt    = core.ErrCorrupt
+	// ErrShardDown marks operations routed to a quarantined shard; the
+	// rest of the store keeps serving (match with errors.Is).
+	ErrShardDown = core.ErrShardDown
 )
 
 // Profiles.
@@ -170,6 +173,17 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	if d := ss.DownShards(); d > 0 {
+		// The NIC's RSS queues receive directly into each shard's PM
+		// partition; a deployment cannot wire queues to a quarantined
+		// shard's pool. Degraded serving is for store-level embedders —
+		// a cluster needs every shard healthy.
+		for i, h := range ss.Health() {
+			if h != nil {
+				return nil, fmt.Errorf("cluster: shard %d quarantined: %w", i, h)
+			}
+		}
+	}
 	tb := host.NewTestbed(host.Options{
 		Profile:       cfg.Profile,
 		ServerRxPools: ss.Pools(),
@@ -203,12 +217,15 @@ func (c *Cluster) DialRaw() (*tcp.Conn, error) { return c.tb.Dial(80) }
 // ServerStats reports the storage server's counters.
 func (c *Cluster) ServerStats() kvserver.Stats { return c.srv.Stats() }
 
-// Close stops the server and tears the fabric down. The Region (and the
-// data in it) survives, so a new Cluster can be started over it — the
-// programmatic equivalent of a reboot.
-func (c *Cluster) Close() {
+// Close stops the server, tears the fabric down, and syncs the region's
+// durable image to its backing file (when file-backed), returning the
+// sync error instead of dropping it. The Region (and the data in it)
+// survives, so a new Cluster can be started over it — the programmatic
+// equivalent of a reboot.
+func (c *Cluster) Close() error {
 	c.srv.Close()
 	c.tb.Close()
+	return c.Region.Sync()
 }
 
 // String identifies the library.

@@ -2,7 +2,6 @@ package packetstore
 
 import (
 	"bytes"
-	"math/rand"
 	"testing"
 )
 
@@ -48,7 +47,7 @@ func TestClusterSurvivesReboot(t *testing.T) {
 	region := cluster.Region
 	cluster.Close()
 
-	region.Crash(rand.New(rand.NewSource(1)))
+	region.Crash(1)
 
 	cluster2, err := NewCluster(ClusterConfig{Region: region})
 	if err != nil {
@@ -115,7 +114,7 @@ func TestClusterSharded(t *testing.T) {
 
 	// Crash and reboot at the same shard count: parallel recovery must
 	// round-trip every committed record.
-	region.Crash(rand.New(rand.NewSource(7)))
+	region.Crash(7)
 	cluster2, err := NewCluster(ClusterConfig{Region: region, Shards: 4})
 	if err != nil {
 		t.Fatal(err)
