@@ -4,14 +4,15 @@
 //
 // Usage:
 //
-//	pktbench -experiment table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|all \
+//	pktbench -experiment table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|all \
 //	         [-profile paper|fast|off] [-requests N] [-duration D] [-conns 1,25,50,75,100] \
-//	         [-shards 1,2,4,8] [-seeds N] [-json FILE]
+//	         [-shards 1,2,4,8] [-batches 1,4,16,64] [-seeds N] [-json FILE]
 //
 // The torture experiment sweeps the fault-injection harness (crash,
 // corruption, shard-loss and network-fault modes) over -seeds seeds and
 // writes BENCH_torture.json; any failing run names its seed and exits
-// non-zero.
+// non-zero. The batch experiment sweeps the group-persist pipeline
+// (MaxBatch x connections) and writes BENCH_batch.json.
 package main
 
 import (
@@ -29,13 +30,14 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|all")
+		experiment = flag.String("experiment", "all", "table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|all")
 		seeds      = flag.Int("seeds", 256, "torture runs for the crash mode (other modes scale down)")
 		profile    = flag.String("profile", "paper", "latency profile: paper|fast|off")
 		requests   = flag.Int("requests", 4000, "requests per RTT measurement")
 		duration   = flag.Duration("duration", time.Second, "measurement window per throughput point")
 		connsFlag  = flag.String("conns", "1,25,50,75,100", "connection counts for figure sweeps")
 		shardsFlag = flag.String("shards", "1,2,4,8", "shard counts for the scaling sweep")
+		batchFlag  = flag.String("batches", "1,4,16,64", "MaxBatch values for the group-commit sweep")
 		jsonPath   = flag.String("json", "", "also write the scaling result as JSON to FILE")
 	)
 	flag.Parse()
@@ -59,6 +61,7 @@ func main() {
 	}
 	conns := parseInts("conns", *connsFlag)
 	shards := parseInts("shards", *shardsFlag)
+	batches := parseInts("batches", *batchFlag)
 
 	run := func(name string, fn func() error) {
 		fmt.Printf("=== %s (profile %s) ===\n", name, prof.Name)
@@ -165,6 +168,34 @@ func main() {
 				}
 				fmt.Printf("wrote %s\n", *jsonPath)
 			}
+			return nil
+		})
+	}
+	if want("batch") {
+		run("E10 batch", func() error {
+			// The batch sweep defaults to the issue's grid: MaxBatch
+			// 1,4,16,64 x 1,16,64,100 connections.
+			bc := conns
+			if *connsFlag == "1,25,50,75,100" {
+				bc = []int{1, 16, 64, 100}
+			}
+			res, err := bench.RunBatch(prof, batches, bc, *duration)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			out := *jsonPath
+			if out == "" || *experiment == "all" {
+				out = "BENCH_batch.json"
+			}
+			blob, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
 			return nil
 		})
 	}

@@ -43,6 +43,7 @@ func RunAblation(profile calib.Profile, requests int) (AblationResult, error) {
 		{"zero-copy off (rx in DRAM)", storeCfgLarge(), false},
 	}
 	for _, cs := range cases {
+		cs.cfg.Breakdown = true // rows are per-phase timings
 		d, err := deploy(deployOptions{
 			profile: profile, kind: kindPktStore,
 			storeCfg: cs.cfg, zeroCopy: cs.zeroCopy,

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"io"
+	"time"
+
+	"packetstore/internal/calib"
+	"packetstore/internal/core"
+	"packetstore/internal/kvserver"
+	"packetstore/internal/wrkgen"
+)
+
+// BatchPoint is one (MaxBatch, connections) measurement of the
+// group-persist pipeline (E10).
+type BatchPoint struct {
+	Batch int
+	Conns int
+	// Throughput is measured req/s over the window.
+	Throughput float64
+	MeanLatUs  float64
+	P50LatUs   float64
+	P99LatUs   float64
+	// FencesPerOp / FlushesPerOp / LinesPerOp are the PM persist costs
+	// amortized over the measured requests: group commit's whole point
+	// is driving FencesPerOp below 1.
+	FencesPerOp  float64
+	FlushesPerOp float64
+	LinesPerOp   float64
+	// GroupCommits is how many multi-connection bursts the server
+	// committed during the window; GroupedConns the connections they
+	// covered, so AvgBurst = GroupedConns/GroupCommits.
+	GroupCommits uint64
+	GroupedConns uint64
+	AvgBurst     float64
+	// Puts/ZeroCopyPuts confirm the measured path: only zero-copy PUTs
+	// stage into the group commit.
+	Puts         uint64
+	ZeroCopyPuts uint64
+}
+
+// BatchResult reproduces experiment E10: small-value continual PUTs
+// against a single-loop packetstore with the group-persist pipeline
+// swept over MaxBatch × connection count. The batch=1 column is the
+// per-op commit path (the pre-batching server); fence-per-op and
+// flush-per-op counters show where the throughput comes from.
+type BatchResult struct {
+	Duration time.Duration
+	Batches  []int
+	Conns    []int
+	Points   []BatchPoint
+}
+
+// RunBatch sweeps group-commit batch sizes × connection counts over a
+// single-shard zero-copy packetstore deployment.
+func RunBatch(profile calib.Profile, batches, conns []int, duration time.Duration) (BatchResult, error) {
+	if len(batches) == 0 {
+		batches = []int{1, 4, 16, 64}
+	}
+	if len(conns) == 0 {
+		conns = []int{1, 16, 64, 100}
+	}
+	if duration <= 0 {
+		duration = time.Second
+	}
+	out := BatchResult{Duration: duration, Batches: batches, Conns: conns}
+
+	for _, nb := range batches {
+		for _, nc := range conns {
+			cfg := core.Config{
+				MetaSlots: 1 << 16, DataSlots: 1 << 16, ChecksumReuse: true,
+			}
+			d, err := deploy(deployOptions{
+				profile: profile, kind: kindPktStore, zeroCopy: true,
+				storeCfg: cfg, srvCfg: kvserver.Config{MaxBatch: nb},
+			})
+			if err != nil {
+				return out, err
+			}
+			wl := wrkgen.Config{
+				Conns: nc, ValueSize: 128,
+				KeySpace: 4096, KeyDist: wrkgen.DistUniform,
+				PutPct: 100, Seed: 11,
+				// Pipelined clients (like async real-world writers) keep
+				// requests queued at the server, which is what gives the
+				// event loop multiple readable connections per cycle.
+				Pipeline: 4,
+			}
+			// Warmup pass: fault in buffers and fill the keyspace so the
+			// measured window is steady-state overwrites.
+			wl.Requests = 2000 * nc
+			if wl.Requests > 50000 {
+				wl.Requests = 50000
+			}
+			if _, err := wrkgen.Run(wl, d.dial); err != nil {
+				d.close()
+				return out, err
+			}
+			// Measured pass against zeroed PM counters; server counters
+			// are diffed across the window instead.
+			d.pm.ResetStats()
+			st0 := d.srv.Stats()
+			wl.Requests = 0
+			wl.Duration = duration
+			wl.Seed = 12
+			res, err := wrkgen.Run(wl, d.dial)
+			pm := d.pm.Stats()
+			st := d.srv.Stats()
+			d.close()
+			if err != nil {
+				return out, err
+			}
+			p := BatchPoint{
+				Batch: nb, Conns: nc,
+				Throughput:   res.Throughput(),
+				MeanLatUs:    us(res.Hist.Mean()),
+				P50LatUs:     us(res.Hist.Percentile(50)),
+				P99LatUs:     us(res.Hist.Percentile(99)),
+				GroupCommits: st.GroupCommits - st0.GroupCommits,
+				GroupedConns: st.GroupedConns - st0.GroupedConns,
+				Puts:         st.Puts - st0.Puts,
+				ZeroCopyPuts: st.ZeroCopyPuts - st0.ZeroCopyPuts,
+			}
+			if res.Requests > 0 {
+				n := float64(res.Requests)
+				p.FencesPerOp = float64(pm.Fences) / n
+				p.FlushesPerOp = float64(pm.Flushes) / n
+				p.LinesPerOp = float64(pm.LinesFlushed) / n
+			}
+			if p.GroupCommits > 0 {
+				p.AvgBurst = float64(p.GroupedConns) / float64(p.GroupCommits)
+			}
+			out.Points = append(out.Points, p)
+		}
+	}
+	return out, nil
+}
+
+// point returns the measurement for (batch, conns), or nil.
+func (r BatchResult) point(nb, nc int) *BatchPoint {
+	for i := range r.Points {
+		if r.Points[i].Batch == nb && r.Points[i].Conns == nc {
+			return &r.Points[i]
+		}
+	}
+	return nil
+}
+
+// Print renders the sweep as throughput/latency/persist-cost tables
+// plus speedups over the batch=1 row.
+func (r BatchResult) Print(w io.Writer) {
+	fprintf(w, "Batch sweep: continual 128B writes, group-commit MaxBatch x connections (%v per point)\n", r.Duration)
+	fprintf(w, "\nThroughput (k req/s):\n%-10s", "batch")
+	for _, nc := range r.Conns {
+		fprintf(w, "%8d co", nc)
+	}
+	fprintf(w, "\n")
+	for _, nb := range r.Batches {
+		fprintf(w, "%-10d", nb)
+		for _, nc := range r.Conns {
+			if p := r.point(nb, nc); p != nil {
+				fprintf(w, "%11.1f", p.Throughput/1000)
+			}
+		}
+		fprintf(w, "\n")
+	}
+	fprintf(w, "\nMedian latency (us):\n%-10s", "batch")
+	for _, nc := range r.Conns {
+		fprintf(w, "%8d co", nc)
+	}
+	fprintf(w, "\n")
+	for _, nb := range r.Batches {
+		fprintf(w, "%-10d", nb)
+		for _, nc := range r.Conns {
+			if p := r.point(nb, nc); p != nil {
+				fprintf(w, "%11.1f", p.P50LatUs)
+			}
+		}
+		fprintf(w, "\n")
+	}
+	fprintf(w, "\nFences per op:\n%-10s", "batch")
+	for _, nc := range r.Conns {
+		fprintf(w, "%8d co", nc)
+	}
+	fprintf(w, "\n")
+	for _, nb := range r.Batches {
+		fprintf(w, "%-10d", nb)
+		for _, nc := range r.Conns {
+			if p := r.point(nb, nc); p != nil {
+				fprintf(w, "%11.2f", p.FencesPerOp)
+			}
+		}
+		fprintf(w, "\n")
+	}
+	fprintf(w, "\nSpeedup vs batch=1, flushes/op, achieved burst:\n")
+	for _, nc := range r.Conns {
+		base := r.point(r.Batches[0], nc)
+		if base == nil || base.Throughput <= 0 {
+			continue
+		}
+		for _, nb := range r.Batches {
+			p := r.point(nb, nc)
+			if p == nil {
+				continue
+			}
+			fprintf(w, "  %3d conns, batch %3d: %.2fx, %.2f flushes/op, %.2f lines/op, burst %.1f\n",
+				nc, nb, p.Throughput/base.Throughput, p.FlushesPerOp, p.LinesPerOp, p.AvgBurst)
+		}
+	}
+	fprintf(w, "(batch=1 is the per-op commit path; fences/op < 1 means one group\n")
+	fprintf(w, " fence covered several connections' PUTs)\n")
+}

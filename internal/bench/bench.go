@@ -94,12 +94,13 @@ const (
 type deployOptions struct {
 	profile    calib.Profile
 	kind       backendKind
-	storeCfg   core.Config // pktstore
-	shards     int         // pktstore: partitions (= RSS queues = server loops)
-	zeroCopy   bool        // pktstore: PM rx pool(s)
-	pmBytes    int         // region size for rawpm / novelsm
-	noPersist  bool        // zero the PM flush/fence latencies (Table 1 methodology)
-	noChecksum bool        // disable the LSM's checksum phase
+	storeCfg   core.Config     // pktstore
+	srvCfg     kvserver.Config // server knobs (group-commit MaxBatch etc.)
+	shards     int             // pktstore: partitions (= RSS queues = server loops)
+	zeroCopy   bool            // pktstore: PM rx pool(s)
+	pmBytes    int             // region size for rawpm / novelsm
+	noPersist  bool            // zero the PM flush/fence latencies (Table 1 methodology)
+	noChecksum bool            // disable the LSM's checksum phase
 }
 
 func deploy(opt deployOptions) (*deployment, error) {
@@ -175,7 +176,7 @@ func deploy(opt deployOptions) (*deployment, error) {
 	}
 
 	d.tb = host.NewTestbed(hostOpt)
-	srv, err := kvserver.New(d.tb.Server.Stack, 80, backend)
+	srv, err := kvserver.NewWithConfig(d.tb.Server.Stack, 80, backend, opt.srvCfg)
 	if err != nil {
 		d.tb.Close()
 		return nil, err

@@ -108,7 +108,7 @@ func RunScaling(profile calib.Profile, shards, conns []int, duration time.Durati
 				Throughput: res.Throughput(),
 				MeanLatUs:  us(res.Hist.Mean()),
 				P99LatUs:   us(res.Hist.Percentile(99)),
-				Puts: st.Puts, ZeroCopyPuts: st.ZeroCopyPuts,
+				Puts:       st.Puts, ZeroCopyPuts: st.ZeroCopyPuts,
 				LoopRequests: lreqs, LoopBusyUs: busy,
 			})
 		}

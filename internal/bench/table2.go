@@ -53,9 +53,11 @@ func RunTable2(profile calib.Profile, requests int) (Table2Result, error) {
 	}
 
 	run := func(noPersist bool) (time.Duration, core.Breakdown, uint64, uint64, time.Duration, error) {
+		cfg := storeCfgLarge()
+		cfg.Breakdown = true // this experiment reads per-phase timings
 		d, err := deploy(deployOptions{
 			profile: profile, kind: kindPktStore, zeroCopy: true,
-			storeCfg: storeCfgLarge(), noPersist: noPersist,
+			storeCfg: cfg, noPersist: noPersist,
 		})
 		if err != nil {
 			return 0, core.Breakdown{}, 0, 0, 0, err

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"encoding/binary"
+	"time"
+)
+
+// prepared describes one staged put awaiting its group commit: the slot
+// image is written (seq=0), the record is linked into the volatile
+// index, and its dirty lines sit in the store's FlushSet.
+type prepared struct {
+	slot int    // metadata slot holding the uncommitted image
+	seq  uint64 // commit sequence assigned at stage time
+	// old is the committed slot this put replaces (-1 if none); its
+	// commit word is cleared in phase C, after the group fence makes the
+	// replacement durable.
+	old int
+	// linkOff is the region offset of the level-0 pointer that targets
+	// this record (head tower or predecessor tower), flushed with the
+	// commit words in phase B.
+	linkOff int
+	// superseded marks a staged put overwritten by a later put of the
+	// same key inside the same batch: its slots were recycled at stage
+	// time and its commit word is never stamped.
+	superseded bool
+}
+
+// since returns the elapsed time for a breakdown phase, or 0 when
+// breakdown collection is off (the fast path then never reads the
+// clock: tnow returned the zero Time).
+func (s *Store) since(t time.Time) time.Duration {
+	if !s.cfg.Breakdown {
+		return 0
+	}
+	return time.Since(t)
+}
+
+// tnow reads the clock only when breakdown collection is on.
+func (s *Store) tnow() time.Time {
+	if !s.cfg.Breakdown {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// PutStaged stages a copying write for the next Commit: the record is
+// written, linked and readable, but not durable — and must not be
+// acknowledged — until Commit's group fence. Any read, delete, sync or
+// close commits the pending group first.
+func (s *Store) PutStaged(key, value []byte) error {
+	return s.putCopy(key, value, true)
+}
+
+// PutExtentsStaged stages a zero-copy write for the next Commit (see
+// PutStaged for the deferred-durability contract).
+func (s *Store) PutExtentsStaged(key []byte, vlen int, opt PutOptions) error {
+	if len(key) == 0 || len(key) > 0xffff {
+		return ErrKeyTooLong
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stagePutLocked(key, vlen, opt)
+}
+
+// Commit makes every staged put durable under one group flush and
+// fence, and retires the versions they replaced. A no-op when nothing
+// is staged.
+func (s *Store) Commit() {
+	s.mu.Lock()
+	s.commitStagedLocked()
+	s.mu.Unlock()
+}
+
+// StagedPuts reports how many puts await the next Commit.
+func (s *Store) StagedPuts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for i := range s.staged {
+		if !s.staged[i].superseded {
+			n++
+		}
+	}
+	return n
+}
+
+// stagedIndexOf finds the live staged entry occupying slot idx, or -1.
+func (s *Store) stagedIndexOf(idx int) int {
+	for i := range s.staged {
+		if s.staged[i].slot == idx && !s.staged[i].superseded {
+			return i
+		}
+	}
+	return -1
+}
+
+// commitStagedLocked is the group commit: three flush batches, each
+// followed by one fence (phase C only when the group replaced committed
+// records).
+//
+//	A: the staged images, data lines, key bytes and chain slots — all
+//	   accumulated in s.fs at stage time — deduplicated and flushed.
+//	B: commit words stamped with the stage-assigned sequences, plus the
+//	   level-0 links. They share a fence because recovery rebuilds the
+//	   index from committed slots alone: a link without its commit word
+//	   is swept away, and a commit word without its link is found by
+//	   the scan.
+//	C: replaced records' commit words cleared, then their slots and
+//	   data references recycled. Clearing strictly after the B fence
+//	   keeps the invariant that at every instant a committed version of
+//	   each acked key exists on media.
+func (s *Store) commitStagedLocked() {
+	if len(s.staged) == 0 {
+		return
+	}
+	tFlush := s.tnow()
+	// Phase A.
+	s.r.FlushBatch(&s.fs)
+	s.r.Fence()
+
+	// Phase B.
+	live := 0
+	for i := range s.staged {
+		p := &s.staged[i]
+		if p.superseded {
+			continue
+		}
+		live++
+		off := s.slotOff(p.slot)
+		s.r.WriteUint64(off+oSeq, p.seq)
+		s.fs.Add(off+oSeq, 8)
+		s.fs.Add(p.linkOff, 4)
+	}
+	s.r.FlushBatch(&s.fs)
+	s.r.Fence()
+
+	// Phase C.
+	clears := false
+	for i := range s.staged {
+		if p := &s.staged[i]; p.old >= 0 {
+			o := s.slotOff(p.old) + oSeq
+			s.r.WriteUint64(o, 0)
+			s.fs.Add(o, 8)
+			clears = true
+		}
+	}
+	if clears {
+		s.r.FlushBatch(&s.fs)
+		s.r.Fence()
+		for i := range s.staged {
+			if p := &s.staged[i]; p.old >= 0 {
+				s.recycleRecordLocked(p.old)
+			}
+		}
+	}
+	if live > 1 {
+		s.stats.GroupCommits++
+		s.stats.GroupedPuts += uint64(live)
+	}
+	s.bd.Flush += s.since(tFlush)
+	s.staged = s.staged[:0]
+}
+
+// supersedeStagedLocked handles a same-key overwrite landing on a
+// staged (uncommitted) record of the current batch: the earlier put's
+// commit word is never stamped, its slots and data references are
+// recycled immediately (nothing on media refers to them: seq stays 0),
+// and responsibility for the committed old version it was replacing —
+// if any — transfers to the new put. Returns that inherited old slot.
+func (s *Store) supersedeStagedLocked(j int) int {
+	p := &s.staged[j]
+	inherited := p.old
+	p.old = -1
+	p.superseded = true
+	s.recycleRecordLocked(p.slot)
+	return inherited
+}
+
+// recycleRecordLocked returns a record's metadata slots (itself plus
+// extent chains) to the free list and drops its data references,
+// without touching the commit word — the caller has already cleared it
+// (freeRecordLocked), batched the clear (phase C), or never stamped it
+// (superseded staged puts).
+func (s *Store) recycleRecordLocked(idx int) {
+	sl := s.slot(idx)
+	exts, err := s.readExtentsLocked(sl)
+	koff := int(binary.LittleEndian.Uint32(sl[oKOff:]))
+	chain := int(binary.LittleEndian.Uint32(sl[oChain:])) - 1
+	for chain >= 0 {
+		cs := s.slot(chain)
+		next := int(binary.LittleEndian.Uint32(cs[oChainNext:])) - 1
+		s.r.WriteUint32(s.slotOff(chain)+oMagic, 0)
+		s.metaFree = append(s.metaFree, chain)
+		chain = next
+	}
+	s.metaFree = append(s.metaFree, idx)
+	if err == nil {
+		for _, e := range exts {
+			s.unrefDataLocked(e.Off)
+		}
+	}
+	s.unrefDataLocked(koff)
+}

@@ -498,7 +498,7 @@ func TestSlotSizeAblation(t *testing.T) {
 }
 
 func TestBreakdownPhases(t *testing.T) {
-	_, s := newStore(t, Config{})
+	_, s := newStore(t, Config{Breakdown: true})
 	for i := 0; i < 50; i++ {
 		s.Put([]byte(fmt.Sprintf("k%03d", i)), make([]byte, 1024))
 	}

@@ -33,20 +33,29 @@ func (s *Store) PutExtents(key []byte, vlen int, opt PutOptions) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.putLocked(key, vlen, opt)
+	if err := s.stagePutLocked(key, vlen, opt); err != nil {
+		return err
+	}
+	s.commitStagedLocked()
+	return nil
 }
 
 // Put stores key -> value by copying both into freshly allocated data
 // slots — the path for callers outside the network fast path (CLI tools,
 // examples, tests). Integrity sums are computed in software.
 func (s *Store) Put(key, value []byte) error {
+	return s.putCopy(key, value, false)
+}
+
+// putCopy is the copying ingest shared by Put and PutStaged.
+func (s *Store) putCopy(key, value []byte, staged bool) error {
 	if len(key) == 0 || len(key) > 0xffff {
 		return ErrKeyTooLong
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	t0 := time.Now()
+	t0 := s.tnow()
 	// Lay key then value into data slots: key always fits one slot
 	// (<=64KB keys would span; restrict keys to one slot).
 	if len(key) > s.cfg.DataBufSize {
@@ -85,13 +94,13 @@ func (s *Store) Put(key, value []byte) error {
 			rest = rest[n:]
 		}
 	}
-	s.bd.Copy += time.Since(t0)
+	s.bd.Copy += s.since(t0)
 
-	// Mark the slots store-owned (refcounts incremented by putLocked).
+	// Mark the slots store-owned (refcounts incremented by stagePutLocked).
 	for _, base := range slots {
 		s.dataRefs[s.dataSlotIndex(base)] = 0
 	}
-	err := s.putLocked(key, len(value), PutOptions{
+	err := s.stagePutLocked(key, len(value), PutOptions{
 		Extents: exts, KeyOff: slots[0], HasSum: false, HWTime: time.Now(),
 	})
 	if err != nil {
@@ -101,15 +110,24 @@ func (s *Store) Put(key, value []byte) error {
 		}
 		return err
 	}
+	if !staged {
+		s.commitStagedLocked()
+	}
 	// Slots with no references (value smaller than reserved space never
 	// happens here: key slot always referenced) — nothing to release.
 	return nil
 }
 
-// putLocked is the commit protocol shared by both ingest paths.
-func (s *Store) putLocked(key []byte, vlen int, opt PutOptions) error {
-	s.bd.Ops++
-	tAlloc := time.Now()
+// stagePutLocked prepares a put for the next group commit: it writes
+// the data, key, chains and the uncommitted (seq=0) slot image, links
+// the record into the volatile index, and accumulates every dirty
+// range into s.fs. Nothing is flushed or fenced here — a per-op put is
+// simply a stage followed immediately by commitStagedLocked.
+func (s *Store) stagePutLocked(key []byte, vlen int, opt PutOptions) error {
+	if s.cfg.Breakdown {
+		s.bd.Ops++
+	}
+	tAlloc := s.tnow()
 	nChains := 0
 	if n := len(opt.Extents); n > inlineExtents {
 		nChains = (n - inlineExtents + chainExtents - 1) / chainExtents
@@ -124,10 +142,10 @@ func (s *Store) putLocked(key []byte, vlen int, opt PutOptions) error {
 		chains[i] = s.metaFree[len(s.metaFree)-1]
 		s.metaFree = s.metaFree[:len(s.metaFree)-1]
 	}
-	s.bd.Alloc += time.Since(tAlloc)
+	s.bd.Alloc += s.since(tAlloc)
 
 	// Integrity: reuse NIC sums or compute in software.
-	tCsum := time.Now()
+	tCsum := s.tnow()
 	exts := opt.Extents
 	var acc checksum.Accumulator
 	if opt.HasSum && s.cfg.ChecksumReuse {
@@ -148,9 +166,9 @@ func (s *Store) putLocked(key []byte, vlen int, opt PutOptions) error {
 		s.stats.ChecksumComputed++
 	}
 	combined := acc.Sum()
-	s.bd.Checksum += time.Since(tCsum)
+	s.bd.Checksum += s.since(tCsum)
 
-	tMeta := time.Now()
+	tMeta := s.tnow()
 	var prev [maxHeight]int
 	ge := s.findGE(key, &prev)
 	var old int = -1
@@ -209,28 +227,28 @@ func (s *Store) putLocked(key []byte, vlen int, opt PutOptions) error {
 	binary.LittleEndian.PutUint64(img[oSeq:], seq)
 	binary.LittleEndian.PutUint32(img[oSlotSum:], slotSum(img, key))
 	binary.LittleEndian.PutUint64(img[oSeq:], 0)
-	s.bd.Meta += time.Since(tMeta)
+	s.bd.Meta += s.since(tMeta)
 
-	// Persist. Ordering needs three fences: (1) the data lines, key bytes
-	// and the uncommitted slot image have no mutual order, so they share
-	// one flush batch and one fence; (2) the commit word; (3) the level-0
-	// link (issued after linking below).
-	tFlush := time.Now()
+	// Stage the write-back set: the uncommitted slot image, the data
+	// lines and the key bytes have no mutual persist order, so they all
+	// join the group's flush batch (deduplicated — an extent sharing a
+	// line with the key, or two slots sharing a line, costs one clwb).
+	tFlush := s.tnow()
 	off := s.slotOff(slotIdx)
 	s.r.Write(off, img)
 	for _, e := range exts {
-		s.r.Flush(e.Off, e.Len)
+		s.fs.Add(e.Off, e.Len)
 	}
-	s.r.Flush(opt.KeyOff, len(key))
-	s.r.Flush(off, s.cfg.SlotSize)
-	s.r.Fence()
+	s.fs.Add(opt.KeyOff, len(key))
+	s.fs.Add(off, s.cfg.SlotSize)
 	s.seq = seq
-	s.r.WriteUint64(off+oSeq, seq)
-	s.r.Persist(off+oSeq, 8)
-	s.bd.Flush += time.Since(tFlush)
+	s.bd.Flush += s.since(tFlush)
 
-	// Link into the index; reference the data slots.
-	tLink := time.Now()
+	// Link into the index; reference the data slots. Linking before the
+	// commit word persists is safe: recovery never follows links, and
+	// readers under this lock see the record exactly when its ack-gating
+	// group commit will make it durable.
+	tLink := s.tnow()
 	maxH := height
 	if old >= 0 && oldHeight > maxH {
 		maxH = oldHeight
@@ -253,27 +271,34 @@ func (s *Store) putLocked(key []byte, vlen int, opt PutOptions) error {
 			}
 		}
 	}
-	s.bd.Meta += time.Since(tLink)
-	// Persist the level-0 link (the durable chain).
-	tLinkFlush := time.Now()
-	if prev[0] < 0 {
-		s.r.Persist(s.base+sbOTower, 4)
-	} else {
-		s.r.Persist(s.slotOff(prev[0])+oTower, 4)
+	s.bd.Meta += s.since(tLink)
+	// The level-0 link that now targets this record persists with the
+	// commit word in the group's phase B.
+	linkOff := s.base + sbOTower
+	if prev[0] >= 0 {
+		linkOff = s.slotOff(prev[0]) + oTower
 	}
-	s.bd.Flush += time.Since(tLinkFlush)
 
 	for _, e := range exts {
 		s.refDataLocked(e.Off)
 	}
 	s.refDataLocked(opt.KeyOff)
 
-	// Retire the old version (after the new one is durable).
-	if old >= 0 {
-		s.freeRecordLocked(old)
-	} else {
+	p := prepared{slot: slotIdx, seq: seq, old: -1, linkOff: linkOff}
+	switch {
+	case old < 0:
 		s.count++
+	default:
+		if j := s.stagedIndexOf(old); j >= 0 {
+			// Overwriting an uncommitted put of the same batch: it is
+			// superseded in place and this put inherits whatever
+			// committed version it was replacing.
+			p.old = s.supersedeStagedLocked(j)
+		} else {
+			p.old = old
+		}
 	}
+	s.staged = append(s.staged, p)
 	s.stats.Puts++
 	s.stats.BytesStored += uint64(vlen)
 	return nil
@@ -283,8 +308,12 @@ func (s *Store) writeSlotNextLocked(idx, level, next int) {
 	s.r.WriteUint32(s.slotOff(idx)+oTower+4*level, uint32(next+1))
 }
 
-// writeChainsLocked persists extent-continuation slots (before the parent
-// commits, so recovery only ever follows complete chains).
+// writeChainsLocked stages extent-continuation slots into the group's
+// flush set. They persist in phase A, before any parent commit word is
+// stamped in phase B, so recovery only ever follows complete chains —
+// and they no longer cost their own flush calls and fence: the former
+// per-chain Flush both re-covered lines the whole-slot flush already
+// owned and paid an extra fence per chained put.
 func (s *Store) writeChainsLocked(chains []int, exts []Extent) {
 	for ci, idx := range chains {
 		img := make([]byte, s.cfg.SlotSize)
@@ -304,9 +333,8 @@ func (s *Store) writeChainsLocked(chains []int, exts []Extent) {
 		binary.LittleEndian.PutUint32(img[oSlotSum:], chainSum(img))
 		off := s.slotOff(idx)
 		s.r.Write(off, img)
-		s.r.Flush(off, s.cfg.SlotSize)
+		s.fs.Add(off, s.cfg.SlotSize)
 	}
-	s.r.Fence()
 }
 
 // readExtentsLocked collects a record's extents (inline + chains).
@@ -357,28 +385,10 @@ func (s *Store) readExtentsLocked(sl []byte) ([]Extent, error) {
 // recycle slots and data references. The caller has already unlinked it
 // from (or replaced it in) the index.
 func (s *Store) freeRecordLocked(idx int) {
-	sl := s.slot(idx)
-	exts, err := s.readExtentsLocked(sl)
-	koff := int(binary.LittleEndian.Uint32(sl[oKOff:]))
 	off := s.slotOff(idx)
 	s.r.WriteUint64(off+oSeq, 0)
 	s.r.Persist(off+oSeq, 8)
-	// Collect chain slots before recycling the parent.
-	chain := int(binary.LittleEndian.Uint32(sl[oChain:])) - 1
-	for chain >= 0 {
-		cs := s.slot(chain)
-		next := int(binary.LittleEndian.Uint32(cs[oChainNext:])) - 1
-		s.r.WriteUint32(s.slotOff(chain)+oMagic, 0)
-		s.metaFree = append(s.metaFree, chain)
-		chain = next
-	}
-	s.metaFree = append(s.metaFree, idx)
-	if err == nil {
-		for _, e := range exts {
-			s.unrefDataLocked(e.Off)
-		}
-	}
-	s.unrefDataLocked(koff)
+	s.recycleRecordLocked(idx)
 }
 
 func (s *Store) randomHeightLocked() int {
@@ -405,6 +415,10 @@ type Ref struct {
 func (s *Store) GetRef(key []byte) (Ref, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Reads act as a commit barrier: a staged record must not be served
+	// (and thereby observable) while its durability is still pending,
+	// or a crash could lose a value another client already read.
+	s.commitStagedLocked()
 	s.stats.Gets++
 	idx := s.findGE(key, nil)
 	if idx < 0 || s.compareKey(key, keyPrefix(key), s.slot(idx), false) != 0 {
@@ -454,6 +468,9 @@ func (s *Store) Get(key []byte) ([]byte, bool, error) {
 func (s *Store) Delete(key []byte) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Deletes commit the pending group first: unlinking and recycling
+	// assume every indexed record is committed.
+	s.commitStagedLocked()
 	s.stats.Deletes++
 	var prev [maxHeight]int
 	idx := s.findGE(key, &prev)

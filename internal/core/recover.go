@@ -221,6 +221,9 @@ type Record struct {
 func (s *Store) Ascend(start []byte, fn func(rec Record) bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Iteration is a commit barrier, like GetRef: staged records must be
+	// durable before they are observable.
+	s.commitStagedLocked()
 	s.stats.Ranges++
 	var idx int
 	if len(start) == 0 {

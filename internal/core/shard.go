@@ -263,6 +263,35 @@ func (ss *ShardedStore) PutExtents(key []byte, vlen int, opt PutOptions) error {
 	return s.PutExtents(key, vlen, opt)
 }
 
+// PutStaged routes the copying write to the owning shard's staging
+// area; Commit makes all shards' staged puts durable.
+func (ss *ShardedStore) PutStaged(key, value []byte) error {
+	s, err := ss.storeOr(key)
+	if err != nil {
+		return err
+	}
+	return s.PutStaged(key, value)
+}
+
+// PutExtentsStaged routes the zero-copy write to the owning shard's
+// staging area.
+func (ss *ShardedStore) PutExtentsStaged(key []byte, vlen int, opt PutOptions) error {
+	s, err := ss.storeOr(key)
+	if err != nil {
+		return err
+	}
+	return s.PutExtentsStaged(key, vlen, opt)
+}
+
+// Commit group-commits every serving shard's staged puts, in shard
+// order (deterministic persist-op sequence for fault replay). Shards
+// with nothing staged cost one mutex round trip.
+func (ss *ShardedStore) Commit() {
+	for _, s := range ss.serving() {
+		s.Commit()
+	}
+}
+
 // Get routes the read to the owning shard.
 func (ss *ShardedStore) Get(key []byte) ([]byte, bool, error) {
 	s, err := ss.storeOr(key)
@@ -327,6 +356,8 @@ func (ss *ShardedStore) Stats() Stats {
 		out.BytesStored += st.BytesStored
 		out.Records += st.Records
 		out.SlotsQuarantined += st.SlotsQuarantined
+		out.GroupCommits += st.GroupCommits
+		out.GroupedPuts += st.GroupedPuts
 	}
 	return out
 }
@@ -443,9 +474,16 @@ func (ss *ShardedStore) VerifyShards() int {
 	return n
 }
 
-// Sync writes the region's durable image to its backing file, if any.
-func (ss *ShardedStore) Sync() error { return ss.r.Sync() }
+// Sync commits all shards' staged puts, then writes the region's
+// durable image to its backing file, if any.
+func (ss *ShardedStore) Sync() error {
+	ss.Commit()
+	return ss.r.Sync()
+}
 
-// Close syncs the backing region and releases its file, surfacing write
-// errors instead of dropping them.
-func (ss *ShardedStore) Close() error { return ss.r.Close() }
+// Close commits staged puts, syncs the backing region and releases its
+// file, surfacing write errors instead of dropping them.
+func (ss *ShardedStore) Close() error {
+	ss.Commit()
+	return ss.r.Close()
+}

@@ -44,6 +44,9 @@ type RunStats struct {
 	PersistOps int64 // calibration total (crash runs)
 	CutAt      int64
 	TearBytes  int
+	// BatchSize is the group-commit width drawn for crash runs: 1 means
+	// the per-op path, >1 stages that many puts per Commit.
+	BatchSize  int
 	AckedOps   int
 	RecoveryNs int64
 	Records    int // records alive after recovery
@@ -69,6 +72,8 @@ func tortureCfg() core.Config {
 // and *core.ShardedStore implement it.
 type storeAPI interface {
 	Put(key, value []byte) error
+	PutStaged(key, value []byte) error
+	Commit()
 	Get(key []byte) ([]byte, bool, error)
 	Delete(key []byte) (bool, error)
 	Range(start, end []byte, limit int) ([]core.Record, error)
@@ -108,18 +113,101 @@ func crashOps(rng *rand.Rand, n, keys, maxVal int) []wlOp {
 	return ops
 }
 
-func applyOp(st storeAPI, o wlOp) error {
-	if o.del {
-		_, err := st.Delete([]byte(o.key))
-		return err
+// inflightOp describes one operation that was indeterminate when power
+// died: a staged-but-uncommitted (or mid-commit) put, or the delete in
+// flight. val is the last value staged for the key in the cut batch —
+// earlier stagings of the same key are superseded before their sequence
+// is ever stamped, so only the last can surface.
+type inflightOp struct {
+	del bool
+	val []byte
+}
+
+// replayBatched drives ops against st, grouping puts into batches of
+// `batch` staged puts per Commit (batch<=1 is the per-op path). Deletes
+// are immediate operations: any open batch is committed — and its puts
+// acked — before the delete issues, so the in-flight set at a cut is
+// always either one delete, one unbatched put, or the puts of a single
+// group commit. Returns the acked reference model and, if power died,
+// the in-flight set (nil means the replay completed).
+func replayBatched(st storeAPI, r *pmem.Region, ops []wlOp, batch int) (model map[string][]byte, acked int, inflight map[string]inflightOp, err error) {
+	model = make(map[string][]byte)
+	var pending []wlOp
+
+	pendingSet := func(extra ...wlOp) map[string]inflightOp {
+		fl := make(map[string]inflightOp)
+		for _, p := range append(pending, extra...) {
+			fl[p.key] = inflightOp{del: p.del, val: p.val}
+		}
+		return fl
 	}
-	return st.Put([]byte(o.key), o.val)
+	commit := func() bool {
+		st.Commit()
+		if r.PowerFailed() {
+			return true
+		}
+		for _, p := range pending {
+			model[p.key] = p.val
+			acked++
+		}
+		pending = nil
+		return false
+	}
+
+	for i, o := range ops {
+		if o.del {
+			if len(pending) > 0 && commit() {
+				return model, acked, pendingSet(), nil
+			}
+			_, derr := st.Delete([]byte(o.key))
+			if r.PowerFailed() {
+				return model, acked, pendingSet(o), nil
+			}
+			if derr != nil {
+				return model, acked, nil, fmt.Errorf("op %d failed before the cut: %w", i, derr)
+			}
+			delete(model, o.key)
+			acked++
+			continue
+		}
+		if batch <= 1 {
+			perr := st.Put([]byte(o.key), o.val)
+			if r.PowerFailed() {
+				return model, acked, pendingSet(o), nil
+			}
+			if perr != nil {
+				return model, acked, nil, fmt.Errorf("op %d failed before the cut: %w", i, perr)
+			}
+			model[o.key] = o.val
+			acked++
+			continue
+		}
+		perr := st.PutStaged([]byte(o.key), o.val)
+		if r.PowerFailed() {
+			return model, acked, pendingSet(o), nil
+		}
+		if perr != nil {
+			return model, acked, nil, fmt.Errorf("op %d failed before the cut: %w", i, perr)
+		}
+		pending = append(pending, o)
+		if len(pending) >= batch && commit() {
+			return model, acked, pendingSet(), nil
+		}
+	}
+	if len(pending) > 0 && commit() {
+		return model, acked, pendingSet(), nil
+	}
+	return model, acked, nil, nil
 }
 
 // RunCrash executes one crash-consistency run: calibrate the workload's
-// persist-operation count on a scratch store, pick a cut point (and,
-// half the time, a torn write-back) from the seed, replay with the
-// plan armed, crash, recover, and compare against the reference model.
+// persist-operation count on a scratch store, pick a group-commit batch
+// size, a cut point and (half the time) a torn write-back from the
+// seed, replay with the plan armed, crash, recover, and compare against
+// the reference model. With batch > 1 the cut can land mid-group, so
+// every put of the cut batch is independently indeterminate — committed
+// sequence numbers flush under one fence, and any per-line subset may
+// survive the cut.
 func RunCrash(seed int64, shards int) (RunStats, error) {
 	if shards < 1 {
 		shards = 1
@@ -128,30 +216,27 @@ func RunCrash(seed int64, shards int) (RunStats, error) {
 	cfg := tortureCfg()
 	rng := rand.New(rand.NewSource(seed))
 	ops := crashOps(rng, 40, 12, 360)
+	rs.BatchSize = []int{1, 2, 4, 8}[rng.Intn(4)]
 
 	size := cfg.RegionSize()
 	if shards > 1 {
 		size = core.ShardedRegionSize(cfg, shards)
 	}
 
-	// Calibration: identical geometry and workload, counting hook. The
-	// store's index heights come from a fixed-seed rng, so the replay
-	// issues the exact same persist sequence.
+	// Calibration: identical geometry, workload and batching, counting
+	// hook. The store's index heights come from a fixed-seed rng and
+	// sharded commits walk shards in order, so the replay issues the
+	// exact same persist sequence.
 	calSt, err := openStore(pmem.New(size, calib.Off()), cfg, shards)
 	if err != nil {
 		return rs, fmt.Errorf("calibration open: %w", err)
 	}
 	var calErr error
 	total := CountPersistOps(storeRegion(calSt), func() {
-		for i, o := range ops {
-			if err := applyOp(calSt, o); err != nil {
-				calErr = fmt.Errorf("calibration op %d: %w", i, err)
-				return
-			}
-		}
+		_, _, _, calErr = replayBatched(calSt, storeRegion(calSt), ops, rs.BatchSize)
 	})
 	if calErr != nil {
-		return rs, calErr
+		return rs, fmt.Errorf("calibration: %w", calErr)
 	}
 	if total == 0 {
 		return rs, errors.New("calibration counted no persist operations")
@@ -171,31 +256,14 @@ func RunCrash(seed int64, shards int) (RunStats, error) {
 	plan := &Plan{Seed: seed, CutAt: rs.CutAt, TearBytes: rs.TearBytes}
 	plan.Install(r)
 
-	model := make(map[string][]byte)
-	inflight := -1
-	for i, o := range ops {
-		err := applyOp(st, o)
-		if r.PowerFailed() {
-			// The op in flight when power died is indeterminate; stop
-			// issuing — the machine is off.
-			inflight = i
-			break
-		}
-		if err != nil {
-			return rs, fmt.Errorf("op %d failed before the cut: %w", i, err)
-		}
-		if o.del {
-			delete(model, o.key)
-		} else {
-			model[o.key] = o.val
-		}
-		rs.AckedOps++
+	model, acked, inflight, err := replayBatched(st, r, ops, rs.BatchSize)
+	if err != nil {
+		return rs, err
 	}
-	if inflight < 0 {
+	rs.AckedOps = acked
+	if inflight == nil {
 		return rs, fmt.Errorf("cut at op %d/%d never fired", rs.CutAt, total)
 	}
-	io := ops[inflight]
-	oldVal, hadOld := model[io.key]
 
 	r.Crash(seed)
 	t0 := time.Now()
@@ -208,7 +276,12 @@ func RunCrash(seed int64, shards int) (RunStats, error) {
 		return rs, fmt.Errorf("clean power cut quarantined %d shards", ss.DownShards())
 	}
 
-	// Compare the recovered store against the reference model.
+	// Compare the recovered store against the reference model. Keys in
+	// the in-flight set are judged per-key: a group commit flushes all
+	// its sequence stamps under one fence, so any per-line subset of the
+	// cut batch may have committed — each key independently shows its
+	// acked old value, the batch's (last) staged value, or nothing if it
+	// had no acked version.
 	recs, err := st2.Range(nil, nil, 0)
 	if err != nil {
 		return rs, fmt.Errorf("range after recovery: %w", err)
@@ -218,7 +291,7 @@ func RunCrash(seed int64, shards int) (RunStats, error) {
 		seen[string(rec.Key)] = rec.Value
 	}
 	for k, want := range model {
-		if k == io.key {
+		if _, ok := inflight[k]; ok {
 			continue // judged below under in-flight rules
 		}
 		got, ok := seen[k]
@@ -229,21 +302,28 @@ func RunCrash(seed int64, shards int) (RunStats, error) {
 			return rs, fmt.Errorf("acked key %q recovered with wrong value", k)
 		}
 	}
-	if got, ok := seen[io.key]; ok {
-		okOld := hadOld && bytes.Equal(got, oldVal)
-		okNew := !io.del && bytes.Equal(got, io.val)
-		if !okOld && !okNew {
-			return rs, fmt.Errorf("in-flight key %q recovered with impossible value", io.key)
+	for k, fl := range inflight {
+		oldVal, hadOld := model[k]
+		if got, ok := seen[k]; ok {
+			okOld := hadOld && bytes.Equal(got, oldVal)
+			okNew := !fl.del && bytes.Equal(got, fl.val)
+			if !okOld && !okNew {
+				return rs, fmt.Errorf("in-flight key %q recovered with impossible value", k)
+			}
+		} else if hadOld && !fl.del && !bytes.Equal(oldVal, fl.val) {
+			// An in-flight overwrite may surface old or new but must not
+			// lose the acked old version entirely.
+			return rs, fmt.Errorf("in-flight overwrite of %q lost the acked old value", k)
 		}
-	} else if hadOld && io.del == false && !bytes.Equal(oldVal, io.val) {
-		// An in-flight overwrite may surface old or new but must not
-		// lose the acked old version entirely.
-		return rs, fmt.Errorf("in-flight overwrite of %q lost the acked old value", io.key)
 	}
 	for k := range seen {
-		if _, ok := model[k]; !ok && k != io.key {
-			return rs, fmt.Errorf("phantom key %q after recovery", k)
+		if _, inModel := model[k]; inModel {
+			continue
 		}
+		if _, inFlight := inflight[k]; inFlight {
+			continue
+		}
+		return rs, fmt.Errorf("phantom key %q after recovery", k)
 	}
 	if bad, err := st2.Verify(); err != nil || len(bad) > 0 {
 		return rs, fmt.Errorf("verify after recovery: %d bad keys, err %v", len(bad), err)

@@ -46,11 +46,27 @@ func (cl *Client) Close() error { return cl.c.Close() }
 
 // roundTrip sends a request and reads one full response.
 func (cl *Client) roundTrip(method, path string, body []byte) (int, []byte, error) {
-	cl.wbuf = httpmsg.AppendRequest(cl.wbuf[:0], method, path, len(body))
-	cl.wbuf = append(cl.wbuf, body...)
-	if _, err := cl.c.Write(cl.wbuf); err != nil {
+	if err := cl.Send(method, path, body); err != nil {
 		return 0, nil, err
 	}
+	return cl.Recv()
+}
+
+// Send transmits one request without waiting for its response. Paired
+// with Recv it pipelines requests on the connection: responses arrive
+// in request order, so callers must issue exactly one Recv per Send,
+// in order, and keep enough Recvs flowing that the peer's response
+// stream never backs up.
+func (cl *Client) Send(method, path string, body []byte) error {
+	cl.wbuf = httpmsg.AppendRequest(cl.wbuf[:0], method, path, len(body))
+	cl.wbuf = append(cl.wbuf, body...)
+	_, err := cl.c.Write(cl.wbuf)
+	return err
+}
+
+// Recv reads the next pipelined response (in request order) and returns
+// its status and body.
+func (cl *Client) Recv() (int, []byte, error) {
 	cl.parser.Reset()
 	var respBody []byte
 	for {

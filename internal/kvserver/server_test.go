@@ -318,6 +318,24 @@ func appendPut(dst []byte, key string, val []byte) []byte {
 	return append(dst, val...)
 }
 
+// readOKs reads from c until n 200-responses have arrived.
+func readOKs(t *testing.T, c interface{ Read([]byte) (int, error) }, n int) {
+	t.Helper()
+	var out []byte
+	buf := make([]byte, 4096)
+	deadline := time.Now().Add(5 * time.Second)
+	for bytes.Count(out, []byte("HTTP/1.1 200")) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %d responses; got %q", n, out)
+		}
+		m, err := c.Read(buf)
+		if err != nil {
+			t.Fatalf("read: %v (got %q)", err, out)
+		}
+		out = append(out, buf[:m]...)
+	}
+}
+
 func readAll(t *testing.T, c interface{ Read([]byte) (int, error) }, until []byte) []byte {
 	t.Helper()
 	var out []byte
@@ -419,5 +437,93 @@ func TestLossyFabricEndToEnd(t *testing.T) {
 	// Retransmission-trimmed segments must never poison checksums.
 	if bad, _ := store.Verify(); len(bad) != 0 {
 		t.Fatalf("verify after lossy ingest: %q", bad)
+	}
+}
+
+// TestEndToEndGroupCommit drives many concurrent connections at a server
+// with MaxBatch enabled: bursts must actually form (GroupCommits > 0),
+// every grouped PUT must still be durable and correct, and group commit
+// must spend fewer fences than one-fence-per-op would.
+func TestEndToEndGroupCommit(t *testing.T) {
+	cfg := core.Config{MetaSlots: 1 << 14, DataSlots: 1 << 14, ChecksumReuse: true}
+	// The paper PM latency profile (not Off) matters here: with free PM
+	// the loop services each request the instant it arrives, bursts stay
+	// at one conn, and the adaptive cutoff routes everything down the
+	// unbatched path. Realistic persist cost lets arrivals pile up.
+	r := pmem.New(cfg.RegionSize(), calib.Paper())
+	store, err := core.Open(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := host.NewTestbed(host.Options{ServerRxPool: store.Pool()})
+	defer tb.Close()
+	srv, err := NewWithConfig(tb.Server.Stack, 80, PktStore{S: store}, Config{MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Run()
+	defer srv.Close()
+
+	// Pure-PUT phase first: with no reads forcing mid-burst commit
+	// barriers, fence amortization must be visible in the PM counters.
+	// Every conn pipelines its whole round before anyone reads a
+	// response, so several connections are readable at once and bursts
+	// form regardless of scheduler timing.
+	const conns, rounds, perRound = 8, 4, 8
+	val := bytes.Repeat([]byte("b"), 512)
+	cs := make([]kvclient.Conn, conns)
+	for i := range cs {
+		c, err := tb.Dial(80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs[i] = c
+	}
+	for r := 0; r < rounds; r++ {
+		for i, c := range cs {
+			var burst []byte
+			for j := 0; j < perRound; j++ {
+				key := fmt.Sprintf("g%03d", (i*perRound+j+r*13)%50)
+				burst = appendPut(burst, key, val)
+			}
+			if _, err := c.Write(burst); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, c := range cs {
+			readOKs(t, c, perRound)
+		}
+	}
+	st := srv.Stats()
+	if st.GroupCommits == 0 {
+		t.Fatal("no group commits formed under 8 concurrent connections")
+	}
+	if st.GroupedConns < 2*st.GroupCommits {
+		t.Fatalf("groups averaged <2 conns: %d commits, %d conns",
+			st.GroupCommits, st.GroupedConns)
+	}
+	// An unbatched overwrite-heavy PUT run spends ~3 fences per op
+	// (flush, seq, retire); grouping must land below 2.
+	pm := r.Stats()
+	puts := store.Stats().Puts
+	if pm.Fences >= 2*puts {
+		t.Fatalf("fences %d for %d puts: batching bought nothing", pm.Fences, puts)
+	}
+
+	// Mixed phase: interleaved GETs and DELETEs force commit barriers
+	// mid-burst; correctness must survive the churn.
+	res, err := wrkgen.Run(wrkgen.Config{
+		Conns: 8, Requests: 800, ValueSize: 512,
+		KeySpace: 200, KeyDist: wrkgen.DistUniform,
+		PutPct: 60, DeletePct: 10, Seed: 44,
+	}, func() (kvclient.Conn, error) { return tb.Dial(80) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("mixed phase: %d errors", res.Errors)
+	}
+	if bad, _ := store.Verify(); len(bad) != 0 {
+		t.Fatalf("verify after grouped churn: %q", bad)
 	}
 }

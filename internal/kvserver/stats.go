@@ -19,6 +19,11 @@ type Stats struct {
 	// sweep (Config.IdleTimeout).
 	Sheds      uint64
 	IdleClosed uint64
+	// GroupCommits counts group-commit cycles that batched more than one
+	// connection; GroupedConns counts the connections they covered, so
+	// GroupedConns/GroupCommits is the achieved burst size.
+	GroupCommits uint64
+	GroupedConns uint64
 	// ShardsDown is a gauge: store shards currently quarantined (served
 	// keyspace answers 503).
 	ShardsDown int
@@ -45,6 +50,8 @@ func (s *Stats) merge(o Stats) {
 	s.SoftwareSums += o.SoftwareSums
 	s.Sheds += o.Sheds
 	s.IdleClosed += o.IdleClosed
+	s.GroupCommits += o.GroupCommits
+	s.GroupedConns += o.GroupedConns
 	s.ShardsDown += o.ShardsDown
 	s.ParseTime += o.ParseTime
 	s.BusyTime += o.BusyTime
@@ -60,6 +67,7 @@ type statsCounters struct {
 	zcPuts, zcGets                        atomic.Uint64
 	derivedSums, softwareSums             atomic.Uint64
 	sheds, idleClosed                     atomic.Uint64
+	groupCommits, groupedConns            atomic.Uint64
 	parseNanos                            atomic.Int64
 	busyNanos                             atomic.Int64
 }
@@ -73,6 +81,7 @@ func (c *statsCounters) Snapshot() Stats {
 		ZeroCopyPuts: c.zcPuts.Load(), ZeroCopyGets: c.zcGets.Load(),
 		DerivedSums: c.derivedSums.Load(), SoftwareSums: c.softwareSums.Load(),
 		Sheds: c.sheds.Load(), IdleClosed: c.idleClosed.Load(),
+		GroupCommits: c.groupCommits.Load(), GroupedConns: c.groupedConns.Load(),
 		ParseTime: time.Duration(c.parseNanos.Load()),
 		BusyTime:  time.Duration(c.busyNanos.Load()),
 	}

@@ -1,0 +1,192 @@
+package pmem
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFlushSetDedup(t *testing.T) {
+	r := New(4096, off())
+	var fs FlushSet
+
+	// Three ranges: two share line 0 (slot header + key bytes), one is
+	// adjacent. Lines touched: {0}, {0,1}, {2,3} -> distinct {0,1,2,3}.
+	r.Write(0, bytes.Repeat([]byte{1}, 256))
+	fs.Add(0, 16)
+	fs.Add(32, 96)  // lines 0-1, line 0 duplicated
+	fs.Add(128, 96) // lines 2-3
+	if got := fs.Refs(); got != 5 {
+		t.Fatalf("Refs = %d, want 5", got)
+	}
+	bs := r.FlushBatch(&fs)
+	if bs.Lines != 4 || bs.Coalesced != 1 || bs.Flushed != 4 || bs.Wasted != 0 {
+		t.Fatalf("BatchStats = %+v, want Lines 4 Coalesced 1 Flushed 4 Wasted 0", bs)
+	}
+	if !fs.Empty() {
+		t.Fatal("FlushBatch did not reset the set")
+	}
+	if n := r.PendingLines(); n != 4 {
+		t.Fatalf("PendingLines = %d, want 4", n)
+	}
+	r.Fence()
+	if n := r.PendingLines(); n != 0 {
+		t.Fatalf("PendingLines after Fence = %d, want 0", n)
+	}
+	st := r.Stats()
+	if st.Flushes != 1 || st.BatchFlushes != 1 || st.LinesFlushed != 4 ||
+		st.LinesCoalesced != 1 || st.WastedFlushes != 0 || st.Fences != 1 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestFlushSetCleanAndWastedLines(t *testing.T) {
+	r := New(4096, off())
+	var fs FlushSet
+
+	// A clean line costs nothing; a line already pending counts as wasted.
+	r.Write(0, bytes.Repeat([]byte{1}, 64))
+	r.Flush(0, 64) // line 0 now pending
+	fs.Add(0, 64)  // wasted: already pending
+	fs.Add(64, 64) // clean: never written
+	bs := r.FlushBatch(&fs)
+	if bs.Lines != 2 || bs.Flushed != 0 || bs.Wasted != 1 {
+		t.Fatalf("BatchStats = %+v, want Lines 2 Flushed 0 Wasted 1", bs)
+	}
+	if st := r.Stats(); st.WastedFlushes != 1 {
+		t.Fatalf("WastedFlushes = %d, want 1", st.WastedFlushes)
+	}
+}
+
+func TestFlushWastedCounting(t *testing.T) {
+	r := New(4096, off())
+	r.Write(0, bytes.Repeat([]byte{1}, 64))
+	r.Flush(0, 64)
+	r.Flush(0, 64) // redundant: line already pending
+	if st := r.Stats(); st.WastedFlushes != 1 {
+		t.Fatalf("WastedFlushes = %d, want 1", st.WastedFlushes)
+	}
+}
+
+func TestFlushBatchDurability(t *testing.T) {
+	r := New(4096, off())
+	var fs FlushSet
+	r.Write(0, []byte("hello"))
+	r.Write(200, []byte("world"))
+	fs.Add(0, 5)
+	fs.Add(200, 5)
+	r.FlushBatch(&fs)
+	r.Fence()
+	r.Crash(1)
+	if got := string(r.Slice(0, 5)); got != "hello" {
+		t.Fatalf("after crash: %q, want hello", got)
+	}
+	if got := string(r.Slice(200, 5)); got != "world" {
+		t.Fatalf("after crash: %q, want world", got)
+	}
+}
+
+func TestFlushBatchUnfencedIsUndefined(t *testing.T) {
+	// A batched flush without a fence leaves lines in the 50/50 window,
+	// exactly as Flush does: over many seeds both outcomes must occur.
+	survived, lost := 0, 0
+	for seed := int64(0); seed < 32; seed++ {
+		r := New(4096, off())
+		var fs FlushSet
+		r.Write(0, []byte{0xAA})
+		fs.Add(0, 1)
+		r.FlushBatch(&fs)
+		r.Crash(seed)
+		if r.Slice(0, 1)[0] == 0xAA {
+			survived++
+		} else {
+			lost++
+		}
+	}
+	if survived == 0 || lost == 0 {
+		t.Fatalf("flushed-unfenced line not 50/50: survived %d lost %d", survived, lost)
+	}
+}
+
+func TestFlushBatchHookSingleOpAndTear(t *testing.T) {
+	r := New(4096, off())
+	var fs FlushSet
+	r.Write(0, bytes.Repeat([]byte{0xFF}, 256))
+
+	// The whole batch is one persist op: a hook counting ops sees exactly
+	// one OpFlush however many ranges the set holds.
+	ops := 0
+	r.SetPersistHook(func(op PersistOp) PersistDecision {
+		ops++
+		return PersistDecision{}
+	})
+	fs.Add(0, 64)
+	fs.Add(128, 64)
+	r.FlushBatch(&fs)
+	if ops != 1 {
+		t.Fatalf("hook consulted %d times for one batch, want 1", ops)
+	}
+	r.SetPersistHook(nil)
+	r.Fence()
+
+	// Cut with tear: only a prefix of the first dirty line of the set
+	// reaches the media.
+	r2 := New(4096, off())
+	var fs2 FlushSet
+	r2.Write(64, bytes.Repeat([]byte{0xBB}, 64)) // line 1, dirty
+	r2.SetPersistHook(func(op PersistOp) PersistDecision {
+		return PersistDecision{Cut: true, TearBytes: 8}
+	})
+	fs2.Add(64, 64)
+	r2.FlushBatch(&fs2)
+	if !r2.PowerFailed() {
+		t.Fatal("cut at FlushBatch did not fail the region")
+	}
+	r2.Crash(7)
+	line := r2.Slice(64, 64)
+	for i := 0; i < 8; i++ {
+		if line[i] != 0xBB {
+			t.Fatalf("torn prefix byte %d = %x, want bb", i, line[i])
+		}
+	}
+	for i := 8; i < 64; i++ {
+		if line[i] != 0 {
+			t.Fatalf("beyond torn prefix byte %d = %x, want 0", i, line[i])
+		}
+	}
+}
+
+func TestFlushBatchAfterPowerFailIsNoop(t *testing.T) {
+	r := New(4096, off())
+	r.SetPersistHook(func(op PersistOp) PersistDecision { return PersistDecision{Cut: true} })
+	r.Write(0, []byte{1})
+	r.Flush(0, 1) // cuts power
+	var fs FlushSet
+	r.Write(64, []byte{2})
+	fs.Add(64, 1)
+	r.FlushBatch(&fs)
+	r.Fence()
+	r.Crash(3)
+	if r.Slice(64, 1)[0] != 0 {
+		t.Fatal("FlushBatch after power cut reached the media")
+	}
+}
+
+func BenchmarkFlushSetDedup(b *testing.B) {
+	r := New(1<<20, off())
+	var fs FlushSet
+	buf := bytes.Repeat([]byte{1}, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A representative commit: 16 slot images with overlapping
+		// key/extent lines, plus repeated index-head references.
+		for s := 0; s < 16; s++ {
+			off := (s % 64) * 512
+			r.Write(off, buf)
+			fs.Add(off, 128)
+			fs.Add(off+96, 64) // key tail sharing the image's last line
+			fs.Add(0, 8)       // index head, every op
+		}
+		r.FlushBatch(&fs)
+		r.Fence()
+	}
+}

@@ -99,9 +99,17 @@ type Stats struct {
 	Writes       uint64 // write calls
 	BytesWritten uint64
 	LinesFlushed uint64
-	Flushes      uint64 // Flush calls
+	Flushes      uint64 // Flush + FlushBatch calls
 	Fences       uint64
-	Charged      time.Duration // total emulated delay
+	// BatchFlushes counts FlushBatch calls (a subset of Flushes);
+	// LinesCoalesced counts duplicate line references those batches
+	// deduplicated away; WastedFlushes counts clwbs issued for lines
+	// already in the flushed-but-unfenced window — redundant write-backs
+	// a well-formed commit protocol never produces.
+	BatchFlushes   uint64
+	LinesCoalesced uint64
+	WastedFlushes  uint64
+	Charged        time.Duration // total emulated delay
 }
 
 // Region is a simulated PM device. All mutating methods are safe for
@@ -392,15 +400,19 @@ func (r *Region) Flush(off, n int) {
 			return
 		}
 	}
+	wasted := 0
 	for l := first; l <= last; l++ {
 		w, bit := l/64, uint64(1)<<(l%64)
-		if r.dirty[w]&bit != 0 {
+		switch {
+		case r.dirty[w]&bit != 0:
 			r.dirty[w] &^= bit
 			if r.pending[w] == 0 {
 				r.pendingWords = append(r.pendingWords, w)
 			}
 			r.pending[w] |= bit
 			flushed++
+		case r.pending[w]&bit != 0:
+			wasted++
 		}
 	}
 	r.mu.Unlock()
@@ -408,6 +420,7 @@ func (r *Region) Flush(off, n int) {
 	r.statsMu.Lock()
 	r.stats.Flushes++
 	r.stats.LinesFlushed += uint64(flushed)
+	r.stats.WastedFlushes += uint64(wasted)
 	r.statsMu.Unlock()
 }
 
@@ -416,19 +429,7 @@ func (r *Region) Flush(off, n int) {
 // [first, last] — the half-written-back line a real power cut can leave.
 func (r *Region) failLocked(first, last, tearBytes int) {
 	r.failed = true
-	// Freeze the flushed-but-unfenced lines as they are right now: Crash
-	// resolves each 50/50 from this snapshot, not from whatever the
-	// still-running (but already powerless) software writes afterwards.
-	r.frozen = make(map[int][]byte)
-	for _, w := range r.pendingWords {
-		bv := r.pending[w]
-		for bv != 0 {
-			l := w*64 + bits.TrailingZeros64(bv)
-			bv &= bv - 1
-			o := l * LineSize
-			r.frozen[l] = append([]byte(nil), r.buf[o:o+LineSize]...)
-		}
-	}
+	r.freezePendingLocked()
 	if tearBytes <= 0 {
 		return
 	}
@@ -440,6 +441,23 @@ func (r *Region) failLocked(first, last, tearBytes int) {
 			o := l * LineSize
 			copy(r.shadow[o:o+tearBytes], r.buf[o:o+tearBytes])
 			return
+		}
+	}
+}
+
+// freezePendingLocked snapshots the flushed-but-unfenced lines as they
+// are right now: Crash resolves each 50/50 from this snapshot, not from
+// whatever the still-running (but already powerless) software writes
+// afterwards.
+func (r *Region) freezePendingLocked() {
+	r.frozen = make(map[int][]byte)
+	for _, w := range r.pendingWords {
+		bv := r.pending[w]
+		for bv != 0 {
+			l := w*64 + bits.TrailingZeros64(bv)
+			bv &= bv - 1
+			o := l * LineSize
+			r.frozen[l] = append([]byte(nil), r.buf[o:o+LineSize]...)
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"packetstore/internal/hdrhist"
 	"packetstore/internal/kvclient"
+	"packetstore/internal/kvproto"
 )
 
 // Dist selects the key distribution.
@@ -44,6 +45,11 @@ type Config struct {
 	// remainder is GETs.
 	PutPct    int
 	DeletePct int
+	// Pipeline keeps up to this many requests in flight per connection
+	// (HTTP pipelining). 0 or 1 is the synchronous request/response
+	// loop; higher depths let one connection's requests queue at the
+	// server, which is what lets the group-commit loop form bursts.
+	Pipeline int
 	// Seed makes runs reproducible; each connection derives its own
 	// stream.
 	Seed int64
@@ -169,16 +175,7 @@ func Run(cfg Config, dial Dialer) (Result, error) {
 			rng.Read(value)
 			seqKey := ci // stride sequential keys across connections
 
-			measured := 0
-			for {
-				now := time.Now()
-				if perConnReqs > 0 {
-					if measured >= perConnReqs {
-						return
-					}
-				} else if now.After(stop) {
-					return
-				}
+			nextKey := func() []byte {
 				var keyID int
 				switch cfg.KeyDist {
 				case DistSeq:
@@ -189,7 +186,95 @@ func Run(cfg Config, dial Dialer) (Result, error) {
 				case DistZipf:
 					keyID = int(zipf.Uint64())
 				}
-				key := makeKey(keyID)
+				return makeKey(keyID)
+			}
+
+			measured := 0
+			if cfg.Pipeline > 1 {
+				// Windowed pipelining: keep up to Pipeline requests in
+				// flight; responses come back in request order. Latency
+				// covers send-to-response, queueing included.
+				type outst struct {
+					t0 time.Time
+					op int // 0 put, 1 delete, 2 get
+				}
+				var window []outst
+				recvOne := func() error {
+					status, _, err := cl.Recv()
+					o := window[0]
+					window = window[1:]
+					if err == nil {
+						switch {
+						case o.op == 0 && status != 200 && status != 201:
+							err = fmt.Errorf("pipelined PUT: status %d", status)
+						case o.op != 0 && status != 200 && status != 204 && status != 404:
+							err = fmt.Errorf("pipelined op %d: status %d", o.op, status)
+						}
+					}
+					if o.t0.After(startMeasure) {
+						measured++
+						res.reqs++
+						if err != nil {
+							res.errs++
+						} else {
+							res.hist.Record(time.Since(o.t0))
+						}
+					}
+					return err
+				}
+				for {
+					now := time.Now()
+					if perConnReqs > 0 {
+						if measured+len(window) >= perConnReqs {
+							break
+						}
+					} else if now.After(stop) {
+						break
+					}
+					key := nextKey()
+					op := rng.Intn(100)
+					var method, path string
+					var body []byte
+					kind := 2
+					switch {
+					case op < cfg.PutPct:
+						method, path, body, kind = "PUT", kvproto.KeyPath(key), value, 0
+					case op < cfg.PutPct+cfg.DeletePct:
+						method, path, kind = "DELETE", kvproto.KeyPath(key), 1
+					default:
+						method, path = "GET", kvproto.KeyPath(key)
+					}
+					t0 := time.Now()
+					if err := cl.Send(method, path, body); err != nil {
+						res.err = err
+						return
+					}
+					window = append(window, outst{t0: t0, op: kind})
+					if len(window) >= cfg.Pipeline {
+						if err := recvOne(); err != nil {
+							res.err = err
+							return
+						}
+					}
+				}
+				for len(window) > 0 {
+					if err := recvOne(); err != nil {
+						res.err = err
+						return
+					}
+				}
+				return
+			}
+			for {
+				now := time.Now()
+				if perConnReqs > 0 {
+					if measured >= perConnReqs {
+						return
+					}
+				} else if now.After(stop) {
+					return
+				}
+				key := nextKey()
 
 				op := rng.Intn(100)
 				t0 := time.Now()
