@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	pktbench -experiment table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|all \
+//	pktbench -experiment table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|heal|all \
 //	         [-profile paper|fast|off] [-requests N] [-duration D] [-conns 1,25,50,75,100] \
 //	         [-shards 1,2,4,8] [-batches 1,4,16,64] [-seeds N] [-json FILE]
 //
@@ -12,7 +12,11 @@
 // corruption, shard-loss and network-fault modes) over -seeds seeds and
 // writes BENCH_torture.json; any failing run names its seed and exits
 // non-zero. The batch experiment sweeps the group-persist pipeline
-// (MaxBatch x connections) and writes BENCH_batch.json.
+// (MaxBatch x connections) and writes BENCH_batch.json. The heal
+// experiment sweeps the self-healing torture mode (shard loss and
+// latent bit flips under live traffic, supervised by the Healer) over
+// -seeds seeds, measures non-victim throughput during continuous
+// destroy-rebuild churn, and writes BENCH_heal.json.
 package main
 
 import (
@@ -30,7 +34,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|all")
+		experiment = flag.String("experiment", "all", "table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|heal|all")
 		seeds      = flag.Int("seeds", 256, "torture runs for the crash mode (other modes scale down)")
 		profile    = flag.String("profile", "paper", "latency profile: paper|fast|off")
 		requests   = flag.Int("requests", 4000, "requests per RTT measurement")
@@ -220,6 +224,31 @@ func main() {
 			fmt.Printf("wrote %s\n", out)
 			if res.Failed() {
 				return fmt.Errorf("torture sweep had failing runs (seeds above)")
+			}
+			return nil
+		})
+	}
+	if want("heal") {
+		run("E11 heal", func() error {
+			res, err := bench.RunHeal(prof, *seeds, 2000, *duration)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			out := *jsonPath
+			if out == "" || *experiment == "all" {
+				out = "BENCH_heal.json"
+			}
+			blob, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+			if res.Failed() {
+				return fmt.Errorf("heal sweep had failing runs (seeds above)")
 			}
 			return nil
 		})

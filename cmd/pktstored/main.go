@@ -8,6 +8,12 @@
 // Usage:
 //
 //	pktstored -listen :8080 -pm store.img
+//
+// By default a self-healing supervisor runs alongside the server: a
+// background scrubber re-validates record CRCs on a budget, quarantined
+// shards are rebuilt online while the rest keep serving, and
+// GET /healthz reports per-shard state (200 all-serving, 503 degraded).
+// Disable with -heal=false.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"packetstore/internal/calib"
 	"packetstore/internal/core"
@@ -33,6 +40,8 @@ func main() {
 		shards    = flag.Int("shards", 1, "store partitions (fixed at image creation; slots are per shard)")
 		maxConns  = flag.Int("max-conns", 0, "connection cap; beyond it new connections are shed with 503 (0 = unlimited)")
 		idle      = flag.Duration("idle-timeout", 0, "close connections idle this long (0 = never)")
+		heal      = flag.Bool("heal", true, "run the self-healing supervisor (background scrub + online shard rebuild)")
+		scrubIval = flag.Duration("scrub-interval", 5*time.Millisecond, "pause between scrub budget slices")
 	)
 	flag.Parse()
 	if *shards < 1 {
@@ -69,11 +78,22 @@ func main() {
 	srv := kvserver.NewNetServerWithConfig(lst, kvserver.ShardedPktStore{S: ss},
 		kvserver.Config{MaxConns: *maxConns, IdleTimeout: *idle})
 
+	var healer *kvserver.Healer
+	if *heal {
+		healer = kvserver.NewHealer(ss, kvserver.HealConfig{ScrubInterval: *scrubIval})
+		go healer.Run()
+		srv.SetHealthSource(healer.Health)
+		fmt.Printf("pktstored: healer running (scrub interval %v); GET /healthz reports shard state\n", *scrubIval)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
 		fmt.Println("pktstored: shutting down")
+		if healer != nil {
+			healer.Close()
+		}
 		srv.Close()
 	}()
 

@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"packetstore/internal/calib"
+	"packetstore/internal/core"
+	"packetstore/internal/fault"
+	"packetstore/internal/kvserver"
+	"packetstore/internal/pmem"
+)
+
+// HealResult is experiment E11: the self-healing sweep. Part one runs
+// the heal torture mode over many seeds — shard loss and latent bit
+// flips injected into a live store under traffic, supervised by the
+// Healer — and aggregates correctness (every rejoin loss-free, every
+// flip found) plus the time-to-rejoin and availability-during-heal
+// distributions. Part two measures non-victim read throughput while a
+// shard is continuously being destroyed and rebuilt, against an
+// all-serving baseline: the cost a heal imposes on the rest of the
+// store.
+type HealResult struct {
+	BaseSeed int64
+	Runs     int
+	Failures int
+	// FailureNotes carries the first few failures verbatim — each names
+	// the seed that reproduces it.
+	FailureNotes []string `json:",omitempty"`
+
+	// Flip flavor: injected vs detected must match for a clean sweep.
+	FlipRuns      int
+	FlipsInjected int
+	FlipsDetected int
+
+	// Loss flavor: quarantine-to-readmission distribution.
+	LossRuns    int
+	Rejoins     int
+	RejoinP50us float64
+	RejoinP95us float64
+	RejoinMaxus float64
+
+	// Availability during heal: per-run fraction of concurrent traffic
+	// answered successfully (the remainder hit the victim's outage
+	// window).
+	AvailabilityP50 float64
+	AvailabilityMin float64
+
+	// Non-victim throughput, reads/sec: all shards serving vs a shard
+	// under continuous destroy-rebuild churn. Ratio is heal/baseline.
+	BaselineReadsPerSec float64
+	HealReadsPerSec     float64
+	ThroughputRatio     float64
+	ChurnRebuilds       uint64
+}
+
+// Failed reports whether the sweep found a correctness failure.
+func (r HealResult) Failed() bool {
+	return r.Failures > 0 || r.FlipsDetected != r.FlipsInjected
+}
+
+// RunHeal executes experiment E11. seeds sizes the torture sweep
+// (default 200); window is the throughput measurement duration per
+// phase (default 400ms).
+func RunHeal(profile calib.Profile, seeds int, baseSeed int64, window time.Duration) (HealResult, error) {
+	if seeds <= 0 {
+		seeds = 200
+	}
+	if window <= 0 {
+		window = 400 * time.Millisecond
+	}
+	out := HealResult{BaseSeed: baseSeed, Runs: seeds}
+
+	var rejoinNs []int64
+	var avail []float64
+	for i := 0; i < seeds; i++ {
+		rs, err := fault.RunHeal(baseSeed + int64(i))
+		if rs.Seed%2 == 1 {
+			out.FlipRuns++
+			out.FlipsInjected += 3
+			out.FlipsDetected += rs.Detected
+		} else {
+			out.LossRuns++
+			if rs.RejoinNs > 0 {
+				rejoinNs = append(rejoinNs, rs.RejoinNs)
+			}
+			if rs.TrafficOps > 0 {
+				avail = append(avail, float64(rs.TrafficOps-rs.TrafficErrs)/float64(rs.TrafficOps))
+			}
+		}
+		if err != nil {
+			out.Failures++
+			if len(out.FailureNotes) < 8 {
+				out.FailureNotes = append(out.FailureNotes, fmt.Sprintf("seed %d: %v", rs.Seed, err))
+			}
+		}
+	}
+	out.Rejoins = len(rejoinNs)
+	out.RejoinP50us = pctUs(rejoinNs, 0.50)
+	out.RejoinP95us = pctUs(rejoinNs, 0.95)
+	out.RejoinMaxus = pctUs(rejoinNs, 1.00)
+	if len(avail) > 0 {
+		sort.Float64s(avail)
+		out.AvailabilityMin = avail[0]
+		out.AvailabilityP50 = avail[len(avail)/2]
+	}
+
+	base, heal, rebuilds, err := healThroughput(profile, baseSeed, window)
+	if err != nil {
+		return out, err
+	}
+	out.BaselineReadsPerSec = base
+	out.HealReadsPerSec = heal
+	out.ChurnRebuilds = rebuilds
+	if base > 0 {
+		out.ThroughputRatio = heal / base
+	}
+	return out, nil
+}
+
+// healThroughput measures non-victim read throughput twice on one
+// store: a baseline window with every shard serving, then a window in
+// which the victim shard is destroyed and rebuilt in a continuous loop.
+func healThroughput(profile calib.Profile, seed int64, window time.Duration) (base, heal float64, rebuilds uint64, err error) {
+	const shards = 4
+	cfg := core.Config{MetaSlots: 1024, SlotSize: 128, DataSlots: 1024, DataBufSize: 512}
+	size := core.ShardedRegionSize(cfg, shards)
+	stride := size / shards
+	r := pmem.New(size, profile)
+	ss, err := core.OpenSharded(r, cfg, shards)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	const victim = 0
+	val := make([]byte, 256)
+	var nonVictim [][]byte
+	for i := 0; i < 1024; i++ {
+		k := []byte(fmt.Sprintf("key%012d", i))
+		if err := ss.Put(k, val); err != nil {
+			return 0, 0, 0, err
+		}
+		if core.ShardOf(k, shards) != victim {
+			nonVictim = append(nonVictim, k)
+		}
+	}
+
+	h := kvserver.NewHealer(ss, kvserver.HealConfig{
+		ScrubInterval:  200 * time.Microsecond,
+		ScrubSlots:     512,
+		RebuildBackoff: 100 * time.Microsecond,
+	})
+	go h.Run()
+	defer h.Close()
+
+	// measure runs the non-victim read workload for one window.
+	const workers = 4
+	measure := func() float64 {
+		var total atomic.Uint64
+		var wg sync.WaitGroup
+		deadline := time.Now().Add(window)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + int64(w)))
+				var n uint64
+				for time.Now().Before(deadline) {
+					k := nonVictim[rng.Intn(len(nonVictim))]
+					if _, ok, err := ss.Get(k); err == nil && ok {
+						n++
+					}
+					if n%256 == 0 {
+						// Keep the healer schedulable on small GOMAXPROCS:
+						// a spinning reader can otherwise monopolize the
+						// only P for whole preemption slices.
+						runtime.Gosched()
+					}
+				}
+				total.Add(n)
+			}(w)
+		}
+		wg.Wait()
+		return float64(total.Load()) / window.Seconds()
+	}
+
+	base = measure()
+
+	// Churn: destroy the victim's superblock, wait for the supervisor to
+	// quarantine and rebuild it, repeat — the victim spends the whole
+	// window cycling down->rebuilding->serving.
+	stop := make(chan struct{})
+	churnDone := make(chan uint64, 1)
+	go func() {
+		var n uint64
+		before := h.Stats().Rebuilds
+		for {
+			select {
+			case <-stop:
+				churnDone <- n
+				return
+			default:
+			}
+			r.CorruptByte(victim*stride, 0xff)
+			for {
+				st := h.Stats()
+				if st.Rebuilds > before {
+					n += st.Rebuilds - before
+					before = st.Rebuilds
+					break
+				}
+				select {
+				case <-stop:
+					churnDone <- n
+					return
+				default:
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+		}
+	}()
+	heal = measure()
+	close(stop)
+	rebuilds = <-churnDone
+	return base, heal, rebuilds, nil
+}
+
+// Print renders the heal summary.
+func (r HealResult) Print(w io.Writer) {
+	fprintf(w, "Heal (E11): self-healing sweep, base seed %d\n", r.BaseSeed)
+	fprintf(w, "  torture: %d runs, %d failures (%d loss-flavor, %d flip-flavor)\n",
+		r.Runs, r.Failures, r.LossRuns, r.FlipRuns)
+	for _, note := range r.FailureNotes {
+		fprintf(w, "  FAIL %s\n", note)
+	}
+	fprintf(w, "  flips: %d injected, %d detected\n", r.FlipsInjected, r.FlipsDetected)
+	fprintf(w, "  rejoin [us]: p50 %.1f  p95 %.1f  max %.1f  (%d rejoins)\n",
+		r.RejoinP50us, r.RejoinP95us, r.RejoinMaxus, r.Rejoins)
+	fprintf(w, "  availability during heal: p50 %.4f  min %.4f\n", r.AvailabilityP50, r.AvailabilityMin)
+	fprintf(w, "  non-victim reads/s: baseline %.0f  during churn %.0f  ratio %.3f (%d rebuilds)\n",
+		r.BaselineReadsPerSec, r.HealReadsPerSec, r.ThroughputRatio, r.ChurnRebuilds)
+}

@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"packetstore/internal/calib"
+)
+
+// TestRunHealSmoke runs a tiny heal sweep through the bench wrapper;
+// the full sweep is pktbench -experiment heal.
+func TestRunHealSmoke(t *testing.T) {
+	res, err := RunHeal(calib.Off(), 6, 1000, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		for _, note := range res.FailureNotes {
+			t.Error(note)
+		}
+		t.Fatalf("heal sweep failed: flips %d/%d detected, %d failures",
+			res.FlipsDetected, res.FlipsInjected, res.Failures)
+	}
+	if res.Rejoins == 0 {
+		t.Fatal("no rejoin samples recorded")
+	}
+	if res.BaselineReadsPerSec <= 0 || res.HealReadsPerSec <= 0 {
+		t.Fatalf("throughput phases empty: base %.0f heal %.0f",
+			res.BaselineReadsPerSec, res.HealReadsPerSec)
+	}
+	if res.ChurnRebuilds == 0 {
+		t.Fatal("churn phase completed no rebuilds")
+	}
+}

@@ -248,12 +248,30 @@ type Store struct {
 	pool     *pkt.Pool // data-area packet pool (shared with the NIC)
 	metaFree []int     // free metadata slot indices
 	dataRefs []int32   // per data slot: -1 pool-owned, >=0 store refs
+	// dataHeld marks data slots that survived an online rebuild
+	// (Rehydrate) while store-owned: external writers — the server's key
+	// arena — may still append into them, and the damage that forced the
+	// rebuild may be media, so they are never recycled when their
+	// reference count drains. Conservative fencing, cleared only when a
+	// slot is re-adopted fresh.
+	dataHeld []bool
 	seq      uint64
 	count    int
 	// quarantined counts committed slots that failed validation during
 	// recovery. They are fenced off: never served, never handed out for
 	// reuse (the corruption may be a media fault that would recur).
+	// metaFenced marks those slots so the scrubber doesn't re-report the
+	// same damage every pass.
 	quarantined int
+	metaFenced  []bool
+	// epoch increments on every Rehydrate: reference counts are recomputed
+	// from the slot scan, so pin releases taken against an older epoch
+	// must not decrement the new counts (they no-op instead).
+	epoch uint64
+	// onQuarantine, when set, observes each slot the scan fences off
+	// (test hook; per-store so parallel tests race-freely install their
+	// own observers).
+	onQuarantine func(slot int, err error)
 
 	rng   *rand.Rand
 	stats Stats
@@ -292,6 +310,8 @@ func openAt(r *pmem.Region, cfg Config, base int) (*Store, error) {
 	for i := range s.dataRefs {
 		s.dataRefs[i] = -1
 	}
+	s.dataHeld = make([]bool, cfg.DataSlots)
+	s.metaFenced = make([]bool, cfg.MetaSlots)
 	s.pool = pkt.NewPMPool(r, s.dataBase, cfg.DataBufSize, cfg.DataSlots)
 
 	switch magic := r.ReadUint64(base + sbOMagic); magic {
@@ -380,6 +400,19 @@ func (s *Store) ResetBreakdown() {
 }
 
 func (s *Store) format() {
+	s.writeSuperblock()
+	s.metaFree = make([]int, 0, s.cfg.MetaSlots)
+	for i := s.cfg.MetaSlots - 1; i >= 0; i-- {
+		s.metaFree = append(s.metaFree, i)
+	}
+}
+
+// writeSuperblock (re)writes the superblock from the configured geometry —
+// formatting a fresh store, or repairing a damaged superblock during an
+// online rebuild (the geometry is config-derived, so nothing in the
+// superblock is unrecoverable state; the head tower it also zeroes is
+// rebuilt by the slot rescan that follows every repair).
+func (s *Store) writeSuperblock() {
 	r := s.r
 	zero := make([]byte, superblockSize)
 	r.Write(s.base, zero)
@@ -391,10 +424,6 @@ func (s *Store) format() {
 	r.WriteUint64(s.base+sbOBufSize, uint64(s.cfg.DataBufSize))
 	r.WriteUint64(s.base+sbOMagic, sbMagic)
 	r.Persist(s.base, superblockSize)
-	s.metaFree = make([]int, 0, s.cfg.MetaSlots)
-	for i := s.cfg.MetaSlots - 1; i >= 0; i-- {
-		s.metaFree = append(s.metaFree, i)
-	}
 }
 
 func (s *Store) validateSuperblock() error {
@@ -532,7 +561,9 @@ func (s *Store) dataSlotIndex(off int) int {
 func (s *Store) AdoptBuf(b *pkt.Buf) int {
 	base := s.pool.TakeOver(b)
 	s.mu.Lock()
-	s.dataRefs[s.dataSlotIndex(base)] = 0
+	idx := s.dataSlotIndex(base)
+	s.dataRefs[idx] = 0
+	s.dataHeld[idx] = false
 	s.mu.Unlock()
 	return base
 }
@@ -545,6 +576,7 @@ func (s *Store) ReleaseUnused(base int) {
 	unused := s.dataRefs[idx] == 0
 	if unused {
 		s.dataRefs[idx] = -1
+		s.dataHeld[idx] = false
 	}
 	s.mu.Unlock()
 	if unused {
@@ -564,6 +596,12 @@ func (s *Store) unrefDataLocked(off int) {
 	idx := s.dataSlotIndex(off)
 	s.dataRefs[idx]--
 	if s.dataRefs[idx] == 0 {
+		if s.dataHeld[idx] {
+			// The slot survived an online rebuild while store-owned: a key
+			// arena may still append into it, so it stays adopted at zero
+			// references instead of returning to the NIC pool.
+			return
+		}
 		s.dataRefs[idx] = -1
 		s.pool.ReturnSlot(s.dataBase + idx*s.cfg.DataBufSize)
 	}
@@ -575,6 +613,7 @@ func (s *Store) unrefDataLocked(off int) {
 // packet-buffer fragment hooks).
 func (s *Store) PinExtents(exts []Extent) func() {
 	s.mu.Lock()
+	epoch := s.epoch
 	for _, e := range exts {
 		s.refDataLocked(e.Off)
 	}
@@ -583,8 +622,13 @@ func (s *Store) PinExtents(exts []Extent) func() {
 	return func() {
 		once.Do(func() {
 			s.mu.Lock()
-			for _, e := range exts {
-				s.unrefDataLocked(e.Off)
+			// An online rebuild (Rehydrate) recomputes every reference
+			// count from the slot scan; a pin taken against the old counts
+			// must not drain the new ones.
+			if s.epoch == epoch {
+				for _, e := range exts {
+					s.unrefDataLocked(e.Off)
+				}
 			}
 			s.mu.Unlock()
 		})
@@ -604,7 +648,9 @@ func (s *Store) AllocDataSlot() int {
 		return -1
 	}
 	s.mu.Lock()
-	s.dataRefs[s.dataSlotIndex(off)] = 0
+	idx := s.dataSlotIndex(off)
+	s.dataRefs[idx] = 0
+	s.dataHeld[idx] = false
 	s.mu.Unlock()
 	return off
 }

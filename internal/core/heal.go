@@ -1,0 +1,303 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"packetstore/internal/checksum"
+)
+
+// This file is the self-healing layer: online rehydration of a
+// quarantined store, the background scrubber's budgeted slot walk, and
+// the index audit that catches tower damage the slot CRCs deliberately
+// exclude. Everything here runs against a live region — no reboot, no
+// repool — which is what distinguishes it from recover.go's boot path.
+
+// Rehydrate re-runs recovery on this store's PM area in place, while the
+// region (and the NIC wired to this store's receive pool) stays live.
+// It repairs a damaged superblock from the configured geometry, rescans
+// the slot array, rebuilds the index and recomputes the allocation state
+// — and it reuses the existing packet pool, so the NIC's DMA wiring and
+// slab allocation survive. Staged-but-unacked puts are dropped (acks
+// gate on the group fence, so nothing a client was promised is lost).
+//
+// Reference counts are recomputed from the scan, so the pin epoch
+// advances: releases of pins taken before the rebuild become no-ops,
+// and store-owned data slots that survive are fenced from recycling
+// (dataHeld) because external writers — the server's key arena — may
+// still hold offsets into them.
+func (s *Store) Rehydrate() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.staged = nil
+	s.fs.Reset()
+	if s.r.ReadUint64(s.base+sbOMagic) != sbMagic || s.validateSuperblock() != nil {
+		s.writeSuperblock()
+	}
+	s.epoch++
+	for i := range s.dataRefs {
+		if s.dataRefs[i] >= 0 {
+			s.dataHeld[i] = true
+		}
+	}
+	return s.rescan(rescanRehydrate)
+}
+
+// CheckSuperblock revalidates the superblock magic and geometry — the
+// scrubber's cheap per-pass shard-health probe. A failure means the
+// store's layout anchor is damaged; the caller quarantines the shard and
+// lets Rebuild repair it from configuration.
+func (s *Store) CheckSuperblock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m := s.r.ReadUint64(s.base + sbOMagic); m != sbMagic {
+		return fmt.Errorf("%w: superblock magic %#x", ErrCorrupt, m)
+	}
+	return s.validateSuperblock()
+}
+
+// ScrubResult reports one budgeted scrub step.
+type ScrubResult struct {
+	// Checked counts committed record slots whose CRC and value checksum
+	// were re-verified this step.
+	Checked int
+	// Bad counts slots found damaged (slot CRC, structural, or value
+	// checksum failure).
+	Bad int
+	// Excised counts committed records the repair rebuild dropped from
+	// the index (quarantined slots plus value-corrupt records retired).
+	Excised int
+	// Next is the cursor for the following step; 0 means the pass
+	// wrapped (one full sweep of the slot array completed).
+	Next int
+}
+
+// ScrubSlots re-validates up to n committed slots starting at cursor —
+// the background scrubber's unit of work. Each slot's stored CRC32C
+// (which covers the commit word) is re-checked, and the record's value
+// bytes are re-read against the transport-derived checksum, so both
+// metadata bit flips and data-area media damage surface here instead of
+// at the next reboot. Damage triggers an in-place repair: value-corrupt
+// records are retired (commit word cleared — the meta slot is clean and
+// recycles; the damaged data slots stay referenced, hence fenced), and
+// the index, free list and counts are rebuilt by rescan, which
+// quarantines CRC-corrupt slots exactly as boot recovery would.
+//
+// The caller paces calls to meet its lines/sec budget; each call holds
+// the store lock, so n bounds the per-step latency impact on serving
+// operations.
+func (s *Store) ScrubSlots(cursor, n int) ScrubResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.commitStagedLocked()
+	if cursor < 0 || cursor >= s.cfg.MetaSlots {
+		cursor = 0
+	}
+	end := cursor + n
+	if end > s.cfg.MetaSlots {
+		end = s.cfg.MetaSlots
+	}
+	var res ScrubResult
+	damaged := false
+	for i := cursor; i < end; i++ {
+		if s.metaFenced[i] {
+			continue // already quarantined: damage reported once
+		}
+		sl := s.slot(i)
+		if binary.LittleEndian.Uint32(sl[oMagic:]) != slotMagic {
+			continue // free, or a chain slot (validated via its record)
+		}
+		if binary.LittleEndian.Uint64(sl[oSeq:]) == 0 {
+			continue // uncommitted or deleted
+		}
+		res.Checked++
+		s.r.Touch(s.slotOff(i), s.cfg.SlotSize)
+		if err := s.validateSlot(sl); err != nil {
+			// The repair rescan below re-finds this slot, fences it and
+			// fires the quarantine hook — no need to report it twice.
+			res.Bad++
+			damaged = true
+			continue
+		}
+		exts, err := s.readExtentsLocked(sl)
+		if err != nil {
+			res.Bad++
+			damaged = true
+			continue
+		}
+		var acc checksum.Accumulator
+		for _, e := range exts {
+			s.r.Touch(e.Off, e.Len)
+			acc.Add(s.r.Slice(e.Off, e.Len))
+		}
+		want := binary.LittleEndian.Uint32(sl[oVCsum:])
+		if checksum.Norm16(checksum.Fold(acc.Sum())) != checksum.Norm16(checksum.Fold(want)) {
+			// The metadata is intact but the value bytes are not: media
+			// damage in the data area. Retire the record (clear the commit
+			// word; crash-safe — recovery simply never sees it again). Its
+			// data slots keep their references and are never recycled.
+			if s.onQuarantine != nil {
+				s.onQuarantine(i, fmt.Errorf("%w: value checksum mismatch", ErrCorrupt))
+			}
+			s.clearSeqLocked(i)
+			res.Bad++
+			damaged = true
+		}
+	}
+	if damaged {
+		before := s.count
+		// rescanIndex cannot fail: survivors passed validateSlot, so their
+		// chains are intact.
+		if err := s.rescan(rescanIndex); err != nil {
+			panic(fmt.Sprintf("pktstore: index rescan failed on validated slots: %v", err))
+		}
+		if d := before - s.count; d > 0 {
+			res.Excised = d
+		}
+	}
+	if end >= s.cfg.MetaSlots {
+		res.Next = 0
+	} else {
+		res.Next = end
+	}
+	return res
+}
+
+// AuditIndex verifies the skip list's structure — every level's chain
+// must visit committed slots with strictly ascending keys within a
+// bounded number of steps, and level 0 must visit exactly the live
+// count. The slot CRC deliberately excludes the tower (it is retargeted
+// at runtime without re-persisting), so a flipped tower pointer is
+// invisible to ScrubSlots; unrepaired, it could cycle an index walk
+// forever under the store lock. On damage the index is rebuilt from a
+// slot rescan. Returns whether a rebuild ran and how many records it
+// dropped.
+func (s *Store) AuditIndex() (rebuilt bool, excised int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.commitStagedLocked()
+	if s.auditLocked() {
+		return false, 0
+	}
+	before := s.count
+	if err := s.rescan(rescanIndex); err != nil {
+		panic(fmt.Sprintf("pktstore: index rescan failed on validated slots: %v", err))
+	}
+	if d := before - s.count; d > 0 {
+		excised = d
+	}
+	return true, excised
+}
+
+// auditLocked walks every tower level with a step budget, checking that
+// each visited slot is committed, structurally sane, and in strictly
+// ascending key order. It never dereferences an unvalidated key offset.
+func (s *Store) auditLocked() bool {
+	var prevKey []byte
+	for level := 0; level < maxHeight; level++ {
+		idx := s.headNext(level)
+		prevKey = prevKey[:0]
+		first := true
+		steps := 0
+		for idx >= 0 {
+			if steps >= s.count || idx >= s.cfg.MetaSlots {
+				return false // cycle, or more nodes than live records
+			}
+			steps++
+			sl := s.slot(idx)
+			if binary.LittleEndian.Uint32(sl[oMagic:]) != slotMagic ||
+				binary.LittleEndian.Uint64(sl[oSeq:]) == 0 {
+				return false // link targets a non-record
+			}
+			klen := int(binary.LittleEndian.Uint32(sl[oKLen:]))
+			koff := int(binary.LittleEndian.Uint32(sl[oKOff:]))
+			if klen == 0 || klen > 0xffff || !s.inDataArea(koff, klen) {
+				return false
+			}
+			key := s.slotKey(sl)
+			if !first && bytes.Compare(prevKey, key) >= 0 {
+				return false // order violated (or a backward link)
+			}
+			prevKey = append(prevKey[:0], key...)
+			first = false
+			idx = slotNext(sl, level)
+		}
+		if level == 0 && steps != s.count {
+			return false // level 0 must index every live record
+		}
+	}
+	return true
+}
+
+// FlipTarget selects which byte class CorruptRecord damages.
+type FlipTarget int
+
+const (
+	// FlipSlotField flips a CRC-covered metadata field (the hardware
+	// timestamp / value checksum words — bytes no index walk dereferences,
+	// so the damage is guaranteed latent until a scrub or reboot).
+	FlipSlotField FlipTarget = iota
+	// FlipKeyByte flips a key byte in the data area (covered by the slot
+	// CRC).
+	FlipKeyByte
+	// FlipValueByte flips a value byte (covered by the transport-derived
+	// value checksum).
+	FlipValueByte
+)
+
+// CorruptRecord flips bits in key's committed record — the fault
+// injection hook behind the heal torture mode. The damage hits both the
+// volatile and durable images (a media fault, like pmem.CorruptByte,
+// because that is what it uses). pick selects the byte within the
+// target class; mask is the XOR pattern (a zero mask is promoted to 1
+// so the call always damages something). Returns the absolute region
+// offset flipped, or -1 when the key is absent.
+func (s *Store) CorruptRecord(key []byte, t FlipTarget, pick int, mask byte) int {
+	if mask == 0 {
+		mask = 1
+	}
+	if pick < 0 {
+		pick = -pick
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.commitStagedLocked()
+	idx := s.findGE(key, nil)
+	if idx < 0 || s.compareKey(key, keyPrefix(key), s.slot(idx), false) != 0 {
+		return -1
+	}
+	sl := s.slot(idx)
+	var off int
+	switch t {
+	case FlipKeyByte:
+		klen := int(binary.LittleEndian.Uint32(sl[oKLen:]))
+		koff := int(binary.LittleEndian.Uint32(sl[oKOff:]))
+		off = koff + pick%klen
+	case FlipValueByte:
+		exts, err := s.readExtentsLocked(sl)
+		if err != nil || len(exts) == 0 {
+			return -1
+		}
+		total := 0
+		for _, e := range exts {
+			total += e.Len
+		}
+		p := pick % total
+		for _, e := range exts {
+			if p < e.Len {
+				off = e.Off + p
+				break
+			}
+			p -= e.Len
+		}
+	default:
+		// [oHWTime, oKLen): timestamp and value-checksum bytes. CRC-covered
+		// (detection guaranteed) but never used to route an index walk, so
+		// concurrent reads of *other* keys stay safe between injection and
+		// detection.
+		off = s.slotOff(idx) + oHWTime + pick%(oKLen-oHWTime)
+	}
+	s.r.CorruptByte(off, mask)
+	return off
+}

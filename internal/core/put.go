@@ -98,7 +98,9 @@ func (s *Store) putCopy(key, value []byte, staged bool) error {
 
 	// Mark the slots store-owned (refcounts incremented by stagePutLocked).
 	for _, base := range slots {
-		s.dataRefs[s.dataSlotIndex(base)] = 0
+		idx := s.dataSlotIndex(base)
+		s.dataRefs[idx] = 0
+		s.dataHeld[idx] = false
 	}
 	err := s.stagePutLocked(key, len(value), PutOptions{
 		Extents: exts, KeyOff: slots[0], HasSum: false, HWTime: time.Now(),

@@ -8,6 +8,28 @@ import (
 	"packetstore/internal/checksum"
 )
 
+// rescanMode selects what a slot-array rescan reconstructs beyond the
+// index itself.
+type rescanMode int
+
+const (
+	// rescanRecover is boot-time recovery: the volatile state is fresh
+	// and every live data slot must transition pool -> store exactly once
+	// (a double adoption is corruption).
+	rescanRecover rescanMode = iota
+	// rescanRehydrate is the online rebuild of a quarantined store: the
+	// slab allocator is shared with a still-wired NIC and survives the
+	// rebuild, so adoption is tolerant of already-allocated slots, and
+	// store-owned reference counts are recomputed from scratch.
+	rescanRehydrate
+	// rescanIndex rebuilds only the index, free list and counts (after
+	// the scrubber excises records or finds a damaged tower). Data-slot
+	// ownership is untouched: an excised record's slots keep their
+	// references and are thereby fenced from reuse — the damage may be
+	// media.
+	rescanIndex
+)
+
 // recover rebuilds the store from the persistent metadata slots after a
 // reboot or crash: it scans every slot, keeps the committed records
 // (newest sequence per key), rebuilds the skip-list index, reconstructs
@@ -15,7 +37,11 @@ import (
 // counts), and restores the sequence counter. Nothing in recovery trusts
 // the pre-crash index links — the scan is the ground truth, which is what
 // makes the at-runtime tower updates safe to leave unflushed.
-func (s *Store) recover() error {
+func (s *Store) recover() error { return s.rescan(rescanRecover) }
+
+// rescan is the shared scan-and-rebuild pass behind boot recovery,
+// online rehydration and scrubber-triggered index repair.
+func (s *Store) rescan(mode rescanMode) error {
 	type rec struct {
 		idx int
 		key []byte
@@ -24,6 +50,22 @@ func (s *Store) recover() error {
 	used := make([]bool, s.cfg.MetaSlots)
 	var survivors []rec
 	byKey := make(map[string]int) // key -> survivors index
+
+	s.seq, s.count, s.quarantined = 0, 0, 0
+	for i := range s.metaFenced {
+		s.metaFenced[i] = false
+	}
+	if mode == rescanRehydrate {
+		// Reference counts are about to be recomputed from the scan; any
+		// surviving store-owned slot starts at zero. Slots whose records
+		// do not survive stay slab-allocated with zero references —
+		// leaked deliberately (see dataHeld).
+		for i := range s.dataRefs {
+			if s.dataRefs[i] > 0 {
+				s.dataRefs[i] = 0
+			}
+		}
+	}
 
 	for i := 0; i < s.cfg.MetaSlots; i++ {
 		sl := s.slot(i)
@@ -35,8 +77,8 @@ func (s *Store) recover() error {
 			continue // never committed, or deleted
 		}
 		if err := s.validateSlot(sl); err != nil {
-			if debugQuarantine != nil {
-				debugQuarantine(i, err)
+			if s.onQuarantine != nil {
+				s.onQuarantine(i, err)
 			}
 			// A committed slot that fails validation is corruption:
 			// quarantine it. It is never served (not indexed) and never
@@ -44,6 +86,7 @@ func (s *Store) recover() error {
 			// damage that would eat the next record too), and the store
 			// still opens: every other committed record keeps serving.
 			s.quarantined++
+			s.metaFenced[i] = true
 			used[i] = true
 			continue
 		}
@@ -82,11 +125,15 @@ func (s *Store) recover() error {
 			cs := s.slot(chain)
 			chain = int(binary.LittleEndian.Uint32(cs[oChainNext:])) - 1
 		}
+		if mode == rescanIndex {
+			continue // ownership state is already correct
+		}
+		tolerant := mode == rescanRehydrate
 		koff := int(binary.LittleEndian.Uint32(sl[oKOff:]))
-		s.adoptForRecovery(koff)
+		s.adoptForRecovery(koff, tolerant)
 		s.dataRefs[s.dataSlotIndex(koff)]++
 		for _, e := range exts {
-			s.adoptForRecovery(e.Off)
+			s.adoptForRecovery(e.Off, tolerant)
 			s.dataRefs[s.dataSlotIndex(e.Off)]++
 		}
 	}
@@ -141,12 +188,15 @@ func (s *Store) recover() error {
 }
 
 // adoptForRecovery transitions a data slot from pool-owned to store-owned
-// (once) during the scan.
-func (s *Store) adoptForRecovery(off int) {
+// (once) during the scan. Boot recovery runs strict: two committed records
+// claiming one slab slot is corruption. An online rehydrate runs tolerant:
+// the slab is shared with a live NIC whose allocation state legitimately
+// survives the rebuild.
+func (s *Store) adoptForRecovery(off int, tolerant bool) {
 	idx := s.dataSlotIndex(off)
 	if s.dataRefs[idx] < 0 {
 		s.dataRefs[idx] = 0
-		if !s.pool.MarkSlotLive(s.dataBase + idx*s.cfg.DataBufSize) {
+		if !s.pool.MarkSlotLive(s.dataBase+idx*s.cfg.DataBufSize) && !tolerant {
 			panic("pktstore: recovery double-adopted a data slot")
 		}
 	}
@@ -305,8 +355,12 @@ func (s *Store) Verify() ([][]byte, error) {
 	return bad, err
 }
 
-// debugQuarantine, when set, observes each quarantined slot (test hook).
-var debugQuarantine func(slot int, err error)
-
-// SetDebugQuarantine installs the quarantine observer (test hook).
-func SetDebugQuarantine(fn func(slot int, err error)) { debugQuarantine = fn }
+// SetQuarantineHook installs this store's quarantine observer (test
+// hook): it is called with each slot the rescan fences off. Per-store,
+// so parallel tests installing observers never race — the former global
+// hook tripped the race detector when recovery tests ran in parallel.
+func (s *Store) SetQuarantineHook(fn func(slot int, err error)) {
+	s.mu.Lock()
+	s.onQuarantine = fn
+	s.mu.Unlock()
+}

@@ -56,11 +56,19 @@ type ShardedStore struct {
 	cfg    Config
 	stride int
 
-	// mu guards shards/down: a shard can be quarantined at runtime (nil
-	// entry + reason) while the others keep serving.
+	// mu guards shards/down/parked/rebuilding: a shard can be quarantined
+	// at runtime (nil entry + reason) while the others keep serving, and
+	// later rebuilt online and re-admitted.
 	mu     sync.RWMutex
 	shards []*Store
 	down   []error // per shard: non-nil reason when quarantined
+	// parked holds a quarantined shard's Store object so Rebuild can
+	// rehydrate it in place — same object, same packet pool, so the NIC's
+	// receive wiring survives quarantine and rejoin.
+	parked []*Store
+	// rebuilding marks shards with a rebuild in flight (still down, but a
+	// second rebuild must not race the first).
+	rebuilding []bool
 }
 
 // OpenSharded formats or recovers a ShardedStore of shards partitions
@@ -84,8 +92,10 @@ func OpenSharded(r *pmem.Region, cfg Config, shards int) (*ShardedStore, error) 
 	r.SetMultiCore(shards > 1)
 	ss := &ShardedStore{
 		r: r, cfg: cc, stride: shardStride(cc),
-		shards: make([]*Store, shards),
-		down:   make([]error, shards),
+		shards:     make([]*Store, shards),
+		down:       make([]error, shards),
+		parked:     make([]*Store, shards),
+		rebuilding: make([]bool, shards),
 	}
 	var wg sync.WaitGroup
 	errs := make([]error, shards)
@@ -120,13 +130,16 @@ func WrapSharded(s *Store) *ShardedStore {
 	return &ShardedStore{
 		r: s.r, cfg: s.cfg, stride: shardStride(s.cfg),
 		shards: []*Store{s}, down: make([]error, 1),
+		parked: make([]*Store, 1), rebuilding: make([]bool, 1),
 	}
 }
 
 // Quarantine fences shard i off at runtime: a recovery rescan or a
 // Verify scrub found it untrustworthy. Its keyspace answers ErrShardDown
 // from then on; the other shards keep serving. Idempotent — the first
-// reason wins.
+// reason wins. The Store object is parked, not discarded, so Rebuild can
+// rehydrate it in place and re-admit it without disturbing the NIC's
+// pool wiring.
 func (ss *ShardedStore) Quarantine(i int, reason error) {
 	if reason == nil {
 		reason = ErrCorrupt
@@ -134,9 +147,94 @@ func (ss *ShardedStore) Quarantine(i int, reason error) {
 	ss.mu.Lock()
 	if ss.down[i] == nil {
 		ss.down[i] = reason
+		ss.parked[i] = ss.shards[i]
 		ss.shards[i] = nil
 	}
 	ss.mu.Unlock()
+}
+
+// Rebuild re-runs recovery on quarantined shard i's PM area while the
+// other shards keep serving, and re-admits the shard atomically on
+// success. A parked Store (runtime quarantine) is rehydrated in place —
+// same object, same packet pool; a shard that never opened (boot-time
+// failure) is retried with a fresh open. Returns nil if the shard is
+// already serving. On failure the shard stays down with the rebuild
+// error as its new reason; the supervisor retries with backoff.
+func (ss *ShardedStore) Rebuild(i int) error {
+	ss.mu.Lock()
+	if ss.down[i] == nil {
+		ss.mu.Unlock()
+		return nil
+	}
+	if ss.rebuilding[i] {
+		ss.mu.Unlock()
+		return fmt.Errorf("pktstore: shard %d rebuild already in progress", i)
+	}
+	ss.rebuilding[i] = true
+	st := ss.parked[i]
+	ss.mu.Unlock()
+
+	// The expensive part runs outside ss.mu: the other shards' routing
+	// is never blocked by a rebuild.
+	var err error
+	if st != nil {
+		err = st.Rehydrate()
+	} else {
+		st, err = openAt(ss.r, ss.cfg, i*ss.stride)
+	}
+
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.rebuilding[i] = false
+	if err != nil {
+		ss.down[i] = fmt.Errorf("rebuild failed: %w", err)
+		return err
+	}
+	ss.shards[i] = st
+	ss.parked[i] = nil
+	ss.down[i] = nil
+	return nil
+}
+
+// ShardStatus is one shard's serving state for health reporting.
+type ShardStatus struct {
+	// State is "serving", "rebuilding" or "down".
+	State string
+	// Reason is the quarantine reason for a non-serving shard.
+	Reason string
+}
+
+// States snapshots every shard's serving state — the health endpoint's
+// data source.
+func (ss *ShardedStore) States() []ShardStatus {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	out := make([]ShardStatus, len(ss.down))
+	for i := range ss.down {
+		switch {
+		case ss.down[i] == nil:
+			out[i].State = "serving"
+		case ss.rebuilding[i]:
+			out[i].State = "rebuilding"
+			out[i].Reason = ss.down[i].Error()
+		default:
+			out[i].State = "down"
+			out[i].Reason = ss.down[i].Error()
+		}
+	}
+	return out
+}
+
+// ServingStore returns shard i's Store when it is serving, or the typed
+// ErrShardDown explaining why it is not — one lock round trip for
+// callers that need both (the event loops' per-request gate).
+func (ss *ShardedStore) ServingStore(i int) (*Store, error) {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	if err := ss.shardErrLocked(i); err != nil {
+		return nil, err
+	}
+	return ss.shards[i], nil
 }
 
 // Health returns per-shard status: nil for a serving shard, the

@@ -1,0 +1,228 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"packetstore/internal/calib"
+	"packetstore/internal/core"
+	"packetstore/internal/kvserver"
+	"packetstore/internal/pmem"
+)
+
+// RunHeal executes one self-healing run — the heal torture mode. Damage
+// is injected into a LIVE sharded store while traffic keeps flowing and
+// a Healer supervises; unlike the other modes there is no reboot. The
+// seed picks the flavor:
+//
+//   - even seeds (shard loss): the victim shard's superblock is trashed
+//     under load. The scrubber's superblock probe must quarantine it,
+//     the rebuild must repair the superblock from configuration and
+//     re-admit the shard, and afterwards every acked key — victim shard
+//     included — must serve exact bytes. Time-to-rejoin is recorded.
+//   - odd seeds (bit flips): random committed records take a media bit
+//     flip in a CRC-covered slot field, a key byte, or a value byte.
+//     The background scrubber must find every flip and excise or
+//     quarantine the damaged records in place; undamaged keys must
+//     serve exact bytes throughout and a damaged key must never serve
+//     wrong bytes.
+//
+// Traffic against undamaged keys runs concurrently for the whole heal
+// and is the availability-during-heal measurement: reads must return
+// exact bytes or — on the victim shard during the outage window —
+// ErrShardDown, nothing else.
+func RunHeal(seed int64) (RunStats, error) {
+	const shards = 4
+	rs := RunStats{Seed: seed, Shards: shards}
+	cfg := tortureCfg()
+	rng := rand.New(rand.NewSource(seed))
+	size := core.ShardedRegionSize(cfg, shards)
+	stride := size / shards
+	r := pmem.New(size, calib.Off())
+	ss, err := core.OpenSharded(r, cfg, shards)
+	if err != nil {
+		return rs, err
+	}
+
+	model := make(map[string][]byte)
+	var keys []string
+	for i := 0; i < 32; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		v := make([]byte, 1+rng.Intn(360))
+		rng.Read(v)
+		if err := ss.Put([]byte(k), v); err != nil {
+			return rs, err
+		}
+		model[k] = v
+		keys = append(keys, k)
+	}
+
+	flavorFlips := seed%2 == 1
+	victim := rng.Intn(shards)
+	const flips = 3
+	var flipKeys []string
+	if flavorFlips {
+		perm := rng.Perm(len(keys))
+		for _, i := range perm[:flips] {
+			flipKeys = append(flipKeys, keys[i])
+		}
+	}
+
+	h := kvserver.NewHealer(ss, kvserver.HealConfig{
+		ScrubInterval:  500 * time.Microsecond,
+		ScrubSlots:     64,
+		RebuildBackoff: time.Millisecond,
+	})
+	go h.Run()
+	defer h.Close()
+
+	// Concurrent traffic over keys the run does not damage. The victim
+	// shard's keys may answer ErrShardDown during the outage window;
+	// anything else non-exact fails the run.
+	safe := keys
+	if flavorFlips {
+		safe = nil
+		flip := make(map[string]bool, len(flipKeys))
+		for _, k := range flipKeys {
+			flip[k] = true
+		}
+		for _, k := range keys {
+			if !flip[k] {
+				safe = append(safe, k)
+			}
+		}
+	}
+	type trafficReport struct {
+		ops, errs int64
+		err       error
+	}
+	stop := make(chan struct{})
+	trafficDone := make(chan trafficReport, 1)
+	go func() {
+		rng2 := rand.New(rand.NewSource(seed ^ 0x51ab))
+		var ops, errs int64
+		for {
+			select {
+			case <-stop:
+				trafficDone <- trafficReport{ops: ops, errs: errs}
+				return
+			default:
+			}
+			k := safe[rng2.Intn(len(safe))]
+			v, ok, err := ss.Get([]byte(k))
+			ops++
+			if err != nil {
+				if errors.Is(err, core.ErrShardDown) && core.ShardOf([]byte(k), shards) == victim && !flavorFlips {
+					errs++ // the outage window: expected unavailability
+					continue
+				}
+				trafficDone <- trafficReport{ops: ops, errs: errs,
+					err: fmt.Errorf("traffic Get(%q) during heal: %v", k, err)}
+				return
+			}
+			if !ok || !bytes.Equal(v, model[k]) {
+				trafficDone <- trafficReport{ops: ops, errs: errs,
+					err: fmt.Errorf("traffic Get(%q) served wrong bytes during heal", k)}
+				return
+			}
+		}
+	}()
+	finishTraffic := func() error {
+		close(stop)
+		rep := <-trafficDone
+		rs.TrafficOps, rs.TrafficErrs = rep.ops, rep.errs
+		return rep.err
+	}
+
+	const healDeadline = 15 * time.Second
+	waitHeal := func(what string, cond func() bool) error {
+		deadline := time.Now().Add(healDeadline)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return nil
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return fmt.Errorf("heal timed out waiting for %s", what)
+	}
+
+	if flavorFlips {
+		// Inject one media flip per chosen record, rotating through the
+		// three byte classes the scrubber must cover.
+		targets := []core.FlipTarget{core.FlipSlotField, core.FlipKeyByte, core.FlipValueByte}
+		for i, k := range flipKeys {
+			st := ss.Shard(core.ShardOf([]byte(k), shards))
+			mask := byte(1 << uint(rng.Intn(8)))
+			if off := st.CorruptRecord([]byte(k), targets[i%len(targets)], rng.Intn(1<<16), mask); off < 0 {
+				if err := finishTraffic(); err != nil {
+					return rs, err
+				}
+				return rs, fmt.Errorf("CorruptRecord(%q) found no slot", k)
+			}
+		}
+		if err := waitHeal("bit-flip detection", func() bool {
+			return h.Stats().ScrubErrorsFound >= flips
+		}); err != nil {
+			finishTraffic()
+			return rs, err
+		}
+		rs.Detected = flips
+		if err := finishTraffic(); err != nil {
+			return rs, err
+		}
+		// Damaged keys: excised or erroring, never wrong bytes. (Safe to
+		// read now — detection already excised them.)
+		for _, k := range flipKeys {
+			v, ok, err := ss.Get([]byte(k))
+			if err == nil && ok {
+				if bytes.Equal(v, model[k]) {
+					return rs, fmt.Errorf("flipped key %q still serving original bytes after detection", k)
+				}
+				return rs, fmt.Errorf("flipped key %q served wrong bytes", k)
+			}
+		}
+		for _, k := range safe {
+			v, ok, err := ss.Get([]byte(k))
+			if err != nil || !ok || !bytes.Equal(v, model[k]) {
+				return rs, fmt.Errorf("undamaged key %q lost by scrub repair: ok=%v err=%v", k, ok, err)
+			}
+		}
+		rs.SlotsQuarantined = ss.Stats().SlotsQuarantined
+	} else {
+		// Shard loss under load: trash the victim's superblock magic and
+		// let the supervisor notice, quarantine, rebuild and re-admit.
+		r.CorruptByte(victim*stride, 0xff)
+		if err := waitHeal("shard rejoin", func() bool {
+			st := h.Stats()
+			return st.Rebuilds > 0 && ss.ShardErr(victim) == nil
+		}); err != nil {
+			finishTraffic()
+			return rs, err
+		}
+		if err := finishTraffic(); err != nil {
+			return rs, err
+		}
+		st := h.Stats()
+		if len(st.Rejoins) == 0 {
+			return rs, errors.New("healer recorded no time-to-rejoin sample")
+		}
+		rs.RejoinNs = st.Rejoins[0].Nanoseconds()
+		rs.RecoveryNs = rs.RejoinNs
+		if ss.DownShards() != 0 {
+			return rs, fmt.Errorf("%d shards still down after heal", ss.DownShards())
+		}
+		// Zero acked-write loss: every key, victim shard included.
+		for _, k := range keys {
+			v, ok, err := ss.Get([]byte(k))
+			if err != nil || !ok || !bytes.Equal(v, model[k]) {
+				return rs, fmt.Errorf("acked key %q lost across rejoin: ok=%v err=%v", k, ok, err)
+			}
+		}
+	}
+	rs.ShardsDown = ss.DownShards()
+	rs.Records = ss.Len()
+	return rs, nil
+}

@@ -55,6 +55,12 @@ type RunStats struct {
 	SlotsQuarantined int
 	Detected         int
 	ShardsDown       int
+	// RejoinNs is the quarantine-to-readmission time of a heal run's
+	// victim shard; TrafficOps/TrafficErrs count the concurrent traffic
+	// issued during the heal and how much of it hit the outage window.
+	RejoinNs    int64
+	TrafficOps  int64
+	TrafficErrs int64
 }
 
 // tortureCfg is the small, fully explicit geometry the PM-level modes

@@ -73,3 +73,18 @@ func TestTortureNet(t *testing.T) {
 		}
 	}
 }
+
+// TestTortureHeal injects shard loss (even seeds) and latent bit flips
+// (odd seeds) into a live store under traffic: the healer must rebuild
+// and rejoin every quarantined shard with the acked prefix intact, and
+// the scrubber must find every injected flip.
+func TestTortureHeal(t *testing.T) {
+	n := seeds(t, 6, 32)
+	for i := 0; i < n; i++ {
+		rs, err := RunHeal(tortureBase + int64(i))
+		if err != nil {
+			t.Fatalf("seed %d (detected %d, rejoin %dns, traffic %d/%d): %v",
+				rs.Seed, rs.Detected, rs.RejoinNs, rs.TrafficErrs, rs.TrafficOps, err)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"packetstore/internal/httpmsg"
 	"packetstore/internal/kvproto"
@@ -22,15 +23,39 @@ type Conn interface {
 // Client issues storage requests over one persistent connection. Not safe
 // for concurrent use; open one Client per connection.
 type Client struct {
-	c      Conn
-	parser *httpmsg.ResponseParser
-	rbuf   []byte
-	pend   []byte // unconsumed response bytes
-	wbuf   []byte
+	c       Conn
+	parser  *httpmsg.ResponseParser
+	rbuf    []byte
+	pend    []byte // unconsumed response bytes
+	wbuf    []byte
+	timeout time.Duration
 }
 
-// ErrStatus wraps an unexpected HTTP status.
+// ErrStatus wraps an unexpected HTTP status. StatusError values match it
+// under errors.Is.
 var ErrStatus = errors.New("kvclient: unexpected status")
+
+// StatusError is an operation that completed with an unexpected HTTP
+// status — the server answered, the connection is intact, but the
+// request did not succeed. A 503 (shard down, rebuilding, or connection
+// shed) is transient: the retry layer backs off and re-issues on the
+// same connection.
+type StatusError struct {
+	Op     string
+	Status int
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("kvclient: %s: unexpected status %d", e.Op, e.Status)
+}
+
+// Is matches ErrStatus so errors.Is(err, ErrStatus) keeps working.
+func (e *StatusError) Is(target error) bool { return target == ErrStatus }
+
+// deadliners are the two SetReadDeadline shapes a transport may offer
+// (net.Conn returns an error; the simulated tcp.Conn does not).
+type netDeadliner interface{ SetReadDeadline(time.Time) error }
+type rawDeadliner interface{ SetReadDeadline(time.Time) }
 
 // New wraps a connection.
 func New(c Conn) *Client {
@@ -43,6 +68,24 @@ func New(c Conn) *Client {
 
 // Close closes the underlying connection.
 func (cl *Client) Close() error { return cl.c.Close() }
+
+// SetTimeout installs a per-request response deadline: each Recv must
+// complete within d or fail with a timeout error (transient — see
+// Transient). Requires a transport with SetReadDeadline (net.Conn and
+// the simulated tcp.Conn both qualify); zero disables. Without a
+// deadline, a server that dies mid-response strands the client forever.
+func (cl *Client) SetTimeout(d time.Duration) { cl.timeout = d }
+
+// armDeadline applies the per-request deadline (or clears it) on
+// transports that support one.
+func (cl *Client) armDeadline(t time.Time) {
+	switch c := cl.c.(type) {
+	case netDeadliner:
+		c.SetReadDeadline(t)
+	case rawDeadliner:
+		c.SetReadDeadline(t)
+	}
+}
 
 // roundTrip sends a request and reads one full response.
 func (cl *Client) roundTrip(method, path string, body []byte) (int, []byte, error) {
@@ -67,6 +110,10 @@ func (cl *Client) Send(method, path string, body []byte) error {
 // Recv reads the next pipelined response (in request order) and returns
 // its status and body.
 func (cl *Client) Recv() (int, []byte, error) {
+	if cl.timeout > 0 {
+		cl.armDeadline(time.Now().Add(cl.timeout))
+		defer cl.armDeadline(time.Time{})
+	}
 	cl.parser.Reset()
 	var respBody []byte
 	for {
@@ -99,7 +146,7 @@ func (cl *Client) Put(key, value []byte) error {
 		return err
 	}
 	if status != 200 && status != 201 {
-		return fmt.Errorf("%w: PUT %d", ErrStatus, status)
+		return &StatusError{Op: "PUT", Status: status}
 	}
 	return nil
 }
@@ -116,7 +163,7 @@ func (cl *Client) Get(key []byte) ([]byte, bool, error) {
 	case 404:
 		return nil, false, nil
 	}
-	return nil, false, fmt.Errorf("%w: GET %d", ErrStatus, status)
+	return nil, false, &StatusError{Op: "GET", Status: status}
 }
 
 // Delete removes key; found=false on 404.
@@ -131,7 +178,7 @@ func (cl *Client) Delete(key []byte) (bool, error) {
 	case 404:
 		return false, nil
 	}
-	return false, fmt.Errorf("%w: DELETE %d", ErrStatus, status)
+	return false, &StatusError{Op: "DELETE", Status: status}
 }
 
 // Range queries [start, end) up to limit records.
@@ -141,7 +188,7 @@ func (cl *Client) Range(start, end []byte, limit int) ([]kvproto.KV, error) {
 		return nil, err
 	}
 	if status != 200 {
-		return nil, fmt.Errorf("%w: RANGE %d", ErrStatus, status)
+		return nil, &StatusError{Op: "RANGE", Status: status}
 	}
 	return kvproto.DecodeRangeBody(body)
 }

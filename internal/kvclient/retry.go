@@ -1,0 +1,217 @@
+package kvclient
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"syscall"
+	"time"
+
+	"packetstore/internal/kvproto"
+	"packetstore/internal/tcp"
+)
+
+// Transient reports whether err is worth retrying: the operation failed
+// for a reason that heals with time — a 503 (shard down or rebuilding,
+// connection shed), a response deadline, or a broken transport (reset,
+// refused, EOF from a restarting server). Anything else — 4xx statuses,
+// protocol errors, ErrFull's 507 — is permanent and retrying it only
+// repeats the failure.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Status == 503
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	switch {
+	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, io.ErrClosedPipe), errors.Is(err, net.ErrClosed),
+		errors.Is(err, os.ErrDeadlineExceeded):
+		return true
+	case errors.Is(err, syscall.ECONNRESET), errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, syscall.EPIPE):
+		return true
+	case errors.Is(err, tcp.ErrReset), errors.Is(err, tcp.ErrRefused),
+		errors.Is(err, tcp.ErrTimeout):
+		return true
+	}
+	return false
+}
+
+// RetryConfig tunes the retry layer. The zero value makes 8 attempts
+// with exponential backoff from 1ms to 250ms and no per-request
+// deadline.
+type RetryConfig struct {
+	// Attempts is the total tries per operation (first try included).
+	Attempts int
+	// Backoff is the delay before the second attempt; it doubles per
+	// attempt up to BackoffMax, with equal jitter (uniform in
+	// [d/2, d]) so a fleet of clients does not reconverge in lockstep
+	// on a recovering shard.
+	Backoff    time.Duration
+	BackoffMax time.Duration
+	// Timeout is the per-request response deadline applied to the
+	// underlying Client (see Client.SetTimeout). Zero means none.
+	Timeout time.Duration
+	// Seed randomizes the jitter; 0 derives one from the config.
+	Seed int64
+}
+
+func (c *RetryConfig) fill() {
+	if c.Attempts <= 0 {
+		c.Attempts = 8
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 250 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = int64(c.Attempts)<<32 ^ int64(c.Backoff)
+	}
+}
+
+// RetryStats counts the retry layer's work.
+type RetryStats struct {
+	// Retries counts re-attempts after a transient failure.
+	Retries uint64
+	// Redials counts reconnects after a transport-level failure (a 503
+	// keeps the connection: the server answered, only the shard is
+	// down).
+	Redials uint64
+	// Exhausted counts operations that failed after the final attempt.
+	Exhausted uint64
+}
+
+// RetryClient wraps the dial-and-request cycle with transient-failure
+// retry: operations back off exponentially with jitter and re-issue on
+// 503s, response timeouts and broken connections, so callers ride
+// through shard quarantines, rebuilds, and server restarts without
+// seeing an error unless the outage outlasts the attempt budget. Not
+// safe for concurrent use, like Client.
+type RetryClient struct {
+	dial  func() (Conn, error)
+	cfg   RetryConfig
+	cl    *Client
+	rng   *rand.Rand
+	stats RetryStats
+}
+
+// NewRetry builds a retrying client over dial, which is invoked for the
+// initial connection and after any transport-level failure.
+func NewRetry(dial func() (Conn, error), cfg RetryConfig) *RetryClient {
+	cfg.fill()
+	return &RetryClient{dial: dial, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats snapshots the retry counters.
+func (rc *RetryClient) Stats() RetryStats { return rc.stats }
+
+// Close closes the current connection, if any.
+func (rc *RetryClient) Close() error {
+	if rc.cl == nil {
+		return nil
+	}
+	err := rc.cl.Close()
+	rc.cl = nil
+	return err
+}
+
+// dropConn discards a broken connection so the next attempt redials.
+func (rc *RetryClient) dropConn() {
+	if rc.cl != nil {
+		rc.cl.Close()
+		rc.cl = nil
+	}
+	rc.stats.Redials++
+}
+
+// sleepBackoff waits the jittered backoff for the given retry round.
+func (rc *RetryClient) sleepBackoff(round int) {
+	d := rc.cfg.Backoff << uint(round)
+	if d > rc.cfg.BackoffMax || d <= 0 {
+		d = rc.cfg.BackoffMax
+	}
+	// Equal jitter: half deterministic, half uniform.
+	d = d/2 + time.Duration(rc.rng.Int63n(int64(d/2)+1))
+	time.Sleep(d)
+}
+
+// do runs op with the retry policy, redialing as needed.
+func (rc *RetryClient) do(op func(cl *Client) error) error {
+	var err error
+	for attempt := 0; attempt < rc.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			rc.stats.Retries++
+			rc.sleepBackoff(attempt - 1)
+		}
+		if rc.cl == nil {
+			var c Conn
+			if c, err = rc.dial(); err != nil {
+				if !Transient(err) {
+					return err
+				}
+				continue
+			}
+			rc.cl = New(c)
+			rc.cl.SetTimeout(rc.cfg.Timeout)
+		}
+		if err = op(rc.cl); err == nil {
+			return nil
+		}
+		if !Transient(err) {
+			return err
+		}
+		// A 503 means the server answered; the connection is still
+		// synchronized and reusable. Everything else transient is a
+		// transport failure — or a timeout that may have left a straggler
+		// response in flight — so the connection must be replaced.
+		if !errors.Is(err, ErrStatus) {
+			rc.dropConn()
+		}
+	}
+	rc.stats.Exhausted++
+	return err
+}
+
+// Put stores key -> value, retrying transient failures.
+func (rc *RetryClient) Put(key, value []byte) error {
+	return rc.do(func(cl *Client) error { return cl.Put(key, value) })
+}
+
+// Get fetches key's value, retrying transient failures; ok=false on 404.
+func (rc *RetryClient) Get(key []byte) (val []byte, ok bool, err error) {
+	err = rc.do(func(cl *Client) error {
+		val, ok, err = cl.Get(key)
+		return err
+	})
+	return val, ok, err
+}
+
+// Delete removes key, retrying transient failures; found=false on 404.
+func (rc *RetryClient) Delete(key []byte) (found bool, err error) {
+	err = rc.do(func(cl *Client) error {
+		found, err = cl.Delete(key)
+		return err
+	})
+	return found, err
+}
+
+// Range queries [start, end) up to limit records, retrying transient
+// failures.
+func (rc *RetryClient) Range(start, end []byte, limit int) (kvs []kvproto.KV, err error) {
+	err = rc.do(func(cl *Client) error {
+		kvs, err = cl.Range(start, end, limit)
+		return err
+	})
+	return kvs, err
+}

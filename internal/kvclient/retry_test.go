@@ -1,0 +1,187 @@
+package kvclient
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"packetstore/internal/tcp"
+)
+
+func TestTransientClassification(t *testing.T) {
+	transient := []error{
+		&StatusError{Op: "GET", Status: 503},
+		fmt.Errorf("wrapped: %w", &StatusError{Op: "PUT", Status: 503}),
+		io.EOF,
+		io.ErrUnexpectedEOF,
+		os.ErrDeadlineExceeded,
+		syscall.ECONNRESET,
+		syscall.ECONNREFUSED,
+		net.ErrClosed,
+		tcp.ErrReset,
+		tcp.ErrRefused,
+		tcp.ErrTimeout,
+	}
+	for _, err := range transient {
+		if !Transient(err) {
+			t.Errorf("Transient(%v) = false, want true", err)
+		}
+	}
+	permanent := []error{
+		nil,
+		&StatusError{Op: "GET", Status: 400},
+		&StatusError{Op: "PUT", Status: 507},
+		errors.New("kvproto: bad path"),
+		tcp.ErrClosed,
+	}
+	for _, err := range permanent {
+		if Transient(err) {
+			t.Errorf("Transient(%v) = true, want false", err)
+		}
+	}
+}
+
+// seqDial hands out scripted connections in order.
+func seqDial(conns ...*scriptConn) func() (Conn, error) {
+	i := 0
+	return func() (Conn, error) {
+		if i >= len(conns) {
+			return nil, fmt.Errorf("dial budget exceeded")
+		}
+		c := conns[i]
+		i++
+		return c, nil
+	}
+}
+
+const (
+	resp200 = "HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n"
+	resp503 = "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n"
+	resp400 = "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n"
+)
+
+func fastRetry(attempts int) RetryConfig {
+	return RetryConfig{Attempts: attempts, Backoff: time.Microsecond, BackoffMax: 10 * time.Microsecond}
+}
+
+func TestRetryRidesThrough503(t *testing.T) {
+	// Two sheds, then success — all on one connection (503 must not
+	// redial: the server answered, the stream is synchronized).
+	conn := &scriptConn{resp: []byte(resp503 + resp503 + resp200)}
+	rc := NewRetry(seqDial(conn), fastRetry(5))
+	if err := rc.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("retry did not ride through 503s: %v", err)
+	}
+	st := rc.Stats()
+	if st.Retries != 2 || st.Redials != 0 || st.Exhausted != 0 {
+		t.Fatalf("stats = %+v, want 2 retries on one conn", st)
+	}
+}
+
+func TestRetryRedialsBrokenConn(t *testing.T) {
+	// First connection dies mid-request (EOF); the retry must redial and
+	// succeed on the second.
+	dead := &scriptConn{} // immediate EOF
+	live := &scriptConn{resp: []byte(resp200)}
+	rc := NewRetry(seqDial(dead, live), fastRetry(3))
+	if err := rc.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("retry did not redial: %v", err)
+	}
+	if !dead.closed {
+		t.Fatal("broken connection not closed")
+	}
+	if st := rc.Stats(); st.Redials != 1 {
+		t.Fatalf("stats = %+v, want 1 redial", st)
+	}
+}
+
+func TestRetryStopsOnPermanentError(t *testing.T) {
+	conn := &scriptConn{resp: []byte(resp400 + resp400)}
+	rc := NewRetry(seqDial(conn), fastRetry(5))
+	err := rc.Put([]byte("k"), []byte("v"))
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != 400 {
+		t.Fatalf("want 400 StatusError, got %v", err)
+	}
+	if st := rc.Stats(); st.Retries != 0 {
+		t.Fatalf("retried a permanent error: %+v", st)
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	conn := &scriptConn{resp: []byte(resp503 + resp503 + resp503)}
+	rc := NewRetry(seqDial(conn), fastRetry(3))
+	err := rc.Put([]byte("k"), []byte("v"))
+	if !Transient(err) || !errors.Is(err, ErrStatus) {
+		t.Fatalf("exhausted error = %v, want the last 503", err)
+	}
+	if st := rc.Stats(); st.Exhausted != 1 || st.Retries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestRetryTimeoutOverOSSockets drives the per-request deadline end to
+// end: a server that accepts and goes quiet must produce a transient
+// timeout, and the retry layer must redial and succeed against the
+// replacement.
+func TestRetryTimeoutOverOSSockets(t *testing.T) {
+	lst, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lst.Close()
+	conns := 0
+	go func() {
+		for {
+			c, err := lst.Accept()
+			if err != nil {
+				return
+			}
+			conns++
+			if conns == 1 {
+				// First connection: swallow the request, never answer.
+				go func(c net.Conn) {
+					buf := make([]byte, 4096)
+					for {
+						if _, err := c.Read(buf); err != nil {
+							c.Close()
+							return
+						}
+					}
+				}(c)
+				continue
+			}
+			go func(c net.Conn) {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						c.Close()
+						return
+					}
+					c.Write([]byte(resp200))
+				}
+			}(c)
+		}
+	}()
+
+	rc := NewRetry(func() (Conn, error) {
+		return net.Dial("tcp", lst.Addr().String())
+	}, RetryConfig{Attempts: 3, Backoff: time.Millisecond, BackoffMax: 5 * time.Millisecond,
+		Timeout: 50 * time.Millisecond})
+	defer rc.Close()
+	start := time.Now()
+	if err := rc.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("retry did not recover from a stalled server: %v", err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("succeeded in %v — the deadline never fired", d)
+	}
+	if st := rc.Stats(); st.Redials != 1 {
+		t.Fatalf("stats = %+v, want 1 redial after the timeout", st)
+	}
+}

@@ -1,0 +1,287 @@
+package kvserver
+
+import (
+	"sync"
+	"time"
+
+	"packetstore/internal/core"
+)
+
+// Healer is the self-healing supervisor: a single goroutine that (1)
+// drives the background PM scrubber — a low-priority walker re-validating
+// slot CRCs and value checksums at a configurable slots-per-tick budget,
+// repairing or quarantining damage in place — and (2) rebuilds
+// quarantined shards online with capped exponential backoff between
+// attempts, re-admitting them the moment recovery succeeds. The store
+// keeps serving throughout: scrub steps bound their store-lock hold time
+// by the budget, and rebuilds run outside the shard router's lock.
+type Healer struct {
+	ss  *core.ShardedStore
+	cfg HealConfig
+
+	mu      sync.Mutex
+	cursors []int           // per shard: next scrub slot
+	backoff []time.Duration // per shard: current rebuild retry delay
+	nextTry []time.Time     // per shard: earliest next rebuild attempt
+	downAt  []time.Time     // per shard: when the healer first saw it down
+	stats   HealStats
+	rejoins []time.Duration
+
+	done chan struct{}
+	ret  chan struct{}
+}
+
+// HealConfig tunes the supervisor. The zero value scrubs 64 slots per
+// shard every 5ms and retries failed rebuilds from 10ms up to 1s.
+type HealConfig struct {
+	// ScrubInterval is the tick between scrub steps. Together with
+	// ScrubSlots it sets the scrub bandwidth budget:
+	// shards * ScrubSlots * SlotSize / ScrubInterval bytes/sec of PM
+	// read traffic, and ScrubSlots bounds the store-lock hold per step.
+	ScrubInterval time.Duration
+	// ScrubSlots is the number of slots re-validated per shard per tick.
+	ScrubSlots int
+	// RebuildBackoff is the delay before retrying a failed rebuild;
+	// it doubles per consecutive failure up to RebuildBackoffMax.
+	RebuildBackoff    time.Duration
+	RebuildBackoffMax time.Duration
+}
+
+func (c *HealConfig) fill() {
+	if c.ScrubInterval <= 0 {
+		c.ScrubInterval = 5 * time.Millisecond
+	}
+	if c.ScrubSlots <= 0 {
+		c.ScrubSlots = 64
+	}
+	if c.RebuildBackoff <= 0 {
+		c.RebuildBackoff = 10 * time.Millisecond
+	}
+	if c.RebuildBackoffMax <= 0 {
+		c.RebuildBackoffMax = time.Second
+	}
+}
+
+// HealStats counts the supervisor's work.
+type HealStats struct {
+	// ScrubPasses counts completed full sweeps of one shard's slot array.
+	ScrubPasses uint64
+	// ScrubErrorsFound counts damage discovered: bad slots (CRC, structure
+	// or value checksum), index damage found by the audit, and superblock
+	// failures.
+	ScrubErrorsFound uint64
+	// ScrubRepaired counts in-place repairs: records excised by the scrub
+	// rebuild and index rebuilds triggered by the audit.
+	ScrubRepaired uint64
+	// Rebuilds counts shards rebuilt and re-admitted online;
+	// RebuildFailures counts attempts that left the shard down.
+	Rebuilds        uint64
+	RebuildFailures uint64
+	// ShardsDown / ShardsRebuilding are gauges sampled at Stats time.
+	ShardsDown       int
+	ShardsRebuilding int
+	// Rejoins holds each heal's time from quarantine observation to
+	// re-admission — the time-to-rejoin distribution.
+	Rejoins []time.Duration
+}
+
+// NewHealer creates a supervisor over ss. Call Run (usually in its own
+// goroutine) to start it and Close to stop it.
+func NewHealer(ss *core.ShardedStore, cfg HealConfig) *Healer {
+	cfg.fill()
+	n := ss.Shards()
+	return &Healer{
+		ss: ss, cfg: cfg,
+		cursors: make([]int, n),
+		backoff: make([]time.Duration, n),
+		nextTry: make([]time.Time, n),
+		downAt:  make([]time.Time, n),
+		done:    make(chan struct{}),
+		ret:     make(chan struct{}),
+	}
+}
+
+// Run drives the heal loop until Close.
+func (h *Healer) Run() {
+	defer close(h.ret)
+	t := time.NewTicker(h.cfg.ScrubInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-h.done:
+			return
+		case now := <-t.C:
+			h.tick(now)
+		}
+	}
+}
+
+// Close stops the supervisor and waits for the loop to exit.
+func (h *Healer) Close() {
+	select {
+	case <-h.done:
+		return
+	default:
+	}
+	close(h.done)
+	<-h.ret
+}
+
+// tick is one supervisor cycle: attempt due rebuilds, then spend the
+// scrub budget on every serving shard.
+func (h *Healer) tick(now time.Time) {
+	for i := 0; i < h.ss.Shards(); i++ {
+		if h.ss.ShardErr(i) != nil {
+			h.tryRebuild(i, now)
+			continue
+		}
+		h.mu.Lock()
+		h.downAt[i], h.backoff[i], h.nextTry[i] = time.Time{}, 0, time.Time{}
+		h.mu.Unlock()
+		h.scrubStep(i)
+	}
+}
+
+// tryRebuild attempts to rebuild down shard i, honoring the capped
+// exponential backoff between failed attempts.
+func (h *Healer) tryRebuild(i int, now time.Time) {
+	h.mu.Lock()
+	if h.downAt[i].IsZero() {
+		h.downAt[i] = now
+	}
+	if now.Before(h.nextTry[i]) {
+		h.mu.Unlock()
+		return
+	}
+	downAt := h.downAt[i]
+	h.mu.Unlock()
+
+	err := h.ss.Rebuild(i)
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err != nil {
+		h.stats.RebuildFailures++
+		if h.backoff[i] <= 0 {
+			h.backoff[i] = h.cfg.RebuildBackoff
+		} else if h.backoff[i] < h.cfg.RebuildBackoffMax {
+			h.backoff[i] *= 2
+			if h.backoff[i] > h.cfg.RebuildBackoffMax {
+				h.backoff[i] = h.cfg.RebuildBackoffMax
+			}
+		}
+		h.nextTry[i] = now.Add(h.backoff[i])
+		return
+	}
+	h.stats.Rebuilds++
+	h.rejoins = append(h.rejoins, time.Since(downAt))
+	h.downAt[i], h.backoff[i], h.nextTry[i] = time.Time{}, 0, time.Time{}
+}
+
+// scrubStep spends one tick's budget on serving shard i: a superblock
+// probe at the start of each pass, a budgeted slot walk, and an index
+// audit when the pass wraps.
+func (h *Healer) scrubStep(i int) {
+	st := h.ss.Shard(i)
+	if st == nil {
+		return // quarantined between the health check and here
+	}
+	h.mu.Lock()
+	cursor := h.cursors[i]
+	h.mu.Unlock()
+	if cursor == 0 {
+		if err := st.CheckSuperblock(); err != nil {
+			h.ss.Quarantine(i, err)
+			h.mu.Lock()
+			h.stats.ScrubErrorsFound++
+			h.mu.Unlock()
+			return
+		}
+	}
+	res := st.ScrubSlots(cursor, h.cfg.ScrubSlots)
+	h.mu.Lock()
+	h.cursors[i] = res.Next
+	h.stats.ScrubErrorsFound += uint64(res.Bad)
+	h.stats.ScrubRepaired += uint64(res.Excised)
+	h.mu.Unlock()
+	if res.Next == 0 {
+		rebuilt, excised := st.AuditIndex()
+		h.mu.Lock()
+		if rebuilt {
+			h.stats.ScrubErrorsFound++
+			h.stats.ScrubRepaired += uint64(1 + excised)
+		}
+		h.stats.ScrubPasses++
+		h.mu.Unlock()
+	}
+}
+
+// Stats snapshots the supervisor's counters plus the store's current
+// down/rebuilding gauges.
+func (h *Healer) Stats() HealStats {
+	h.mu.Lock()
+	out := h.stats
+	out.Rejoins = append([]time.Duration(nil), h.rejoins...)
+	h.mu.Unlock()
+	for _, st := range h.ss.States() {
+		switch st.State {
+		case "down":
+			out.ShardsDown++
+		case "rebuilding":
+			out.ShardsRebuilding++
+		}
+	}
+	return out
+}
+
+// Health builds the healthz report: per-shard serving state plus
+// scrubber and rebuild progress.
+func (h *Healer) Health() HealthReport {
+	st := h.Stats()
+	return healthFromStates(h.ss.States(), &st)
+}
+
+// ShardHealth is one shard's state in the healthz report.
+type ShardHealth struct {
+	Shard  int    `json:"shard"`
+	State  string `json:"state"` // serving | rebuilding | down
+	Reason string `json:"reason,omitempty"`
+}
+
+// ScrubHealth is the scrubber/rebuild progress section of the report.
+type ScrubHealth struct {
+	Passes          uint64 `json:"passes"`
+	ErrorsFound     uint64 `json:"errors_found"`
+	Repaired        uint64 `json:"repaired"`
+	Rebuilds        uint64 `json:"rebuilds"`
+	RebuildFailures uint64 `json:"rebuild_failures"`
+}
+
+// HealthReport is the GET /healthz body. Ready is true only when every
+// shard serves — the poll-for-readiness signal the heal experiment (and
+// an operator's load balancer) watches.
+type HealthReport struct {
+	Ready  bool          `json:"ready"`
+	Shards []ShardHealth `json:"shards"`
+	Scrub  ScrubHealth   `json:"scrub"`
+}
+
+func healthFromStates(states []core.ShardStatus, st *HealStats) HealthReport {
+	rep := HealthReport{Ready: true}
+	for i, s := range states {
+		rep.Shards = append(rep.Shards, ShardHealth{Shard: i, State: s.State, Reason: s.Reason})
+		if s.State != "serving" {
+			rep.Ready = false
+		}
+	}
+	if st != nil {
+		rep.Scrub = ScrubHealth{
+			Passes:          st.ScrubPasses,
+			ErrorsFound:     st.ScrubErrorsFound,
+			Repaired:        st.ScrubRepaired,
+			Rebuilds:        st.Rebuilds,
+			RebuildFailures: st.RebuildFailures,
+		}
+	}
+	return rep
+}

@@ -1,0 +1,281 @@
+package kvserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"packetstore/internal/calib"
+	"packetstore/internal/core"
+	"packetstore/internal/pmem"
+)
+
+func healShardedSetup(t *testing.T) (*pmem.Region, *core.ShardedStore, []string) {
+	t.Helper()
+	cfg := core.Config{MetaSlots: 64, SlotSize: 128, DataSlots: 64, DataBufSize: 512, VerifyOnGet: true}
+	const shards = 4
+	r := pmem.New(core.ShardedRegionSize(cfg, shards), calib.Off())
+	ss, err := core.OpenSharded(r, cfg, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for i := 0; i < 32; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		keys = append(keys, k)
+		if err := ss.Put([]byte(k), []byte("value of "+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r, ss, keys
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestHealerRebuildsQuarantinedShard exercises the supervisor end to
+// end: a quarantined shard is rebuilt and re-admitted automatically
+// while the other shards keep serving, and no acked write is lost.
+func TestHealerRebuildsQuarantinedShard(t *testing.T) {
+	_, ss, keys := healShardedSetup(t)
+	h := NewHealer(ss, HealConfig{ScrubInterval: time.Millisecond, ScrubSlots: 16})
+	go h.Run()
+	defer h.Close()
+
+	victim := 1
+	ss.Quarantine(victim, fmt.Errorf("injected"))
+	waitFor(t, "victim rejoin", func() bool { return ss.ShardErr(victim) == nil })
+
+	st := h.Stats()
+	if st.Rebuilds == 0 {
+		t.Fatal("healer recorded no rebuild")
+	}
+	if len(st.Rejoins) == 0 {
+		t.Fatal("healer recorded no time-to-rejoin sample")
+	}
+	for _, k := range keys {
+		v, ok, err := ss.Get([]byte(k))
+		if err != nil || !ok || string(v) != "value of "+k {
+			t.Fatalf("after heal, %q: ok=%v err=%v v=%q", k, ok, err, v)
+		}
+	}
+}
+
+// TestHealerScrubFindsInjectedFlip verifies the background scrubber
+// detects a latent CRC-covered bit flip and repairs the store in place.
+func TestHealerScrubFindsInjectedFlip(t *testing.T) {
+	_, ss, keys := healShardedSetup(t)
+	// Damage a record in its own shard's store, directly.
+	victimKey := keys[7]
+	shard := core.ShardOf([]byte(victimKey), ss.Shards())
+	if off := ss.Shard(shard).CorruptRecord([]byte(victimKey), core.FlipSlotField, 1, 0x10); off < 0 {
+		t.Fatal("CorruptRecord found no slot")
+	}
+	h := NewHealer(ss, HealConfig{ScrubInterval: time.Millisecond, ScrubSlots: 16})
+	go h.Run()
+	defer h.Close()
+
+	waitFor(t, "scrub detection", func() bool { return h.Stats().ScrubErrorsFound > 0 })
+	waitFor(t, "scrub pass", func() bool { return h.Stats().ScrubPasses > 0 })
+	st := h.Stats()
+	if st.ScrubRepaired == 0 {
+		t.Fatal("scrub detected damage but repaired nothing")
+	}
+	// Every undamaged key still serves exact bytes.
+	for _, k := range keys {
+		if k == victimKey {
+			continue
+		}
+		v, ok, err := ss.Get([]byte(k))
+		if err != nil || !ok || string(v) != "value of "+k {
+			t.Fatalf("after scrub repair, %q: ok=%v err=%v v=%q", k, ok, err, v)
+		}
+	}
+	// The damaged record must never serve wrong bytes.
+	if v, ok, err := ss.Get([]byte(victimKey)); err == nil && ok {
+		t.Fatalf("damaged key still serving: %q", v)
+	}
+}
+
+// TestHealerRecoversSuperblockLoss drives the full loss flavor: the
+// scrubber's superblock probe quarantines the shard, then the rebuild
+// repairs the superblock from configuration and rejoins it.
+func TestHealerRecoversSuperblockLoss(t *testing.T) {
+	r, ss, keys := healShardedSetup(t)
+	h := NewHealer(ss, HealConfig{ScrubInterval: time.Millisecond, ScrubSlots: 16})
+	go h.Run()
+	defer h.Close()
+
+	victim := 2
+	stride := core.ShardedRegionSize(core.Config{MetaSlots: 64, SlotSize: 128, DataSlots: 64, DataBufSize: 512, VerifyOnGet: true}, ss.Shards()) / ss.Shards()
+	r.CorruptByte(victim*stride, 0xff)
+
+	waitFor(t, "superblock quarantine + rejoin", func() bool {
+		st := h.Stats()
+		return st.Rebuilds > 0 && ss.ShardErr(victim) == nil
+	})
+	for _, k := range keys {
+		v, ok, err := ss.Get([]byte(k))
+		if err != nil || !ok || string(v) != "value of "+k {
+			t.Fatalf("after superblock heal, %q: ok=%v err=%v v=%q", k, ok, err, v)
+		}
+	}
+	if h.Stats().ScrubErrorsFound == 0 {
+		t.Fatal("superblock loss not counted as a scrub error")
+	}
+}
+
+// rawHTTP sends one request over c and returns the raw response bytes.
+func rawHTTP(t *testing.T, c net.Conn, req string) []byte {
+	t.Helper()
+	if _, err := c.Write([]byte(req)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64<<10)
+	n, err := c.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf[:n]
+}
+
+// TestNetServerHealthz checks the endpoint end to end: 503 + JSON while
+// a shard is down, 200 + JSON once everything serves.
+func TestNetServerHealthz(t *testing.T) {
+	_, ss, _ := healShardedSetup(t)
+	h := NewHealer(ss, HealConfig{})
+	lst, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewNetServer(lst, ShardedPktStore{S: ss})
+	srv.SetHealthSource(h.Health)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+
+	ss.Quarantine(3, fmt.Errorf("injected"))
+	c, err := net.Dial("tcp", lst.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := rawHTTP(t, c, "GET /healthz HTTP/1.1\r\n\r\n")
+	if !bytes.Contains(resp, []byte("503")) {
+		t.Fatalf("healthz with a down shard: want 503, got %q", resp)
+	}
+	var rep HealthReport
+	if i := bytes.Index(resp, []byte("\r\n\r\n")); i < 0 {
+		t.Fatalf("no body in %q", resp)
+	} else if err := json.Unmarshal(resp[i+4:], &rep); err != nil {
+		t.Fatalf("healthz body not JSON: %v in %q", err, resp)
+	}
+	if rep.Ready || len(rep.Shards) != ss.Shards() || rep.Shards[3].State != "down" {
+		t.Fatalf("bad report while down: %+v", rep)
+	}
+
+	if err := ss.Rebuild(3); err != nil {
+		t.Fatal(err)
+	}
+	resp = rawHTTP(t, c, "GET /healthz HTTP/1.1\r\n\r\n")
+	if !bytes.Contains(resp, []byte("200")) {
+		t.Fatalf("healthz after rejoin: want 200, got %q", resp)
+	}
+	c.Close()
+	srv.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNetServerShedsAtMaxConns verifies the 503 connection shed at the
+// MaxConns cap.
+func TestNetServerShedsAtMaxConns(t *testing.T) {
+	cfg := core.Config{MetaSlots: 64, DataSlots: 64, VerifyOnGet: true}
+	r := pmem.New(cfg.RegionSize(), calib.Off())
+	store, err := core.Open(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lst, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewNetServerWithConfig(lst, PktStore{S: store}, Config{MaxConns: 1})
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+
+	c1, err := net.Dial("tcp", lst.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prove c1 holds the slot by completing a request on it.
+	resp := rawHTTP(t, c1, "PUT /k/held HTTP/1.1\r\nContent-Length: 1\r\n\r\nx")
+	if !bytes.Contains(resp, []byte("200")) {
+		t.Fatalf("put on first conn: %q", resp)
+	}
+
+	c2, err := net.Dial("tcp", lst.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	n, _ := c2.Read(buf)
+	if !bytes.Contains(buf[:n], []byte("503")) {
+		t.Fatalf("over-cap conn: want 503 shed, got %q", buf[:n])
+	}
+	if srv.Sheds() == 0 {
+		t.Fatal("shed not counted")
+	}
+	c2.Close()
+	c1.Close()
+	srv.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNetServerIdleTimeout verifies the read deadline reaps stalled
+// connections.
+func TestNetServerIdleTimeout(t *testing.T) {
+	cfg := core.Config{MetaSlots: 64, DataSlots: 64, VerifyOnGet: true}
+	r := pmem.New(cfg.RegionSize(), calib.Off())
+	store, err := core.Open(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lst, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewNetServerWithConfig(lst, PktStore{S: store}, Config{IdleTimeout: 30 * time.Millisecond})
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+
+	c, err := net.Dial("tcp", lst.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Never write: the server must close us at the idle deadline.
+	buf := make([]byte, 16)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("expected the server to close the idle connection")
+	}
+	waitFor(t, "idle close counted", func() bool { return srv.IdleClosed() > 0 })
+	c.Close()
+	srv.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package kvserver
 
 import (
+	"encoding/json"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -21,6 +22,7 @@ type NetServer struct {
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
 	closed  bool
+	health  func() HealthReport
 	wg      sync.WaitGroup
 
 	sheds      atomic.Uint64
@@ -44,6 +46,14 @@ func NewNetServerWithConfig(lst net.Listener, backend Backend, cfg Config) *NetS
 // counts connections closed by the read deadline.
 func (s *NetServer) Sheds() uint64      { return s.sheds.Load() }
 func (s *NetServer) IdleClosed() uint64 { return s.idleClosed.Load() }
+
+// SetHealthSource installs the GET /healthz report producer — normally
+// (*Healer).Health. Without one, /healthz reports ready unconditionally.
+func (s *NetServer) SetHealthSource(fn func() HealthReport) {
+	s.mu.Lock()
+	s.health = fn
+	s.mu.Unlock()
+}
 
 // Serve accepts and services connections until Close.
 func (s *NetServer) Serve() error {
@@ -102,6 +112,7 @@ func (s *NetServer) serveConn(c net.Conn) {
 	var body, resp []byte
 	var cur kvproto.Request
 	var curErr error
+	var curHealth bool
 
 	for {
 		if s.cfg.IdleTimeout > 0 {
@@ -125,13 +136,20 @@ func (s *NetServer) serveConn(c net.Conn) {
 			}
 			if res.HeaderDone {
 				hreq := parser.Request()
-				cur, curErr = kvproto.Parse(hreq.Method, hreq.Path)
+				curHealth = hreq.Method == "GET" && hreq.Path == "/healthz"
+				if !curHealth {
+					cur, curErr = kvproto.Parse(hreq.Method, hreq.Path)
+				}
 				body = body[:0]
 			}
 			body = append(body, chunk[res.Body.Off:res.Body.Off+res.Body.Len]...)
 			chunk = chunk[res.Consumed:]
 			if res.Done {
-				resp = s.respond(resp, cur, curErr, body)
+				if curHealth {
+					resp = s.appendHealth(resp)
+				} else {
+					resp = s.respond(resp, cur, curErr, body)
+				}
 				parser.Reset()
 			}
 		}
@@ -141,6 +159,29 @@ func (s *NetServer) serveConn(c net.Conn) {
 			}
 		}
 	}
+}
+
+// appendHealth serves GET /healthz: the JSON HealthReport, 200 when
+// every shard serves and 503 while any is down or rebuilding — the body
+// is present either way so a poller can see per-shard progress.
+func (s *NetServer) appendHealth(resp []byte) []byte {
+	s.mu.Lock()
+	fn := s.health
+	s.mu.Unlock()
+	rep := HealthReport{Ready: true}
+	if fn != nil {
+		rep = fn()
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		return httpmsg.AppendResponse(resp, 500, 0)
+	}
+	code := 200
+	if !rep.Ready {
+		code = 503
+	}
+	resp = httpmsg.AppendResponse(resp, code, len(b))
+	return append(resp, b...)
 }
 
 func (s *NetServer) respond(resp []byte, req kvproto.Request, parseErr error, body []byte) []byte {

@@ -522,12 +522,16 @@ func (lp *loop) beginRequest(st *connState, b *pkt.Buf, zc bool) {
 		return
 	}
 	pr.req = req
-	if req.Op == kvproto.OpPut && zc && lp.srv.sharded.ShardFor(req.Key) == lp.shard &&
-		lp.srv.sharded.ShardErr(lp.shard) == nil {
-		// The ShardErr check covers runtime quarantine: this loop's direct
-		// store pointer must not ingest into a shard the sharded router
-		// has taken down — the copy path routes through the router, which
-		// answers ErrShardDown (503).
+	if req.Op == kvproto.OpPut && zc && lp.srv.sharded.ShardFor(req.Key) == lp.shard {
+		// The zero-copy path writes through this loop's direct store
+		// pointer, so it must not ingest into a shard the sharded router
+		// has quarantined — the copy path routes through the router, which
+		// answers ErrShardDown (503). ServingStore resolves the serving
+		// check and the store identity under one lock: a mismatch means
+		// the shard is down, rebuilding, or was replaced by a rebuild.
+		if st, err := lp.srv.sharded.ServingStore(lp.shard); err != nil || st != lp.store {
+			return
+		}
 		// Copy the (small) key into the arena so the record can
 		// reference it; values stay in place.
 		off := lp.allocKey(req.Key)

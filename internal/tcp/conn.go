@@ -2,6 +2,7 @@ package tcp
 
 import (
 	"io"
+	"os"
 	"sync"
 	"time"
 
@@ -91,6 +92,10 @@ type Conn struct {
 	wantReady        bool
 	readyQueued      bool
 	timeWaitTimer    *time.Timer
+
+	// Read deadline (zero = none).
+	rdDeadline time.Time
+	rdTimer    *time.Timer
 }
 
 func (s *Stack) newConn(key flowKey) *Conn {
@@ -474,6 +479,39 @@ func (c *Conn) drainOOOLocked() {
 
 // --- Application receive API ---
 
+// SetReadDeadline bounds blocking Read and ReadBufs calls: once t
+// passes they return os.ErrDeadlineExceeded (which reports
+// Timeout() == true through the net.Error interface) instead of
+// blocking forever on a stalled peer — the client-side guard against a
+// server that accepted a request and then went quiet. A zero t clears
+// the deadline. Data already queued is still delivered first.
+func (c *Conn) SetReadDeadline(t time.Time) {
+	c.stk.mu.Lock()
+	defer c.stk.mu.Unlock()
+	c.rdDeadline = t
+	if c.rdTimer != nil {
+		c.rdTimer.Stop()
+		c.rdTimer = nil
+	}
+	if t.IsZero() {
+		return
+	}
+	d := time.Until(t)
+	if d <= 0 {
+		c.rcvCond.Broadcast()
+		return
+	}
+	c.rdTimer = time.AfterFunc(d, func() {
+		c.stk.mu.Lock()
+		c.rcvCond.Broadcast()
+		c.stk.mu.Unlock()
+	})
+}
+
+func (c *Conn) readDeadlineExceededLocked() bool {
+	return !c.rdDeadline.IsZero() && !time.Now().Before(c.rdDeadline)
+}
+
 // Read copies received data into p, blocking until data, EOF or error.
 func (c *Conn) Read(p []byte) (int, error) {
 	c.stk.mu.Lock()
@@ -499,6 +537,9 @@ func (c *Conn) Read(p []byte) (int, error) {
 		if c.finRcvd {
 			return 0, io.EOF
 		}
+		if c.readDeadlineExceededLocked() {
+			return 0, os.ErrDeadlineExceeded
+		}
 		c.rcvCond.Wait()
 	}
 }
@@ -519,6 +560,9 @@ func (c *Conn) ReadBufs() ([]*pkt.Buf, error) {
 		}
 		if c.finRcvd {
 			return nil, io.EOF
+		}
+		if c.readDeadlineExceededLocked() {
+			return nil, os.ErrDeadlineExceeded
 		}
 		c.rcvCond.Wait()
 	}
@@ -762,6 +806,10 @@ func (c *Conn) teardownLocked(err error) {
 	}
 	if c.timeWaitTimer != nil {
 		c.timeWaitTimer.Stop()
+	}
+	if c.rdTimer != nil {
+		c.rdTimer.Stop()
+		c.rdTimer = nil
 	}
 	for _, seg := range c.sndQ {
 		if seg.buf != nil {

@@ -632,3 +632,71 @@ func BenchmarkPingPong1K(b *testing.B) {
 		}
 	}
 }
+
+func TestReadDeadline(t *testing.T) {
+	net := newTestNet(t, netsim.LinkConfig{}, allOffloads, Config{})
+	l, err := net.server.Listen(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan *Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c, err := net.client.Dial(ipv4.HostAddr(2), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-accepted
+
+	// A quiet peer: the deadline must fire, report a net.Error timeout,
+	// and leave the connection usable.
+	c.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	buf := make([]byte, 64)
+	start := time.Now()
+	_, err = c.Read(buf)
+	if err == nil {
+		t.Fatal("read returned without data before the peer wrote")
+	}
+	ne, ok := err.(interface{ Timeout() bool })
+	if !ok || !ne.Timeout() {
+		t.Fatalf("deadline error %v does not report Timeout()", err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("deadline fired early")
+	}
+
+	// Clearing the deadline restores blocking reads; queued data is
+	// delivered even with an expired deadline already consumed.
+	c.SetReadDeadline(time.Time{})
+	if _, err := srv.Write([]byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Read(buf)
+	if err != nil || string(buf[:n]) != "late" {
+		t.Fatalf("read after deadline clear: %q, %v", buf[:n], err)
+	}
+
+	// A deadline in the past fails immediately when nothing is queued...
+	c.SetReadDeadline(time.Now().Add(-time.Second))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("expired deadline did not fail the read")
+	}
+	// ...but pending data still wins over the deadline.
+	if _, err := srv.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n, err := c.Read(buf); err == nil && n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queued data never delivered past an expired deadline")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

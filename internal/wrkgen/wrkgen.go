@@ -63,14 +63,25 @@ type Config struct {
 	// ShardOfKey maps a key to its owning shard (bind core.ShardOf to
 	// the shard count).
 	ShardOfKey func(key []byte) int
+	// Retry, when set, runs each worker over kvclient's retrying client:
+	// transient failures — 503 sheds, shard-down windows, response
+	// timeouts, connection resets — back off and re-issue instead of
+	// aborting the worker, so the generator rides through heal events.
+	// Implies Pipeline 1. Hash alignment (QueueOf) is bypassed: the
+	// retry layer redials internally, which would invalidate a computed
+	// alignment.
+	Retry *kvclient.RetryConfig
 }
 
 // Result aggregates a run.
 type Result struct {
 	Requests uint64
 	Errors   uint64
-	Elapsed  time.Duration
-	Hist     hdrhist.Hist
+	// Retries counts transient-failure re-attempts absorbed by the retry
+	// layer (only populated when Config.Retry is set).
+	Retries uint64
+	Elapsed time.Duration
+	Hist    hdrhist.Hist
 }
 
 // Throughput returns requests per second.
@@ -106,11 +117,14 @@ func Run(cfg Config, dial Dialer) (Result, error) {
 	if cfg.Duration <= 0 && cfg.Requests <= 0 {
 		cfg.Duration = time.Second
 	}
+	if cfg.Retry != nil {
+		cfg.Pipeline = 1
+	}
 
 	type connResult struct {
-		reqs, errs uint64
-		hist       hdrhist.Hist
-		err        error
+		reqs, errs, retries uint64
+		hist                hdrhist.Hist
+		err                 error
 	}
 	results := make([]connResult, cfg.Conns)
 	var wg sync.WaitGroup
@@ -132,16 +146,32 @@ func Run(cfg Config, dial Dialer) (Result, error) {
 		go func(ci int) {
 			defer wg.Done()
 			res := &results[ci]
-			conn, err := dial()
-			if err != nil {
-				res.err = err
-				return
+			var cl *kvclient.Client
+			var rc *kvclient.RetryClient
+			var conn kvclient.Conn
+			if cfg.Retry != nil {
+				rcfg := *cfg.Retry
+				if rcfg.Seed == 0 {
+					rcfg.Seed = cfg.Seed + int64(ci)*104729 + 1
+				}
+				rc = kvclient.NewRetry(dial, rcfg)
+				defer func() {
+					res.retries = rc.Stats().Retries
+					rc.Close()
+				}()
+			} else {
+				c, err := dial()
+				if err != nil {
+					res.err = err
+					return
+				}
+				conn = c
+				cl = kvclient.New(conn)
+				defer cl.Close()
 			}
-			cl := kvclient.New(conn)
-			defer cl.Close()
 			alignQ := -1
 			var keyCache map[int][]byte
-			if cfg.QueueOf != nil && cfg.ShardOfKey != nil {
+			if conn != nil && cfg.QueueOf != nil && cfg.ShardOfKey != nil {
 				alignQ = cfg.QueueOf(conn)
 				keyCache = make(map[int][]byte)
 			}
@@ -281,11 +311,23 @@ func Run(cfg Config, dial Dialer) (Result, error) {
 				var err error
 				switch {
 				case op < cfg.PutPct:
-					err = cl.Put(key, value)
+					if rc != nil {
+						err = rc.Put(key, value)
+					} else {
+						err = cl.Put(key, value)
+					}
 				case op < cfg.PutPct+cfg.DeletePct:
-					_, err = cl.Delete(key)
+					if rc != nil {
+						_, err = rc.Delete(key)
+					} else {
+						_, err = cl.Delete(key)
+					}
 				default:
-					_, _, err = cl.Get(key)
+					if rc != nil {
+						_, _, err = rc.Get(key)
+					} else {
+						_, _, err = cl.Get(key)
+					}
 				}
 				lat := time.Since(t0)
 				if t0.After(startMeasure) {
@@ -298,8 +340,13 @@ func Run(cfg Config, dial Dialer) (Result, error) {
 					}
 				}
 				if err != nil {
-					res.err = err
-					return
+					if rc == nil || !kvclient.Transient(err) {
+						res.err = err
+						return
+					}
+					// Retry budget exhausted mid-outage: already counted as
+					// an error; the worker keeps going and rejoins the load
+					// once the shard heals.
 				}
 			}
 		}(ci)
@@ -311,6 +358,7 @@ func Run(cfg Config, dial Dialer) (Result, error) {
 	for i := range results {
 		out.Requests += results[i].reqs
 		out.Errors += results[i].errs
+		out.Retries += results[i].retries
 		out.Hist.Merge(&results[i].hist)
 		if results[i].err != nil && firstErr == nil {
 			firstErr = results[i].err
