@@ -247,13 +247,21 @@ type Store struct {
 
 	pool     *pkt.Pool // data-area packet pool (shared with the NIC)
 	metaFree []int     // free metadata slot indices
-	dataRefs []int32   // per data slot: -1 pool-owned, >=0 store refs
-	// dataHeld marks data slots that survived an online rebuild
-	// (Rehydrate) while store-owned: external writers — the server's key
-	// arena — may still append into them, and the damage that forced the
-	// rebuild may be media, so they are never recycled when their
-	// reference count drains. Conservative fencing, cleared only when a
-	// slot is re-adopted fresh.
+	dataRefs []int32   // per data slot: -1 pool-owned, >=0 record refs
+	// dataPins counts external borrows of a store-owned data slot —
+	// transmit pins (PinExtents) and the server's key arena — separately
+	// from record references. An online rebuild (Rehydrate) recomputes
+	// dataRefs from the slot scan but preserves dataPins: the borrowers
+	// still hold offsets into those slots, and their releases decrement
+	// this counter unconditionally, so a slot re-admits to the pool the
+	// moment both counts drain instead of leaking forever.
+	dataPins []int32
+	// dataHeld marks data slots with confirmed media damage (a value
+	// checksum failed over their bytes): they are never returned to the
+	// NIC pool when their counts drain — the fault could recur and eat
+	// the next record too. The fence survives online rebuilds; only a
+	// process restart (which rebuilds volatile state from scratch)
+	// forgets it.
 	dataHeld []bool
 	seq      uint64
 	count    int
@@ -264,9 +272,11 @@ type Store struct {
 	// same damage every pass.
 	quarantined int
 	metaFenced  []bool
-	// epoch increments on every Rehydrate: reference counts are recomputed
-	// from the slot scan, so pin releases taken against an older epoch
-	// must not decrement the new counts (they no-op instead).
+	// epoch increments on every Rehydrate. It is the acked-write gate:
+	// a rebuild drops staged-but-unacked puts, so a server that buffered
+	// acks against staged records compares the epoch it saw before
+	// staging with the epoch after Commit — a mismatch means the staged
+	// group may have been dropped and the buffered acks must not escape.
 	epoch uint64
 	// onQuarantine, when set, observes each slot the scan fences off
 	// (test hook; per-store so parallel tests race-freely install their
@@ -310,6 +320,7 @@ func openAt(r *pmem.Region, cfg Config, base int) (*Store, error) {
 	for i := range s.dataRefs {
 		s.dataRefs[i] = -1
 	}
+	s.dataPins = make([]int32, cfg.DataSlots)
 	s.dataHeld = make([]bool, cfg.DataSlots)
 	s.metaFenced = make([]bool, cfg.MetaSlots)
 	s.pool = pkt.NewPMPool(r, s.dataBase, cfg.DataBufSize, cfg.DataSlots)
@@ -563,20 +574,19 @@ func (s *Store) AdoptBuf(b *pkt.Buf) int {
 	s.mu.Lock()
 	idx := s.dataSlotIndex(base)
 	s.dataRefs[idx] = 0
-	s.dataHeld[idx] = false
 	s.mu.Unlock()
 	return base
 }
 
 // ReleaseUnused returns an adopted data slot to the pool if no record
-// ended up referencing it (e.g. the packet held only GET requests).
+// ended up referencing it (e.g. the packet held only GET requests) and
+// no external pin borrows it.
 func (s *Store) ReleaseUnused(base int) {
 	s.mu.Lock()
 	idx := s.dataSlotIndex(base)
-	unused := s.dataRefs[idx] == 0
+	unused := s.dataRefs[idx] == 0 && s.dataPins[idx] == 0 && !s.dataHeld[idx]
 	if unused {
 		s.dataRefs[idx] = -1
-		s.dataHeld[idx] = false
 	}
 	s.mu.Unlock()
 	if unused {
@@ -595,44 +605,61 @@ func (s *Store) refDataLocked(off int) {
 func (s *Store) unrefDataLocked(off int) {
 	idx := s.dataSlotIndex(off)
 	s.dataRefs[idx]--
-	if s.dataRefs[idx] == 0 {
-		if s.dataHeld[idx] {
-			// The slot survived an online rebuild while store-owned: a key
-			// arena may still append into it, so it stays adopted at zero
-			// references instead of returning to the NIC pool.
-			return
-		}
-		s.dataRefs[idx] = -1
-		s.pool.ReturnSlot(s.dataBase + idx*s.cfg.DataBufSize)
-	}
+	s.maybeRecycleLocked(idx)
 }
 
-// PinExtents adds a reference to every data slot an extent list touches —
-// used to lend stored data to the transport for zero-copy transmission.
-// The returned release function drops the references (safe to call from
-// packet-buffer fragment hooks).
+// maybeRecycleLocked returns a store-owned data slot to the NIC pool
+// once nothing refers to it: no record references, no external pins,
+// and no media-damage fence.
+func (s *Store) maybeRecycleLocked(idx int) {
+	if s.dataRefs[idx] != 0 || s.dataPins[idx] != 0 || s.dataHeld[idx] {
+		return
+	}
+	s.dataRefs[idx] = -1
+	s.pool.ReturnSlot(s.dataBase + idx*s.cfg.DataBufSize)
+}
+
+// PinExtents borrows every data slot an extent list touches — used to
+// lend stored data to the transport for zero-copy transmission, and by
+// the server to hold its key arena open. Pins are counted separately
+// from record references and survive an online rebuild (the borrower
+// still holds offsets into the slot), so the returned release function
+// always drops them — a slot re-admits to the pool once both counts
+// drain, no matter how many rebuilds happened in between. Safe to call
+// from packet-buffer fragment hooks.
 func (s *Store) PinExtents(exts []Extent) func() {
 	s.mu.Lock()
-	epoch := s.epoch
 	for _, e := range exts {
-		s.refDataLocked(e.Off)
+		idx := s.dataSlotIndex(e.Off)
+		if s.dataRefs[idx] < 0 {
+			panic("pktstore: pinning data in an unadopted slot")
+		}
+		s.dataPins[idx]++
 	}
 	s.mu.Unlock()
 	var once sync.Once
 	return func() {
 		once.Do(func() {
 			s.mu.Lock()
-			// An online rebuild (Rehydrate) recomputes every reference
-			// count from the slot scan; a pin taken against the old counts
-			// must not drain the new ones.
-			if s.epoch == epoch {
-				for _, e := range exts {
-					s.unrefDataLocked(e.Off)
-				}
+			for _, e := range exts {
+				idx := s.dataSlotIndex(e.Off)
+				s.dataPins[idx]--
+				s.maybeRecycleLocked(idx)
 			}
 			s.mu.Unlock()
 		})
 	}
+}
+
+// Epoch returns the store's rebuild generation: it advances on every
+// Rehydrate, which drops staged-but-uncommitted puts. A server that
+// buffers acks against staged records snapshots the epoch before
+// staging and re-checks it after Commit; a change means the group may
+// have been dropped and those acks must not be flushed.
+func (s *Store) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
 }
 
 // Slice exposes data-area bytes (zero-copy read path).
@@ -650,7 +677,6 @@ func (s *Store) AllocDataSlot() int {
 	s.mu.Lock()
 	idx := s.dataSlotIndex(off)
 	s.dataRefs[idx] = 0
-	s.dataHeld[idx] = false
 	s.mu.Unlock()
 	return off
 }

@@ -19,14 +19,23 @@ import (
 // It repairs a damaged superblock from the configured geometry, rescans
 // the slot array, rebuilds the index and recomputes the allocation state
 // — and it reuses the existing packet pool, so the NIC's DMA wiring and
-// slab allocation survive. Staged-but-unacked puts are dropped (acks
-// gate on the group fence, so nothing a client was promised is lost).
+// slab allocation survive.
 //
-// Reference counts are recomputed from the scan, so the pin epoch
-// advances: releases of pins taken before the rebuild become no-ops,
-// and store-owned data slots that survive are fenced from recycling
-// (dataHeld) because external writers — the server's key arena — may
-// still hold offsets into them.
+// Staged-but-uncommitted puts are dropped, and the epoch advances to
+// make that loss detectable: a server that buffered acks against the
+// staged group re-checks Epoch after its Commit, and a mismatch tells
+// it those acks must not reach the client (it fails the connections
+// instead — the writes were never durable, so nothing acked is lost).
+//
+// Record reference counts are recomputed from the scan; external pins
+// (dataPins — transmit borrows, the server's key arena) are preserved,
+// because their holders still append into or read from those slots.
+// A slot re-admits to the NIC pool once both counts drain. Slots that
+// were store-owned but end the scan unreferenced and unpinned (e.g.
+// packet buffers mid-parse, or the data of dropped staged puts) stay
+// slab-allocated: in-flight server work may still resolve them via
+// ReleaseUnused, and anything truly orphaned leaks — bounded by the
+// in-flight work at the instant of one heal event, not by later churn.
 func (s *Store) Rehydrate() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -36,11 +45,6 @@ func (s *Store) Rehydrate() error {
 		s.writeSuperblock()
 	}
 	s.epoch++
-	for i := range s.dataRefs {
-		if s.dataRefs[i] >= 0 {
-			s.dataHeld[i] = true
-		}
-	}
 	return s.rescan(rescanRehydrate)
 }
 
@@ -80,9 +84,10 @@ type ScrubResult struct {
 // metadata bit flips and data-area media damage surface here instead of
 // at the next reboot. Damage triggers an in-place repair: value-corrupt
 // records are retired (commit word cleared — the meta slot is clean and
-// recycles; the damaged data slots stay referenced, hence fenced), and
-// the index, free list and counts are rebuilt by rescan, which
-// quarantines CRC-corrupt slots exactly as boot recovery would.
+// recycles; the damaged data slots are fenced via dataHeld so they never
+// rejoin the NIC pool), and the index, free list and counts are rebuilt
+// by rescan, which quarantines CRC-corrupt slots exactly as boot
+// recovery would.
 //
 // The caller paces calls to meet its lines/sec budget; each call holds
 // the store lock, so n bounds the per-step latency impact on serving
@@ -135,10 +140,16 @@ func (s *Store) ScrubSlots(cursor, n int) ScrubResult {
 		if checksum.Norm16(checksum.Fold(acc.Sum())) != checksum.Norm16(checksum.Fold(want)) {
 			// The metadata is intact but the value bytes are not: media
 			// damage in the data area. Retire the record (clear the commit
-			// word; crash-safe — recovery simply never sees it again). Its
-			// data slots keep their references and are never recycled.
+			// word; crash-safe — recovery simply never sees it again), and
+			// fence its data slots (dataHeld): the slot CRC passed, so the
+			// extents are trustworthy and point at exactly the damaged
+			// media — it must never be handed back to the NIC pool, even
+			// after a later rebuild recomputes the reference counts.
 			if s.onQuarantine != nil {
 				s.onQuarantine(i, fmt.Errorf("%w: value checksum mismatch", ErrCorrupt))
+			}
+			for _, e := range exts {
+				s.dataHeld[s.dataSlotIndex(e.Off)] = true
 			}
 			s.clearSeqLocked(i)
 			res.Bad++

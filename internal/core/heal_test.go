@@ -172,17 +172,24 @@ func TestAuditIndexRepairsTowerFlip(t *testing.T) {
 func TestRehydrateInPlace(t *testing.T) {
 	_, s := healSetup(t)
 	pool := s.Pool()
-	// A pin taken before the rebuild must not drain the recomputed
-	// counts when released after it.
+	// A pin taken before the rebuild survives it (pins are counted apart
+	// from the record references the rescan recomputes) and its release
+	// must drain the pin, not the recomputed record counts.
 	ref, ok, err := s.GetRef([]byte("alpha"))
 	if err != nil || !ok {
 		t.Fatal("GetRef(alpha) failed")
 	}
 	release := s.PinExtents(ref.Extents)
+	if epoch := s.Epoch(); epoch != 0 {
+		t.Fatalf("fresh store epoch = %d, want 0", epoch)
+	}
 	if err := s.Rehydrate(); err != nil {
 		t.Fatalf("Rehydrate: %v", err)
 	}
-	release() // stale epoch: must no-op
+	if epoch := s.Epoch(); epoch != 1 {
+		t.Fatalf("post-rehydrate epoch = %d, want 1", epoch)
+	}
+	release()
 	if s.Pool() != pool {
 		t.Fatal("Rehydrate replaced the packet pool (NIC wiring would break)")
 	}
@@ -198,6 +205,56 @@ func TestRehydrateInPlace(t *testing.T) {
 	}
 	if _, bad, _ := fullScrub(s); bad != 0 {
 		t.Fatalf("scrub found %d bad slots after rehydrate", bad)
+	}
+}
+
+// TestRehydrateReclaimsSlotsAfterChurn is the capacity-leak regression:
+// an online rebuild must not fence surviving data slots from the NIC
+// pool — post-rebuild deletes return every undamaged slot.
+func TestRehydrateReclaimsSlotsAfterChurn(t *testing.T) {
+	_, s := healSetup(t)
+	if err := s.Rehydrate(); err != nil {
+		t.Fatalf("Rehydrate: %v", err)
+	}
+	for _, k := range []string{"alpha", "beta", "gamma", "delta"} {
+		if _, err := s.Delete([]byte(k)); err != nil {
+			t.Fatalf("delete %q: %v", k, err)
+		}
+	}
+	free := 0
+	for s.Pool().Alloc(0) != nil {
+		free++
+	}
+	if free != 64 {
+		t.Fatalf("%d data slots allocatable after post-rebuild churn, want all 64 (rebuild leaked the rest)", free)
+	}
+}
+
+// TestValueDamageFenceSurvivesRehydrate: the one fence that must NOT be
+// reclaimed is a slot with confirmed media damage — it stays out of the
+// pool across a rebuild while every healthy slot reclaims.
+func TestValueDamageFenceSurvivesRehydrate(t *testing.T) {
+	_, s := healSetup(t)
+	if off := s.CorruptRecord([]byte("gamma"), FlipValueByte, 9, 0x04); off < 0 {
+		t.Fatal("CorruptRecord found no slot")
+	}
+	if _, bad, _ := fullScrub(s); bad == 0 {
+		t.Fatal("scrub missed the value flip")
+	}
+	if err := s.Rehydrate(); err != nil {
+		t.Fatalf("Rehydrate: %v", err)
+	}
+	for _, k := range []string{"alpha", "beta", "delta"} {
+		if _, err := s.Delete([]byte(k)); err != nil {
+			t.Fatalf("delete %q: %v", k, err)
+		}
+	}
+	free := 0
+	for s.Pool().Alloc(0) != nil {
+		free++
+	}
+	if free != 63 {
+		t.Fatalf("%d data slots allocatable, want 63: the damaged slot stays fenced, everything else reclaims", free)
 	}
 }
 

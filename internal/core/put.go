@@ -98,9 +98,7 @@ func (s *Store) putCopy(key, value []byte, staged bool) error {
 
 	// Mark the slots store-owned (refcounts incremented by stagePutLocked).
 	for _, base := range slots {
-		idx := s.dataSlotIndex(base)
-		s.dataRefs[idx] = 0
-		s.dataHeld[idx] = false
+		s.dataRefs[s.dataSlotIndex(base)] = 0
 	}
 	err := s.stagePutLocked(key, len(value), PutOptions{
 		Extents: exts, KeyOff: slots[0], HasSum: false, HWTime: time.Now(),

@@ -56,10 +56,14 @@ func (s *Store) rescan(mode rescanMode) error {
 		s.metaFenced[i] = false
 	}
 	if mode == rescanRehydrate {
-		// Reference counts are about to be recomputed from the scan; any
-		// surviving store-owned slot starts at zero. Slots whose records
-		// do not survive stay slab-allocated with zero references —
-		// leaked deliberately (see dataHeld).
+		// Record reference counts are about to be recomputed from the
+		// scan; any surviving store-owned slot starts at zero. External
+		// pins (dataPins) are NOT reset — their holders survive the
+		// rebuild and release them later, which is what lets pinned slots
+		// re-admit to the pool afterwards. Slots whose records do not
+		// survive stay slab-allocated with zero references until an
+		// in-flight ReleaseUnused resolves them (or leak, bounded by the
+		// work in flight at the heal event — see Rehydrate).
 		for i := range s.dataRefs {
 			if s.dataRefs[i] > 0 {
 				s.dataRefs[i] = 0

@@ -7,14 +7,16 @@ import (
 	"packetstore/internal/core"
 )
 
-// Healer is the self-healing supervisor: a single goroutine that (1)
+// Healer is the self-healing supervisor: a ticker goroutine that (1)
 // drives the background PM scrubber — a low-priority walker re-validating
 // slot CRCs and value checksums at a configurable slots-per-tick budget,
 // repairing or quarantining damage in place — and (2) rebuilds
 // quarantined shards online with capped exponential backoff between
 // attempts, re-admitting them the moment recovery succeeds. The store
 // keeps serving throughout: scrub steps bound their store-lock hold time
-// by the budget, and rebuilds run outside the shard router's lock.
+// by the budget, and each rebuild runs in its own goroutine outside the
+// shard router's lock, so a slow rebuild stalls neither scrubbing nor
+// other shards' rebuilds.
 type Healer struct {
 	ss  *core.ShardedStore
 	cfg HealConfig
@@ -24,11 +26,17 @@ type Healer struct {
 	backoff []time.Duration // per shard: current rebuild retry delay
 	nextTry []time.Time     // per shard: earliest next rebuild attempt
 	downAt  []time.Time     // per shard: when the healer first saw it down
+	busy    []bool          // per shard: a rebuild goroutine is in flight
 	stats   HealStats
 	rejoins []time.Duration
 
-	done chan struct{}
-	ret  chan struct{}
+	done      chan struct{}
+	ret       chan struct{}
+	closeOnce sync.Once
+	// wg tracks in-flight rebuild goroutines: rebuilds run off the scrub
+	// ticker so a slow one never stalls scrubbing or other shards'
+	// rebuild attempts, and Close waits for them.
+	wg sync.WaitGroup
 }
 
 // HealConfig tunes the supervisor. The zero value scrubs 64 slots per
@@ -96,6 +104,7 @@ func NewHealer(ss *core.ShardedStore, cfg HealConfig) *Healer {
 		backoff: make([]time.Duration, n),
 		nextTry: make([]time.Time, n),
 		downAt:  make([]time.Time, n),
+		busy:    make([]bool, n),
 		done:    make(chan struct{}),
 		ret:     make(chan struct{}),
 	}
@@ -116,15 +125,12 @@ func (h *Healer) Run() {
 	}
 }
 
-// Close stops the supervisor and waits for the loop to exit.
+// Close stops the supervisor and waits for the loop and any in-flight
+// rebuild to exit. Safe for concurrent and repeated callers.
 func (h *Healer) Close() {
-	select {
-	case <-h.done:
-		return
-	default:
-	}
-	close(h.done)
+	h.closeOnce.Do(func() { close(h.done) })
 	<-h.ret
+	h.wg.Wait()
 }
 
 // tick is one supervisor cycle: attempt due rebuilds, then spend the
@@ -143,39 +149,52 @@ func (h *Healer) tick(now time.Time) {
 }
 
 // tryRebuild attempts to rebuild down shard i, honoring the capped
-// exponential backoff between failed attempts.
+// exponential backoff between failed attempts. The rebuild itself runs
+// in its own goroutine (at most one per shard): a slow rebuild must not
+// stall scrubbing or the rebuild attempts of other down shards for the
+// rest of the tick.
 func (h *Healer) tryRebuild(i int, now time.Time) {
 	h.mu.Lock()
 	if h.downAt[i].IsZero() {
 		h.downAt[i] = now
 	}
-	if now.Before(h.nextTry[i]) {
+	if h.busy[i] || now.Before(h.nextTry[i]) {
 		h.mu.Unlock()
 		return
 	}
+	h.busy[i] = true
 	downAt := h.downAt[i]
 	h.mu.Unlock()
 
-	err := h.ss.Rebuild(i)
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		err := h.ss.Rebuild(i)
+		// One clock reading feeds both the rejoin sample and the backoff
+		// bookkeeping, so the two never disagree about when the attempt
+		// ended.
+		end := time.Now()
 
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if err != nil {
-		h.stats.RebuildFailures++
-		if h.backoff[i] <= 0 {
-			h.backoff[i] = h.cfg.RebuildBackoff
-		} else if h.backoff[i] < h.cfg.RebuildBackoffMax {
-			h.backoff[i] *= 2
-			if h.backoff[i] > h.cfg.RebuildBackoffMax {
-				h.backoff[i] = h.cfg.RebuildBackoffMax
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		h.busy[i] = false
+		if err != nil {
+			h.stats.RebuildFailures++
+			if h.backoff[i] <= 0 {
+				h.backoff[i] = h.cfg.RebuildBackoff
+			} else if h.backoff[i] < h.cfg.RebuildBackoffMax {
+				h.backoff[i] *= 2
+				if h.backoff[i] > h.cfg.RebuildBackoffMax {
+					h.backoff[i] = h.cfg.RebuildBackoffMax
+				}
 			}
+			h.nextTry[i] = end.Add(h.backoff[i])
+			return
 		}
-		h.nextTry[i] = now.Add(h.backoff[i])
-		return
-	}
-	h.stats.Rebuilds++
-	h.rejoins = append(h.rejoins, time.Since(downAt))
-	h.downAt[i], h.backoff[i], h.nextTry[i] = time.Time{}, 0, time.Time{}
+		h.stats.Rebuilds++
+		h.rejoins = append(h.rejoins, end.Sub(downAt))
+		h.downAt[i], h.backoff[i], h.nextTry[i] = time.Time{}, 0, time.Time{}
+	}()
 }
 
 // scrubStep spends one tick's budget on serving shard i: a superblock

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -278,4 +279,72 @@ func TestNetServerIdleTimeout(t *testing.T) {
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestCommitGroupDetectsMidCycleRebuild is the acked-write-loss
+// regression: a rebuild between staging and commit drops the staged
+// group, so the commit gate must poison the cycle and refuse the acks.
+func TestCommitGroupDetectsMidCycleRebuild(t *testing.T) {
+	_, ss, _ := healShardedSetup(t)
+	lp := &loop{srv: &Server{sharded: ss}, store: ss.Shard(1), shard: 1}
+
+	lp.beginCycle()
+	if err := lp.store.PutStaged([]byte("staged-a"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if !lp.commitGroup() {
+		t.Fatal("healthy cycle flagged bad")
+	}
+
+	lp.beginCycle()
+	if err := lp.store.PutStaged([]byte("staged-b"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	ss.Quarantine(1, fmt.Errorf("injected"))
+	if lp.servingSelf() {
+		t.Fatal("servingSelf true on a quarantined shard")
+	}
+	if err := ss.Rebuild(1); err != nil {
+		t.Fatal(err)
+	}
+	if lp.commitGroup() {
+		t.Fatal("rebuild dropped the staged group but the gate passed its acks")
+	}
+	if _, ok, _ := lp.store.Get([]byte("staged-b")); ok {
+		t.Fatal("dropped staged put resurfaced")
+	}
+
+	// A shard still down at commit time also fails the gate.
+	lp.beginCycle()
+	ss.Quarantine(1, fmt.Errorf("injected again"))
+	if lp.commitGroup() {
+		t.Fatal("down shard passed the ack gate")
+	}
+	if err := ss.Rebuild(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// The gate re-arms once a cycle starts against the healed shard.
+	lp.beginCycle()
+	if !lp.commitGroup() {
+		t.Fatal("gate failed to re-arm after the shard healed")
+	}
+}
+
+// TestHealerCloseIdempotent: Close must be safe to call concurrently
+// and repeatedly (server shutdown paths overlap with defers).
+func TestHealerCloseIdempotent(t *testing.T) {
+	_, ss, _ := healShardedSetup(t)
+	h := NewHealer(ss, HealConfig{ScrubInterval: time.Millisecond})
+	go h.Run()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.Close()
+		}()
+	}
+	wg.Wait()
+	h.Close()
 }

@@ -78,6 +78,15 @@ type loop struct {
 
 	// burst is the reusable connection list for group-commit cycles.
 	burst []*connState
+
+	// cycleEpoch is the loop shard's rebuild epoch (core.Store.Epoch)
+	// snapshotted when the current service cycle began, before any PUT
+	// was staged. cycleBad marks the cycle poisoned: an online rebuild
+	// dropped staged puts whose acks are already buffered, so commitGroup
+	// failed its post-commit check and every response buffered this cycle
+	// is discarded (the connections close instead of acking).
+	cycleEpoch uint64
+	cycleBad   bool
 }
 
 // New creates a server listening on port, with one event loop per NIC
@@ -335,8 +344,50 @@ func newConnState(c *tcp.Conn) *connState {
 // service drains all pending packet buffers on one connection and
 // responds immediately — the unbatched cycle.
 func (lp *loop) service(st *connState) {
+	lp.beginCycle()
 	lp.serviceConn(st, false)
 	lp.finishConn(st)
+}
+
+// beginCycle arms the acked-write gate for one service cycle: it
+// snapshots the loop shard's rebuild epoch before anything is staged,
+// so commitGroup can later prove the staged records survived to their
+// fence.
+func (lp *loop) beginCycle() {
+	lp.cycleBad = false
+	if lp.store != nil {
+		lp.cycleEpoch = lp.store.Epoch()
+	}
+}
+
+// servingSelf reports whether this loop's shard currently serves
+// through the very Store object the loop's zero-copy paths use.
+// ServingStore resolves the serving check and the store identity under
+// one lock: a mismatch means the shard is down, rebuilding, or was
+// replaced by a rebuild. Both the zero-copy PUT and GET paths gate on
+// it, so a quarantined or mid-rebuild shard is never read or written
+// through the loop's direct store pointer.
+func (lp *loop) servingSelf() bool {
+	st, err := lp.srv.sharded.ServingStore(lp.shard)
+	return err == nil && st == lp.store
+}
+
+// commitGroup commits the loop shard's staged group, then verifies the
+// cycle's buffered acks are safe to flush: the shard must still be
+// serving through the same Store object and rebuild epoch the cycle
+// started with. A mismatch means an online rebuild (Store.Rehydrate)
+// may have dropped staged puts whose 200s are already buffered — the
+// cycle is poisoned (cycleBad) and its connections abort instead of
+// acking writes that were never made durable.
+func (lp *loop) commitGroup() bool {
+	if lp.store == nil {
+		return true
+	}
+	lp.store.Commit()
+	if !lp.cycleBad && (!lp.servingSelf() || lp.store.Epoch() != lp.cycleEpoch) {
+		lp.cycleBad = true
+	}
+	return !lp.cycleBad
 }
 
 // serviceBurst is the group-commit cycle: it drains up to MaxBatch
@@ -380,12 +431,11 @@ collect:
 		lp.service(first)
 		return
 	}
+	lp.beginCycle()
 	for _, st := range lp.burst {
 		lp.serviceConn(st, true)
 	}
-	if lp.store != nil {
-		lp.store.Commit()
-	}
+	lp.commitGroup()
 	lp.stats.groupCommits.Add(1)
 	lp.stats.groupedConns.Add(uint64(len(lp.burst)))
 	for _, st := range lp.burst {
@@ -417,12 +467,28 @@ func (lp *loop) serviceConn(st *connState, staged bool) {
 }
 
 // finishConn sends a connection's buffered responses and reaps it on
-// death, EOF or error.
+// death, EOF or error. In a poisoned cycle (an online rebuild dropped
+// staged puts whose acks are buffered) the responses are discarded and
+// the connection fails instead.
 func (lp *loop) finishConn(st *connState) {
+	if lp.cycleBad {
+		lp.abortConn(st)
+		return
+	}
 	lp.flushResp(st)
 	if st.c.EOF() || st.c.Err() != nil {
 		lp.dropConn(st)
 	}
+}
+
+// abortConn fails a connection whose buffered responses can no longer
+// be trusted: the bytes are discarded and the connection closes, so the
+// client sees a reset — a retryable transient per kvclient.Transient —
+// instead of an ack for a write that may not exist.
+func (lp *loop) abortConn(st *connState) {
+	st.resp = st.resp[:0]
+	lp.stats.ackAborts.Add(1)
+	lp.dropConn(st)
 }
 
 // bodySpan is a byte range of one packet payload belonging to a request
@@ -526,10 +592,8 @@ func (lp *loop) beginRequest(st *connState, b *pkt.Buf, zc bool) {
 		// The zero-copy path writes through this loop's direct store
 		// pointer, so it must not ingest into a shard the sharded router
 		// has quarantined — the copy path routes through the router, which
-		// answers ErrShardDown (503). ServingStore resolves the serving
-		// check and the store identity under one lock: a mismatch means
-		// the shard is down, rebuilding, or was replaced by a rebuild.
-		if st, err := lp.srv.sharded.ServingStore(lp.shard); err != nil || st != lp.store {
+		// answers ErrShardDown (503).
+		if !lp.servingSelf() {
 			return
 		}
 		// Copy the (small) key into the arena so the record can
@@ -646,8 +710,11 @@ func (lp *loop) dispatch(st *connState, pr *pendingReq, staged bool) {
 		st.resp = httpmsg.AppendResponse(st.resp, 400, 0)
 		return
 	}
-	if staged && pr.req.Op != kvproto.OpPut && lp.store != nil {
-		lp.store.Commit()
+	if staged && pr.req.Op != kvproto.OpPut && !lp.commitGroup() {
+		// Poisoned cycle: build no response — every connection in this
+		// burst aborts unflushed at cycle end, so no buffered staged-PUT
+		// ack (now unbacked by a durable record) can escape.
+		return
 	}
 	switch pr.req.Op {
 	case kvproto.OpPut:
@@ -678,10 +745,14 @@ func (lp *loop) dispatch(st *connState, pr *pendingReq, staged bool) {
 		st.resp = httpmsg.AppendResponse(st.resp, 200, 0)
 	case kvproto.OpGet:
 		lp.stats.gets.Add(1)
-		if lp.store != nil {
+		if lp.store != nil && lp.servingSelf() {
 			lp.zeroCopyGet(st, pr.req.Key)
 			return
 		}
+		// Loop shard down, rebuilding or replaced: fall back to the
+		// backend router, which answers ErrShardDown (503) for a
+		// quarantined keyspace instead of reading through the loop's
+		// direct store pointer.
 		val, ok, err := s.backend.Get(pr.req.Key)
 		switch {
 		case err != nil:
@@ -796,12 +867,15 @@ func (lp *loop) protocolError(st *connState, err error) {
 	lp.stats.errors.Add(1)
 	// The error response flushes everything buffered on this connection,
 	// which may include acks for PUTs staged earlier in a burst: commit
-	// them first so no ack precedes its fence.
-	if lp.store != nil {
-		lp.store.Commit()
+	// them first so no ack precedes its fence. If the post-commit check
+	// finds an online rebuild dropped the staged group, the buffered
+	// acks are discarded and the connection just closes.
+	if lp.commitGroup() {
+		st.resp = httpmsg.AppendResponse(st.resp, 400, 0)
+		lp.flushResp(st)
+	} else {
+		st.resp = st.resp[:0]
 	}
-	st.resp = httpmsg.AppendResponse(st.resp, 400, 0)
-	lp.flushResp(st)
 	st.dead = true
 	st.c.Close()
 	delete(lp.conns, st.c)

@@ -24,6 +24,11 @@ type Stats struct {
 	// GroupedConns/GroupCommits is the achieved burst size.
 	GroupCommits uint64
 	GroupedConns uint64
+	// AckAborts counts connections failed because an online shard rebuild
+	// dropped staged puts after their acks were buffered: the responses
+	// are discarded and the connection reset so no acked write is ever
+	// lost (clients classify the reset as transient and retry).
+	AckAborts uint64
 	// ShardsDown is a gauge: store shards currently quarantined (served
 	// keyspace answers 503).
 	ShardsDown int
@@ -52,6 +57,7 @@ func (s *Stats) merge(o Stats) {
 	s.IdleClosed += o.IdleClosed
 	s.GroupCommits += o.GroupCommits
 	s.GroupedConns += o.GroupedConns
+	s.AckAborts += o.AckAborts
 	s.ShardsDown += o.ShardsDown
 	s.ParseTime += o.ParseTime
 	s.BusyTime += o.BusyTime
@@ -68,6 +74,7 @@ type statsCounters struct {
 	derivedSums, softwareSums             atomic.Uint64
 	sheds, idleClosed                     atomic.Uint64
 	groupCommits, groupedConns            atomic.Uint64
+	ackAborts                             atomic.Uint64
 	parseNanos                            atomic.Int64
 	busyNanos                             atomic.Int64
 }
@@ -82,6 +89,7 @@ func (c *statsCounters) Snapshot() Stats {
 		DerivedSums: c.derivedSums.Load(), SoftwareSums: c.softwareSums.Load(),
 		Sheds: c.sheds.Load(), IdleClosed: c.idleClosed.Load(),
 		GroupCommits: c.groupCommits.Load(), GroupedConns: c.groupedConns.Load(),
+		AckAborts: c.ackAborts.Load(),
 		ParseTime: time.Duration(c.parseNanos.Load()),
 		BusyTime:  time.Duration(c.busyNanos.Load()),
 	}
