@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	pktbench -experiment table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|heal|all \
+//	pktbench -experiment table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|heal|steal|all \
 //	         [-profile paper|fast|off] [-requests N] [-duration D] [-conns 1,25,50,75,100] \
 //	         [-shards 1,2,4,8] [-batches 1,4,16,64] [-seeds N] [-json FILE]
 //
@@ -16,7 +16,10 @@
 // experiment sweeps the self-healing torture mode (shard loss and
 // latent bit flips under live traffic, supervised by the Healer) over
 // -seeds seeds, measures non-victim throughput during continuous
-// destroy-rebuild churn, and writes BENCH_heal.json.
+// destroy-rebuild churn, and writes BENCH_heal.json. The steal
+// experiment runs a connection-placement-skewed workload with the
+// work-stealing scheduler off and on (plus a uniform sanity point) and
+// writes BENCH_steal.json.
 package main
 
 import (
@@ -34,7 +37,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|heal|all")
+		experiment = flag.String("experiment", "all", "table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|heal|steal|all")
 		seeds      = flag.Int("seeds", 256, "torture runs for the crash mode (other modes scale down)")
 		profile    = flag.String("profile", "paper", "latency profile: paper|fast|off")
 		requests   = flag.Int("requests", 4000, "requests per RTT measurement")
@@ -191,6 +194,36 @@ func main() {
 			out := *jsonPath
 			if out == "" || *experiment == "all" {
 				out = "BENCH_batch.json"
+			}
+			blob, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+			return nil
+		})
+	}
+	if want("steal") {
+		run("E12 steal", func() error {
+			// The steal experiment runs one fixed deployment shape: the
+			// largest shard count from -shards, 100 connections (or the
+			// single -conns value if overridden).
+			ns := shards[len(shards)-1]
+			nc := 100
+			if *connsFlag != "1,25,50,75,100" && len(conns) == 1 {
+				nc = conns[0]
+			}
+			res, err := bench.RunSteal(prof, ns, nc, *duration)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			out := *jsonPath
+			if out == "" || *experiment == "all" {
+				out = "BENCH_steal.json"
 			}
 			blob, err := json.MarshalIndent(res, "", "  ")
 			if err != nil {

@@ -10,7 +10,10 @@ import (
 // TestRunHealSmoke runs a tiny heal sweep through the bench wrapper;
 // the full sweep is pktbench -experiment heal.
 func TestRunHealSmoke(t *testing.T) {
-	res, err := RunHeal(calib.Off(), 6, 1000, 50*time.Millisecond)
+	// The churn window must fit fault injection (10ms period) plus scrub
+	// detection (~16ms) plus a rebuild with slack for -race overhead —
+	// 50ms flaked with zero completed rebuilds about one run in six.
+	res, err := RunHeal(calib.Off(), 6, 1000, 100*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}

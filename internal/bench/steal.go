@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"packetstore/internal/calib"
+	"packetstore/internal/kvclient"
+	"packetstore/internal/kvserver"
+	"packetstore/internal/nic"
+	"packetstore/internal/wrkgen"
+)
+
+// StealPoint is one measurement of the work-stealing experiment: a fixed
+// deployment and load shape with the steal scheduler on or off.
+type StealPoint struct {
+	// Steal is the scheduler knob under test.
+	Steal bool
+	// Skewed marks the connection-placement-skewed load; false is the
+	// uniform sanity row (RSS spreads connections evenly).
+	Skewed bool
+	Conns  int
+	// Throughput is measured req/s.
+	Throughput float64
+	MeanLatUs  float64
+	P50LatUs   float64
+	P99LatUs   float64
+	// Steals/StolenOps/StealAborts are the scheduler's own counters.
+	Steals      uint64
+	StolenOps   uint64
+	StealAborts uint64
+	// Puts / ZeroCopyPuts / ZeroCopyFallbacks verify the ingest path: a
+	// stolen cycle still runs zero-copy when the payload landed in the
+	// victim shard's rx pool, and falls back to the copy path (counted)
+	// otherwise.
+	Puts              uint64
+	ZeroCopyPuts      uint64
+	ZeroCopyFallbacks uint64
+	// LoopRequests is each event loop's request count — with stealing on,
+	// idle loops' counts rise because stolen cycles are charged to the
+	// thief.
+	LoopRequests []uint64
+}
+
+// Balance reports how evenly requests spread over the loops (see
+// ScalingPoint.Balance): 1.0 is a perfect split, 1/N is one loop serving
+// everything. Under placement skew, stealing should raise this.
+func (p StealPoint) Balance() float64 {
+	var busiest, total uint64
+	for _, n := range p.LoopRequests {
+		total += n
+		if n > busiest {
+			busiest = n
+		}
+	}
+	if busiest == 0 {
+		return 0
+	}
+	return float64(total) / (float64(len(p.LoopRequests)) * float64(busiest))
+}
+
+// StealResult reproduces experiment E12: a skewed workload — most
+// connections RSS-hash to queue 0, and hash-aligned keys follow their
+// connections, so shard 0's loop saturates while its peers idle — run
+// with the work-stealing scheduler off and on, plus a uniform sanity row
+// checking that stealing is free when there is nothing to steal.
+type StealResult struct {
+	Duration time.Duration
+	Shards   int
+	Conns    int
+	// HotFrac is the fraction of connections pinned to queue 0.
+	HotFrac float64
+	// ZipfS is the per-connection key skew exponent.
+	ZipfS  float64
+	Points []StealPoint
+}
+
+func (r StealResult) point(steal, skewed bool) *StealPoint {
+	for i := range r.Points {
+		if r.Points[i].Steal == steal && r.Points[i].Skewed == skewed {
+			return &r.Points[i]
+		}
+	}
+	return nil
+}
+
+// P99Ratio is the headline number: skewed p99 with stealing over skewed
+// p99 without. Below 1.0, stealing helped.
+func (r StealResult) P99Ratio() float64 {
+	off, on := r.point(false, true), r.point(true, true)
+	if off == nil || on == nil || off.P99LatUs <= 0 {
+		return 0
+	}
+	return on.P99LatUs / off.P99LatUs
+}
+
+// skewDialer pins roughly hotFrac of the workload's connections to RSS
+// queue 0 by redialing until the ephemeral port hashes there; the rest
+// round-robin over the remaining queues. This is connection-placement
+// skew — the failure mode RSS cannot fix, since the NIC hashes the
+// 4-tuple, not the key.
+func skewDialer(d *deployment, shards int, hotFrac float64) wrkgen.Dialer {
+	var seq atomic.Int64
+	var mu sync.Mutex
+	serverIP := d.tb.Server.IP
+	hot := int(hotFrac * 100)
+	return func() (kvclient.Conn, error) {
+		i := int(seq.Add(1) - 1)
+		want := 0
+		if i%100 >= hot {
+			want = 1 + i%(shards-1)
+		}
+		// Serialize the redial loop: N workers each burning ~shards dials
+		// at once would overflow the listener backlog, and a backlog
+		// overflow resets the connection only after the client's dial has
+		// already succeeded — poisoning a connection we would hand out.
+		mu.Lock()
+		defer mu.Unlock()
+		var lastErr error
+		for attempt := 0; attempt < 4096; attempt++ {
+			c, err := d.tb.Dial(80)
+			if err != nil {
+				lastErr = err
+				time.Sleep(200 * time.Microsecond)
+				continue
+			}
+			ip, port := c.LocalAddr()
+			if nic.RSSQueue(ip, serverIP, port, 80, shards) == want {
+				return c, nil
+			}
+			c.Close()
+		}
+		return nil, fmt.Errorf("bench: no connection landed on queue %d (last dial error: %v)", want, lastErr)
+	}
+}
+
+// RunSteal sweeps the steal knob over the skewed deployment, then runs
+// the uniform sanity point with stealing on.
+func RunSteal(profile calib.Profile, shards, conns int, duration time.Duration) (StealResult, error) {
+	if shards <= 1 {
+		shards = 4
+	}
+	if conns <= 0 {
+		conns = 100
+	}
+	if duration <= 0 {
+		duration = time.Second
+	}
+	const hotFrac, zipfS = 0.7, 1.2
+	out := StealResult{
+		Duration: duration, Shards: shards, Conns: conns,
+		HotFrac: hotFrac, ZipfS: zipfS,
+	}
+
+	type shape struct{ steal, skewed bool }
+	for _, sh := range []shape{{false, true}, {true, true}, {true, false}} {
+		cfg := storeCfgLarge()
+		cfg.MetaSlots /= shards
+		cfg.DataSlots /= shards
+		d, err := deploy(deployOptions{
+			profile: profile, kind: kindPktStore, zeroCopy: true,
+			shards: shards, storeCfg: cfg,
+			srvCfg: kvserver.Config{
+				MaxBatch: 16,
+				Steal:    kvserver.StealConfig{Enabled: sh.steal, MinDepth: 4, Poll: 200 * time.Microsecond},
+			},
+		})
+		if err != nil {
+			return out, err
+		}
+		wcfg := d.align(wrkgen.Config{
+			Conns: conns, Duration: duration, Warmup: duration / 5,
+			ValueSize: 1024, KeySpace: 1 << 14, PutPct: 100, Seed: 7,
+			KeyDist: wrkgen.DistZipf, ZipfS: zipfS,
+		})
+		dial := d.dial
+		if sh.skewed {
+			dial = skewDialer(d, shards, hotFrac)
+		}
+		res, err := wrkgen.Run(wcfg, dial)
+		st := d.srv.Stats()
+		var lreqs []uint64
+		for _, ls := range d.srv.LoopStats() {
+			lreqs = append(lreqs, ls.Requests)
+		}
+		d.close()
+		if err != nil {
+			return out, err
+		}
+		out.Points = append(out.Points, StealPoint{
+			Steal: sh.steal, Skewed: sh.skewed, Conns: conns,
+			Throughput: res.Throughput(),
+			MeanLatUs:  us(res.Hist.Mean()),
+			P50LatUs:   us(res.Hist.Percentile(50)),
+			P99LatUs:   us(res.Hist.Percentile(99)),
+			Steals:     st.Steals, StolenOps: st.StolenOps, StealAborts: st.StealAborts,
+			Puts: st.Puts, ZeroCopyPuts: st.ZeroCopyPuts,
+			ZeroCopyFallbacks: st.ZeroCopyFallbacks,
+			LoopRequests:      lreqs,
+		})
+	}
+	return out, nil
+}
+
+// Print renders the steal experiment.
+func (r StealResult) Print(w io.Writer) {
+	fprintf(w, "Work stealing: %d shards, %d conns, %.0f%% pinned to queue 0, Zipf s=%.1f keys (%v per point)\n",
+		r.Shards, r.Conns, r.HotFrac*100, r.ZipfS, r.Duration)
+	fprintf(w, "\n%-22s %12s %10s %10s %10s %8s %9s\n",
+		"point", "req/s", "mean us", "p50 us", "p99 us", "balance", "steals")
+	for _, p := range r.Points {
+		name := "skewed"
+		if !p.Skewed {
+			name = "uniform"
+		}
+		if p.Steal {
+			name += " +steal"
+		}
+		fprintf(w, "%-22s %12.0f %10.1f %10.1f %10.1f %8.2f %9d\n",
+			name, p.Throughput, p.MeanLatUs, p.P50LatUs, p.P99LatUs, p.Balance(), p.Steals)
+	}
+	if ratio := r.P99Ratio(); ratio > 0 {
+		fprintf(w, "\nSkewed p99 with stealing = %.2fx of without.\n", ratio)
+	}
+	if p := r.point(true, true); p != nil && p.Puts > 0 {
+		fprintf(w, "Skewed+steal: %d stolen cycles (%d ops), %d aborts, %.0f%% zero-copy PUTs, %d copy fallbacks.\n",
+			p.Steals, p.StolenOps, p.StealAborts,
+			float64(p.ZeroCopyPuts)/float64(p.Puts)*100, p.ZeroCopyFallbacks)
+	}
+}

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"packetstore/internal/calib"
+)
+
+// TestRunStealSmoke runs a small steal experiment through the bench
+// wrapper; the full measurement is pktbench -experiment steal. It
+// validates plumbing — skewed placement lands, cycles get stolen, the
+// zero-copy path holds — not absolute latency numbers.
+func TestRunStealSmoke(t *testing.T) {
+	res, err := RunSteal(calib.Off(), 4, 24, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("want 3 points, got %d", len(res.Points))
+	}
+	on := res.point(true, true)
+	if on == nil || on.Throughput <= 0 {
+		t.Fatalf("skewed steal-on point missing or empty: %+v", on)
+	}
+	if on.Steals == 0 {
+		t.Error("no cycles stolen under placement skew")
+	}
+	if on.Puts > 0 && on.ZeroCopyPuts+on.ZeroCopyFallbacks == 0 {
+		t.Error("no PUT took the zero-copy path and none fell back — ingest accounting broken")
+	}
+	// The skewed no-steal row must show the imbalance the scheduler is
+	// for: loop request counts cannot be empty.
+	off := res.point(false, true)
+	if off == nil || len(off.LoopRequests) != 4 {
+		t.Fatalf("skewed baseline loop stats missing: %+v", off)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("stolen cycles")) {
+		t.Fatal("print output missing steal summary")
+	}
+}

@@ -69,6 +69,21 @@ type ShardedStore struct {
 	// rebuilding marks shards with a rebuild in flight (still down, but a
 	// second rebuild must not race the first).
 	rebuilding []bool
+
+	// owners is the per-shard serialisation handle: the goroutine holding
+	// owners[i] has the exclusive right to stage writes into shard i and
+	// to group-commit what it staged. The token is indexed by shard, not
+	// by Store object, so it survives quarantine and rebuild — whichever
+	// goroutine drives a shard (its home event loop or a stealer) must
+	// hold the token across its stage/commit window. Reads need no token:
+	// every Store read takes the shard's own mutex and self-barriers
+	// (commits any open staged group) before serving.
+	owners []sync.Mutex
+
+	// notifyMu guards notify; notify (if set) is invoked, outside ss.mu,
+	// after each serving->down transition — the healer's push wakeup.
+	notifyMu sync.Mutex
+	notify   func(shard int, reason error)
 }
 
 // OpenSharded formats or recovers a ShardedStore of shards partitions
@@ -96,6 +111,7 @@ func OpenSharded(r *pmem.Region, cfg Config, shards int) (*ShardedStore, error) 
 		down:       make([]error, shards),
 		parked:     make([]*Store, shards),
 		rebuilding: make([]bool, shards),
+		owners:     make([]sync.Mutex, shards),
 	}
 	var wg sync.WaitGroup
 	errs := make([]error, shards)
@@ -131,7 +147,36 @@ func WrapSharded(s *Store) *ShardedStore {
 		r: s.r, cfg: s.cfg, stride: shardStride(s.cfg),
 		shards: []*Store{s}, down: make([]error, 1),
 		parked: make([]*Store, 1), rebuilding: make([]bool, 1),
+		owners: make([]sync.Mutex, 1),
 	}
+}
+
+// Acquire blocks until the caller holds shard i's ownership token — the
+// exclusive right to stage writes into the shard and group-commit them.
+// The single-writer invariant of the event loops is carried by this
+// token alone: any goroutine may drive any shard, provided it wraps its
+// stage/commit window in Acquire/Release.
+func (ss *ShardedStore) Acquire(i int) { ss.owners[i].Lock() }
+
+// TryAcquire takes shard i's ownership token without blocking,
+// reporting whether it succeeded — the steal path's admission gate: a
+// contended token means another loop is already driving the shard's
+// mutations.
+func (ss *ShardedStore) TryAcquire(i int) bool { return ss.owners[i].TryLock() }
+
+// Release returns shard i's ownership token. The holder must have
+// committed (or abandoned to a poisoned-cycle abort) everything it
+// staged: the next holder's group must never interleave with this one.
+func (ss *ShardedStore) Release(i int) { ss.owners[i].Unlock() }
+
+// OnQuarantine installs fn to be called — outside the router's lock,
+// from whichever goroutine quarantined the shard — after every
+// serving->down transition. The healer registers here so a quarantine
+// wakes it immediately instead of waiting out the scrub-probe cadence.
+func (ss *ShardedStore) OnQuarantine(fn func(shard int, reason error)) {
+	ss.notifyMu.Lock()
+	ss.notify = fn
+	ss.notifyMu.Unlock()
 }
 
 // Quarantine fences shard i off at runtime: a recovery rescan or a
@@ -145,12 +190,21 @@ func (ss *ShardedStore) Quarantine(i int, reason error) {
 		reason = ErrCorrupt
 	}
 	ss.mu.Lock()
-	if ss.down[i] == nil {
+	transitioned := ss.down[i] == nil
+	if transitioned {
 		ss.down[i] = reason
 		ss.parked[i] = ss.shards[i]
 		ss.shards[i] = nil
 	}
 	ss.mu.Unlock()
+	if transitioned {
+		ss.notifyMu.Lock()
+		fn := ss.notify
+		ss.notifyMu.Unlock()
+		if fn != nil {
+			fn(i, reason)
+		}
+	}
 }
 
 // Rebuild re-runs recovery on quarantined shard i's PM area while the

@@ -29,6 +29,13 @@ type Healer struct {
 	busy    []bool          // per shard: a rebuild goroutine is in flight
 	stats   HealStats
 	rejoins []time.Duration
+	loopSrc func() []Stats // optional: Server.LoopStats for healthz
+
+	// wake receives shard indices from the store's quarantine
+	// notification, so the first rebuild attempt starts immediately
+	// instead of waiting out the scrub cadence — time-to-rejoin is
+	// rebuild-time-dominated, not probe-cadence-dominated.
+	wake chan int
 
 	done      chan struct{}
 	ret       chan struct{}
@@ -98,16 +105,36 @@ type HealStats struct {
 func NewHealer(ss *core.ShardedStore, cfg HealConfig) *Healer {
 	cfg.fill()
 	n := ss.Shards()
-	return &Healer{
+	h := &Healer{
 		ss: ss, cfg: cfg,
 		cursors: make([]int, n),
 		backoff: make([]time.Duration, n),
 		nextTry: make([]time.Time, n),
 		downAt:  make([]time.Time, n),
 		busy:    make([]bool, n),
+		wake:    make(chan int, n),
 		done:    make(chan struct{}),
 		ret:     make(chan struct{}),
 	}
+	// Push, don't poll: a quarantine rings the heal loop the moment it
+	// happens. The send never blocks — with the buffer full a tick is
+	// already overdue and will sweep every down shard anyway.
+	ss.OnQuarantine(func(shard int, _ error) {
+		select {
+		case h.wake <- shard:
+		default:
+		}
+	})
+	return h
+}
+
+// SetLoopSource wires the server's per-loop stats into the healthz
+// report, making queue depths and steal activity observable in
+// production. fn is typically Server.LoopStats.
+func (h *Healer) SetLoopSource(fn func() []Stats) {
+	h.mu.Lock()
+	h.loopSrc = fn
+	h.mu.Unlock()
 }
 
 // Run drives the heal loop until Close.
@@ -119,6 +146,13 @@ func (h *Healer) Run() {
 		select {
 		case <-h.done:
 			return
+		case i := <-h.wake:
+			// Quarantine notification: start the rebuild now instead of
+			// on the next tick (the guard re-checks — the shard may have
+			// been rebuilt by a racing attempt already).
+			if h.ss.ShardErr(i) != nil {
+				h.tryRebuild(i, time.Now())
+			}
 		case now := <-t.C:
 			h.tick(now)
 		}
@@ -253,11 +287,28 @@ func (h *Healer) Stats() HealStats {
 	return out
 }
 
-// Health builds the healthz report: per-shard serving state plus
-// scrubber and rebuild progress.
+// Health builds the healthz report: per-shard serving state, scrubber
+// and rebuild progress, and — when a loop source is wired — each event
+// loop's queue depth and steal activity.
 func (h *Healer) Health() HealthReport {
 	st := h.Stats()
-	return healthFromStates(h.ss.States(), &st)
+	rep := healthFromStates(h.ss.States(), &st)
+	h.mu.Lock()
+	src := h.loopSrc
+	h.mu.Unlock()
+	if src != nil {
+		for q, ls := range src() {
+			rep.Loops = append(rep.Loops, LoopHealth{
+				Queue:       q,
+				QueueDepth:  ls.QueueDepth,
+				Requests:    ls.Requests,
+				Steals:      ls.Steals,
+				StolenOps:   ls.StolenOps,
+				StealAborts: ls.StealAborts,
+			})
+		}
+	}
+	return rep
 }
 
 // ShardHealth is one shard's state in the healthz report.
@@ -276,6 +327,19 @@ type ScrubHealth struct {
 	RebuildFailures uint64 `json:"rebuild_failures"`
 }
 
+// LoopHealth is one event loop's scheduler view in the healthz report:
+// its live backlog (the steal path's victim-selection metric) and its
+// steal activity, so workload skew is observable in production, not just
+// in pktbench.
+type LoopHealth struct {
+	Queue       int    `json:"queue"`
+	QueueDepth  int    `json:"queue_depth"`
+	Requests    uint64 `json:"requests"`
+	Steals      uint64 `json:"steals"`
+	StolenOps   uint64 `json:"stolen_ops"`
+	StealAborts uint64 `json:"steal_aborts"`
+}
+
 // HealthReport is the GET /healthz body. Ready is true only when every
 // shard serves — the poll-for-readiness signal the heal experiment (and
 // an operator's load balancer) watches.
@@ -283,6 +347,7 @@ type HealthReport struct {
 	Ready  bool          `json:"ready"`
 	Shards []ShardHealth `json:"shards"`
 	Scrub  ScrubHealth   `json:"scrub"`
+	Loops  []LoopHealth  `json:"loops,omitempty"`
 }
 
 func healthFromStates(states []core.ShardStatus, st *HealStats) HealthReport {

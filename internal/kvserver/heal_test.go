@@ -163,6 +163,11 @@ func TestNetServerHealthz(t *testing.T) {
 	}
 	srv := NewNetServer(lst, ShardedPktStore{S: ss})
 	srv.SetHealthSource(h.Health)
+	// Wire a loop source the way an event-loop deployment wires
+	// Server.LoopStats, so the scheduler section rides along in the JSON.
+	h.SetLoopSource(func() []Stats {
+		return []Stats{{Requests: 7, Steals: 2, StolenOps: 5, StealAborts: 1, QueueDepth: 3}}
+	})
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve() }()
 
@@ -183,6 +188,12 @@ func TestNetServerHealthz(t *testing.T) {
 	}
 	if rep.Ready || len(rep.Shards) != ss.Shards() || rep.Shards[3].State != "down" {
 		t.Fatalf("bad report while down: %+v", rep)
+	}
+	if len(rep.Loops) != 1 {
+		t.Fatalf("loop stats missing from healthz: %+v", rep)
+	}
+	if l := rep.Loops[0]; l.Requests != 7 || l.Steals != 2 || l.StolenOps != 5 || l.StealAborts != 1 || l.QueueDepth != 3 {
+		t.Fatalf("loop stats mangled in healthz JSON: %+v", l)
 	}
 
 	if err := ss.Rebuild(3); err != nil {
@@ -287,37 +298,38 @@ func TestNetServerIdleTimeout(t *testing.T) {
 func TestCommitGroupDetectsMidCycleRebuild(t *testing.T) {
 	_, ss, _ := healShardedSetup(t)
 	lp := &loop{srv: &Server{sharded: ss}, store: ss.Shard(1), shard: 1}
+	x := lp.executorFor(lp)
 
-	lp.beginCycle()
-	if err := lp.store.PutStaged([]byte("staged-a"), []byte("v")); err != nil {
+	x.beginCycle()
+	if err := x.store.PutStaged([]byte("staged-a"), []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	if !lp.commitGroup() {
+	if !x.commitGroup() {
 		t.Fatal("healthy cycle flagged bad")
 	}
 
-	lp.beginCycle()
-	if err := lp.store.PutStaged([]byte("staged-b"), []byte("v")); err != nil {
+	x.beginCycle()
+	if err := x.store.PutStaged([]byte("staged-b"), []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	ss.Quarantine(1, fmt.Errorf("injected"))
-	if lp.servingSelf() {
+	if x.servingSelf() {
 		t.Fatal("servingSelf true on a quarantined shard")
 	}
 	if err := ss.Rebuild(1); err != nil {
 		t.Fatal(err)
 	}
-	if lp.commitGroup() {
+	if x.commitGroup() {
 		t.Fatal("rebuild dropped the staged group but the gate passed its acks")
 	}
-	if _, ok, _ := lp.store.Get([]byte("staged-b")); ok {
+	if _, ok, _ := x.store.Get([]byte("staged-b")); ok {
 		t.Fatal("dropped staged put resurfaced")
 	}
 
 	// A shard still down at commit time also fails the gate.
-	lp.beginCycle()
+	x.beginCycle()
 	ss.Quarantine(1, fmt.Errorf("injected again"))
-	if lp.commitGroup() {
+	if x.commitGroup() {
 		t.Fatal("down shard passed the ack gate")
 	}
 	if err := ss.Rebuild(1); err != nil {
@@ -325,9 +337,77 @@ func TestCommitGroupDetectsMidCycleRebuild(t *testing.T) {
 	}
 
 	// The gate re-arms once a cycle starts against the healed shard.
-	lp.beginCycle()
-	if !lp.commitGroup() {
+	x.beginCycle()
+	if !x.commitGroup() {
 		t.Fatal("gate failed to re-arm after the shard healed")
+	}
+}
+
+// TestCommitGroupGateHoldsUnderSteal is the same acked-write gate driven
+// the way a stealing loop drives it: the executing loop is not the
+// shard's home loop and enters holding the ownership token. The gate's
+// correctness must not depend on which goroutine (or loop) runs the
+// cycle.
+func TestCommitGroupGateHoldsUnderSteal(t *testing.T) {
+	_, ss, _ := healShardedSetup(t)
+	srv := &Server{sharded: ss}
+	victim := &loop{srv: srv, store: ss.Shard(1), shard: 1}
+	thief := &loop{srv: srv, q: 3, shard: -1}
+
+	x := thief.executorFor(victim)
+	if !x.stealing {
+		t.Fatal("executor for a peer loop not marked stealing")
+	}
+	if !ss.TryAcquire(victim.shard) {
+		t.Fatal("uncontended token not acquired")
+	}
+	x.token = true
+	x.beginCycle()
+	if err := x.store.PutStaged([]byte("stolen-a"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	ss.Quarantine(1, fmt.Errorf("injected"))
+	if err := ss.Rebuild(1); err != nil {
+		t.Fatal(err)
+	}
+	if x.commitGroup() {
+		t.Fatal("mid-steal rebuild dropped the staged group but the gate passed its acks")
+	}
+	if x.token {
+		t.Fatal("commitGroup left the ownership token held")
+	}
+	// The token must be free again for the home loop.
+	if !ss.TryAcquire(victim.shard) {
+		t.Fatal("token still held after the steal cycle resolved")
+	}
+	ss.Release(victim.shard)
+}
+
+// TestQuarantineWakesHealerImmediately asserts rejoin latency is
+// rebuild-time-dominated, not probe-cadence-dominated: with a scrub
+// interval far longer than a rebuild, the quarantine notification alone
+// must start the rebuild, so the shard rejoins well before the first
+// tick could have seen it.
+func TestQuarantineWakesHealerImmediately(t *testing.T) {
+	_, ss, _ := healShardedSetup(t)
+	const interval = 300 * time.Millisecond
+	h := NewHealer(ss, HealConfig{ScrubInterval: interval})
+	go h.Run()
+	defer h.Close()
+	time.Sleep(5 * time.Millisecond) // let the heal loop park in select
+
+	start := time.Now()
+	ss.Quarantine(2, fmt.Errorf("injected"))
+	waitFor(t, "push-wakeup rejoin", func() bool { return ss.ShardErr(2) == nil })
+	if d := time.Since(start); d >= interval {
+		t.Fatalf("rejoin took %v with a %v scrub interval — quarantine wakeup did not fire", d, interval)
+	}
+	st := h.Stats()
+	if len(st.Rejoins) == 0 {
+		t.Fatal("no time-to-rejoin sample recorded")
+	}
+	if st.Rejoins[0] >= interval {
+		t.Fatalf("rejoin sample %v not under the %v probe cadence", st.Rejoins[0], interval)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"net/url"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"packetstore/internal/checksum"
@@ -15,6 +16,33 @@ import (
 	"packetstore/internal/pkt"
 	"packetstore/internal/tcp"
 )
+
+// StealConfig tunes the work-stealing scheduler. With stealing enabled,
+// an event loop whose own queue is empty picks the deepest backlogged
+// peer, try-acquires that peer's shard ownership token, and runs one
+// service cycle against the peer's connections on its own goroutine —
+// so a skewed workload that piles onto one RSS queue is served by every
+// idle core instead of collapsing onto the hot loop.
+type StealConfig struct {
+	// Enabled turns the steal path on. Off by default: with it off the
+	// scheduler reduces exactly to the per-queue loops of the 1:1 design.
+	Enabled bool
+	// MinDepth is the minimum victim backlog (undrained ready events +
+	// NIC ring occupancy + queued connections) worth stealing from.
+	// Below it the steal costs more than the wait. Default 2.
+	MinDepth int
+	// Poll is the idle loop's steal-scan period. Default 200µs.
+	Poll time.Duration
+}
+
+func (c *StealConfig) fill() {
+	if c.MinDepth <= 0 {
+		c.MinDepth = 2
+	}
+	if c.Poll <= 0 {
+		c.Poll = 200 * time.Microsecond
+	}
+}
 
 // Config tunes the server's overload and robustness behaviour. The zero
 // value imposes no connection cap and no idle timeout (the original
@@ -37,15 +65,23 @@ type Config struct {
 	// unbatched path, so unloaded latency does not regress. 0 or 1
 	// disables batching.
 	MaxBatch int
+	// Steal configures the work-stealing scheduler.
+	Steal StealConfig
 }
+
+func (c *Config) fill() { c.Steal.fill() }
 
 // Server is the storage server application. One event-loop goroutine per
 // NIC RSS queue emulates the paper's busy-polling server cores. With a
-// sharded packetstore, loop q serves exactly the store shard whose PM
-// partition backs queue q's receive pool, so zero-copy ingest never
-// crosses cores: the NIC DMAs a flow's payloads straight into the
-// partition of the shard that will index them (DESIGN.md §5.7). With one
-// queue and one shard this degenerates to the original single-core loop.
+// sharded packetstore, loop q is the *home* of the store shard whose PM
+// partition backs queue q's receive pool, so in the common case
+// zero-copy ingest never crosses cores: the NIC DMAs a flow's payloads
+// straight into the partition of the shard that will index them
+// (DESIGN.md §5.7). Home is a scheduling default, not ownership: the
+// right to mutate a shard is the ShardedStore ownership token, and with
+// Config.Steal enabled any idle loop may acquire a busy shard's token
+// and serve its queue (DESIGN.md §5.11). With one queue and one shard
+// this degenerates to the original single-core loop.
 type Server struct {
 	stk     *tcp.Stack
 	lst     *tcp.Listener
@@ -58,35 +94,76 @@ type Server struct {
 	ret   chan struct{}
 }
 
-// loop is one event-loop "core": it owns the connections whose flows RSS
-// to its queue plus, in sharded mode, the store shard backing that
-// queue's receive pool. Loops share no mutable state — each has its own
-// connection table, key arena and stats counters.
+// sched is one loop's scheduling core: the table of connections homed on
+// this loop's RSS queue plus the run queue of those that are readable
+// and waiting for an executor, with the burst-formation claim flags on
+// each connState. It is the only loop state a stealing peer touches, so
+// it carries its own mutex; everything else on the loop stays
+// single-goroutine.
+type sched struct {
+	mu    sync.Mutex
+	conns map[*tcp.Conn]*connState
+	runq  []*connState
+	// qlen mirrors len(runq) so the steal path's victim scan reads a
+	// single atomic instead of taking every peer's mu — depth sampling
+	// at the steal poll rate must not contend with the hot loop's
+	// scheduling path.
+	qlen atomic.Int32
+}
+
+// loop is one event-loop "core": the home of the connections whose flows
+// RSS to its queue and — in sharded mode — of the store shard backing
+// that queue's receive pool. Scheduling state (sched) is shared with
+// stealing peers under its mutex; stats, arenas and the executor scratch
+// are touched only by this loop's goroutine.
 type loop struct {
 	srv   *Server
 	q     int
-	store *core.Store // shard for the zero-copy paths; nil = copy only
+	store *core.Store // home shard for the zero-copy paths; nil = copy only
 	shard int         // index of store within srv.sharded (-1 if none)
-	conns map[*tcp.Conn]*connState
 	stats statsCounters
 
-	// Key arena: small key copies land in the shard's data slots so
-	// records can reference them (values are never copied).
-	arenaOff   int
-	arenaUsed  int
-	arenaUnpin func()
+	sched sched
+	// wake is the cross-goroutine kick: a peer that reposted work onto
+	// this loop's run queue (repost flag on a claimed connection) rings
+	// it so the home loop re-drains without waiting for the next packet.
+	wake chan struct{}
+	// accept is the shared listener queue (set by Run); every loop drains
+	// it, and drain/gather poll it mid-cycle so a saturated loop cannot
+	// starve handshake completion (see drainAccepts).
+	accept <-chan *tcp.Conn
+	// theft is the victim-side single-thief guard: at most one peer
+	// steals from this loop at a time. Beyond the first, thieves would
+	// convoy on the shard token — and a loop parked in Acquire is a loop
+	// not draining the shared accept channel.
+	theft atomic.Bool
 
-	// burst is the reusable connection list for group-commit cycles.
+	// arenas holds this goroutine's key arena per target shard. Steal
+	// cycles execute on the stealer's goroutine, so arenas never need
+	// locking — each executing loop appends keys into its own slot of
+	// whatever shard it is currently serving.
+	arenas map[int]*keyArena
+
+	// burst is the reusable claimed-connection list for service cycles.
 	burst []*connState
+	// exec is the reusable executor scratch for cycles this goroutine
+	// runs (against its own shard or a steal victim's).
+	exec executor
+}
 
-	// cycleEpoch is the loop shard's rebuild epoch (core.Store.Epoch)
-	// snapshotted when the current service cycle began, before any PUT
-	// was staged. cycleBad marks the cycle poisoned: an online rebuild
-	// dropped staged puts whose acks are already buffered, so commitGroup
-	// failed its post-commit check and every response buffered this cycle
-	// is discarded (the connections close instead of acking).
-	cycleEpoch uint64
-	cycleBad   bool
+// keyArena is one executing goroutine's private key-copy arena inside
+// one shard's data area: small key copies land here so records can
+// reference them (values are never copied). The (store, epoch) stamp
+// detects an online rebuild of the target shard — the arena slot is then
+// abandoned (its pin dropped; surviving records keep it alive) and a
+// fresh slot allocated, so the goroutine never appends into a slot the
+// rebuilt allocator may have repurposed.
+type keyArena struct {
+	store *core.Store
+	epoch uint64
+	off   int
+	used  int
+	unpin func()
 }
 
 // New creates a server listening on port, with one event loop per NIC
@@ -103,6 +180,7 @@ func NewWithConfig(stk *tcp.Stack, port uint16, backend Backend, cfg Config) (*S
 	if err != nil {
 		return nil, err
 	}
+	cfg.fill()
 	s := &Server{
 		stk:     stk,
 		lst:     lst,
@@ -121,12 +199,13 @@ func NewWithConfig(stk *tcp.Stack, port uint16, backend Backend, cfg Config) (*S
 	s.loops = make([]*loop, nq)
 	for q := 0; q < nq; q++ {
 		lp := &loop{
-			srv:      s,
-			q:        q,
-			shard:    -1,
-			conns:    make(map[*tcp.Conn]*connState),
-			arenaOff: -1,
+			srv:    s,
+			q:      q,
+			shard:  -1,
+			wake:   make(chan struct{}, 1),
+			arenas: make(map[int]*keyArena),
 		}
+		lp.sched.conns = make(map[*tcp.Conn]*connState)
 		if s.sharded != nil {
 			pool := stk.NIC().RxPoolQ(q)
 			for i := 0; i < s.sharded.Shards(); i++ {
@@ -157,29 +236,41 @@ func (s *Server) Stats() Stats {
 }
 
 // LoopStats returns each event loop's own snapshot, indexed by RSS
-// queue — the per-core view of a sharded deployment.
+// queue — the per-core view of a sharded deployment. QueueDepth is
+// sampled live: it is the same backlog metric the steal path uses for
+// victim selection, so persistent skew is directly observable here (and
+// in GET /healthz).
 func (s *Server) LoopStats() []Stats {
 	out := make([]Stats, len(s.loops))
 	for i, lp := range s.loops {
 		out[i] = lp.stats.Snapshot()
+		out[i].QueueDepth = lp.depth()
 	}
 	return out
 }
 
 // Run services the event loops until Close. The caller's goroutine runs
-// loop 0 (which also drains accepts); loops 1..n-1 get their own
-// goroutines — the per-core serving threads of the sharded deployment.
+// loop 0; loops 1..n-1 get their own goroutines — the per-core serving
+// threads of the sharded deployment. Every loop drains the shared
+// accept channel: an accepted connection is registered by its home loop
+// or simply dropped from the queue (its home loop admits it lazily on
+// first readable), so handshakes complete even while one loop is
+// saturated — under placement skew the hot loop is exactly the one with
+// no select bandwidth to spare for accepts.
 func (s *Server) Run() {
 	defer close(s.ret)
 	var wg sync.WaitGroup
+	for _, lp := range s.loops {
+		lp.accept = s.lst.AcceptCh()
+	}
 	for _, lp := range s.loops[1:] {
 		wg.Add(1)
 		go func(lp *loop) {
 			defer wg.Done()
-			lp.run(nil)
+			lp.run()
 		}(lp)
 	}
-	s.loops[0].run(s.lst.AcceptCh())
+	s.loops[0].run()
 	wg.Wait()
 }
 
@@ -195,9 +286,8 @@ func (s *Server) Close() {
 	s.lst.Close()
 }
 
-// run is one loop's event cycle. Only loop 0 receives acceptCh (nil
-// elsewhere; a nil channel never fires in select).
-func (lp *loop) run(acceptCh <-chan *tcp.Conn) {
+// run is one loop's event cycle.
+func (lp *loop) run() {
 	s := lp.srv
 	rx := s.stk.ReadableQ(lp.q)
 	var idleTick <-chan time.Time
@@ -210,90 +300,385 @@ func (lp *loop) run(acceptCh <-chan *tcp.Conn) {
 		defer t.Stop()
 		idleTick = t.C
 	}
+	var stealTick <-chan time.Time
+	if s.cfg.Steal.Enabled && len(s.loops) > 1 {
+		t := time.NewTicker(s.cfg.Steal.Poll)
+		defer t.Stop()
+		stealTick = t.C
+	}
 	for {
+		if !lp.drainAccepts() {
+			return
+		}
 		select {
 		case <-s.done:
 			return
-		case c, ok := <-acceptCh:
+		case c, ok := <-lp.accept:
 			if !ok {
 				return
 			}
 			// Register only flows RSS-steered to this loop's queue; the
-			// owning loop picks its conns up lazily on first readable.
+			// home loop picks its conns up lazily on first readable.
 			if c.RxQueue() == lp.q {
-				if lp.shedIfFull(c) {
-					continue
-				}
-				lp.conns[c] = newConnState(c)
+				lp.register(c)
 			}
 		case c, ok := <-rx:
 			if !ok {
 				return
 			}
 			c.ClearReady()
-			st := lp.admit(c)
-			if st == nil {
-				continue
-			}
-			if s.cfg.MaxBatch > 1 {
-				lp.serviceBurst(st, rx)
-			} else {
-				lp.service(st)
-			}
+			lp.noteReady(c)
+			lp.drain(rx)
+		case <-lp.wake:
+			lp.drain(rx)
 		case now := <-idleTick:
 			lp.sweepIdle(now)
+		case <-stealTick:
+			// Bounded per tick: a deep victim backlog must not starve this
+			// loop's own accepts and shutdown path.
+			for i := 0; i < stealRounds && lp.trySteal(); i++ {
+			}
 		}
 	}
 }
 
-// admit resolves a readable connection to its state, registering it on
-// first contact (accepted on loop 0, or raced with accept) unless the
-// loop is at its connection cap.
-func (lp *loop) admit(c *tcp.Conn) *connState {
-	st := lp.conns[c]
+// register admits an accepted connection to this loop's table without
+// queueing it (it becomes runnable on its first readable event), unless
+// the loop is at its MaxConns cap.
+func (lp *loop) register(c *tcp.Conn) {
+	lp.sched.mu.Lock()
+	if lp.sched.conns[c] != nil {
+		lp.sched.mu.Unlock()
+		return
+	}
+	if max := lp.srv.cfg.MaxConns; max > 0 && len(lp.sched.conns) >= max {
+		lp.sched.mu.Unlock()
+		lp.shed(c)
+		return
+	}
+	lp.sched.conns[c] = newConnState(c)
+	lp.sched.mu.Unlock()
+}
+
+// noteReady records a readable event for c: the connection is admitted
+// (registered on first contact, or shed at the MaxConns cap) and pushed
+// onto the run queue — unless an executor currently holds the claim, in
+// which case it is marked for reposting when the claim releases. Safe
+// from any goroutine; stealers use it to queue the events they pulled
+// off the victim's ready channel.
+func (lp *loop) noteReady(c *tcp.Conn) {
+	lp.sched.mu.Lock()
+	st := lp.sched.conns[c]
 	if st == nil {
-		if lp.shedIfFull(c) {
-			return nil
+		if max := lp.srv.cfg.MaxConns; max > 0 && len(lp.sched.conns) >= max {
+			lp.sched.mu.Unlock()
+			lp.shed(c)
+			return
 		}
 		st = newConnState(c)
-		lp.conns[c] = st
+		lp.sched.conns[c] = st
 	}
-	return st
+	if st.claimed {
+		st.repost = true
+	} else if !st.queued && !st.dead {
+		st.queued = true
+		lp.sched.runq = append(lp.sched.runq, st)
+		lp.sched.qlen.Store(int32(len(lp.sched.runq)))
+	}
+	lp.sched.mu.Unlock()
 }
 
-// shedIfFull rejects a connection when this loop is at its MaxConns cap:
-// the client gets an immediate 503 and the connection closes, keeping
-// per-loop state bounded under connection floods.
-func (lp *loop) shedIfFull(c *tcp.Conn) bool {
-	max := lp.srv.cfg.MaxConns
-	if max <= 0 || len(lp.conns) < max {
+// popBatch claims up to max runnable connections for an executor,
+// appending them to out. A claimed connection is untouchable by every
+// other goroutine until doneWith returns it.
+func (lp *loop) popBatch(out []*connState, max int) []*connState {
+	lp.sched.mu.Lock()
+	q := lp.sched.runq
+	n := 0
+	for n < len(q) && len(out) < max {
+		st := q[n]
+		n++
+		st.queued = false
+		if st.claimed || st.dead {
+			continue
+		}
+		st.claimed = true
+		out = append(out, st)
+	}
+	// Shift the consumed prefix out, nilling the vacated tail so the
+	// backing array does not retain dead connStates.
+	copy(q, q[n:])
+	for i := len(q) - n; i < len(q); i++ {
+		q[i] = nil
+	}
+	lp.sched.runq = q[:len(q)-n]
+	lp.sched.qlen.Store(int32(len(lp.sched.runq)))
+	lp.sched.mu.Unlock()
+	return out
+}
+
+// doneWith releases an executor's claims. A readable event that arrived
+// during a claim (repost) requeues that connection and rings the home
+// loop's wake channel, so data that raced with a steal is drained even
+// if no further packet ever arrives on the flow.
+func (lp *loop) doneWith(batch []*connState) {
+	kick := false
+	lp.sched.mu.Lock()
+	for _, st := range batch {
+		st.claimed = false
+		if st.repost {
+			st.repost = false
+			if !st.dead && !st.queued {
+				st.queued = true
+				lp.sched.runq = append(lp.sched.runq, st)
+				kick = true
+			}
+		}
+	}
+	lp.sched.qlen.Store(int32(len(lp.sched.runq)))
+	lp.sched.mu.Unlock()
+	if kick {
+		lp.kick()
+	}
+}
+
+// queuedLen reads the run-queue depth gauge — lock-free, so peers'
+// victim scans cost the hot loop nothing.
+func (lp *loop) queuedLen() int {
+	return int(lp.sched.qlen.Load())
+}
+
+// depth is the backlog metric of the steal path's victim selection:
+// undrained stack ready events + NIC rx ring occupancy + queued
+// run-queue connections on this loop.
+func (lp *loop) depth() int {
+	s := lp.srv
+	return s.stk.ReadyLenQ(lp.q) + s.stk.NIC().RxQueueLen(lp.q) + lp.queuedLen()
+}
+
+// batchMax is the claim size for one service cycle.
+func (lp *loop) batchMax() int {
+	if m := lp.srv.cfg.MaxBatch; m > 1 {
+		return m
+	}
+	return 1
+}
+
+// drainCycles bounds the service cycles one drain call may run, and
+// stealRounds bounds the steal cycles one tick may run, before control
+// returns to the loop's select. Without the bound a continuously-busy
+// run queue (sustained load, or a retransmission storm feeding events
+// faster than the two-yield gather window) starves accepts and the
+// shutdown path forever — the select is the only place they are heard.
+const (
+	drainCycles = 8
+	stealRounds = 4
+)
+
+// drain runs service cycles on this loop's own run queue until it is
+// empty or the cycle budget runs out; in the latter case it re-kicks the
+// wake channel so the select re-enters drain after giving accepts,
+// shutdown, and ticks a chance. With batching enabled each cycle first
+// gathers more readable events via a bounded busy-poll, preserving the
+// group-commit burst formation of the pre-scheduler design.
+func (lp *loop) drain(rx <-chan *tcp.Conn) {
+	for i := 0; i < drainCycles; i++ {
+		select {
+		case <-lp.srv.done:
+			return
+		default:
+		}
+		lp.drainAccepts()
+		if lp.srv.cfg.MaxBatch > 1 {
+			lp.gather(rx)
+		}
+		lp.burst = lp.popBatch(lp.burst[:0], lp.batchMax())
+		if len(lp.burst) == 0 {
+			return
+		}
+		x := lp.executorFor(lp)
+		x.runCycle(lp.burst)
+		lp.doneWith(lp.burst)
+	}
+	lp.kick()
+}
+
+// kick rings the loop's wake channel (non-blocking) so its select runs
+// drain again: used when claims release with reposted events pending and
+// when drain exhausts its cycle budget with the run queue non-empty.
+func (lp *loop) kick() {
+	select {
+	case lp.wake <- struct{}{}:
+	default:
+	}
+}
+
+// drainAccepts empties the shared accept queue without blocking; it
+// returns false when the listener has closed. Registering is a map
+// insert (or a drop, for another loop's flow) — far cheaper than a
+// service cycle — yet the run select picks among ready cases at random,
+// so a loop saturated enough to re-enter drain through its own wake
+// channel hears accepts rarely; worse, on a single CPU gather's
+// scheduler yields are exactly when dialing clients make progress, so
+// handshakes complete fastest while every loop is mid-cycle. Unchecked,
+// the listener backlog overflows and resets connections whose dials
+// already succeeded. drain and gather therefore poll this between
+// cycles, bounding the queue by one service cycle.
+func (lp *loop) drainAccepts() (open bool) {
+	for {
+		select {
+		case c, ok := <-lp.accept:
+			if !ok {
+				lp.accept = nil // closed: a nil channel never selects
+				return false
+			}
+			if c.RxQueue() == lp.q {
+				lp.register(c)
+			}
+		default:
+			return true
+		}
+	}
+}
+
+// gather is the burst-formation busy-poll: an empty ready queue does not
+// mean no work is coming — the NIC and stack pipelines may be
+// mid-delivery (on a single core the scheduler interleaves them with
+// this loop at fine grain, so the queue rarely holds more than one event
+// at the instant we look). Yield a few times to let deliveries land; two
+// consecutive empty polls means the batch has genuinely drained, so an
+// unloaded connection pays at most two scheduler yields. The overall
+// poll budget keeps a stream of events that never grows the run queue
+// (retransmissions for claimed or dead connections) from pinning the
+// loop here.
+func (lp *loop) gather(rx <-chan *tcp.Conn) {
+	idle := 0
+	budget := 4 * lp.srv.cfg.MaxBatch
+	for polls := 0; lp.queuedLen() < lp.srv.cfg.MaxBatch && idle < 2 && polls < budget; polls++ {
+		select {
+		case c, ok := <-rx:
+			if !ok {
+				return
+			}
+			idle = 0
+			c.ClearReady()
+			lp.noteReady(c)
+		default:
+			idle++
+			lp.drainAccepts()
+			runtime.Gosched()
+		}
+	}
+}
+
+// trySteal runs one steal round: pick the deepest backlogged peer, pull
+// its undrained ready events into its run queue, claim a batch, and run
+// one service cycle on this goroutine under the victim shard's epoch
+// snapshot — then hand everything back. Returns true if a cycle ran;
+// the caller loops until the backlog is gone.
+//
+// Connections, not the token, are claimed up front: the thief parses
+// and assembles its stolen batch while the victim is still committing
+// its own, and only the first staged mutation blocks on Acquire — a
+// wait bounded by one in-flight commit, which an idle loop can afford.
+// (A TryAcquire admission gate was tried first; with the victim
+// continuously mid-cycle its token-free windows are rarely sampled, so
+// a gated thief starves even as the victim's queue grows.) A round that
+// found a deep victim but no claimable connection counts as a
+// StealAbort — the backlog was contended away or is all mid-service.
+func (lp *loop) trySteal() bool {
+	s := lp.srv
+	if s.sharded == nil || !s.cfg.Steal.Enabled {
 		return false
 	}
+	// Steal only from genuine idleness — the local backlog has priority.
+	if lp.queuedLen() > 0 || s.stk.ReadyLenQ(lp.q) > 0 {
+		return false
+	}
+	var victim *loop
+	best := s.cfg.Steal.MinDepth
+	for _, v := range s.loops {
+		if v == lp || v.shard < 0 {
+			continue
+		}
+		if d := v.depth(); d >= best {
+			best, victim = d, v
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	if !victim.theft.CompareAndSwap(false, true) {
+		return false // another thief is already on this victim
+	}
+	defer victim.theft.Store(false)
+	// Drain the victim's ready channel into its run queue — channel
+	// receives are safe from any goroutine, and ClearReady re-arms the
+	// edge trigger exactly as the home loop would.
+	vrx := s.stk.ReadableQ(victim.q)
+pull:
+	for {
+		select {
+		case c, ok := <-vrx:
+			if !ok {
+				break pull
+			}
+			c.ClearReady()
+			victim.noteReady(c)
+		default:
+			break pull
+		}
+	}
+	lp.burst = victim.popBatch(lp.burst[:0], lp.batchMax())
+	if len(lp.burst) == 0 {
+		lp.stats.stealAborts.Add(1)
+		return false
+	}
+	x := lp.executorFor(victim)
+	x.runCycle(lp.burst)
+	lp.stats.steals.Add(1)
+	lp.stats.stolenOps.Add(x.ops)
+	victim.doneWith(lp.burst)
+	return true
+}
+
+// shed rejects a connection at the MaxConns cap: the client gets an
+// immediate 503 and the connection closes, keeping per-loop state
+// bounded under connection floods.
+func (lp *loop) shed(c *tcp.Conn) {
 	lp.stats.sheds.Add(1)
 	resp := httpmsg.AppendResponse(nil, 503, 0)
 	c.Write(resp)
 	c.Close()
-	return true
 }
 
 // sweepIdle closes connections that have not delivered a request within
 // the idle timeout, so a stalled client cannot wedge the loop's
-// resources.
+// resources. Claimed connections are skipped — an executor is servicing
+// them right now, so they are not idle.
 func (lp *loop) sweepIdle(now time.Time) {
 	timeout := lp.srv.cfg.IdleTimeout
-	for _, st := range lp.conns {
-		if now.Sub(st.lastActive) <= timeout {
+	var victims []*connState
+	lp.sched.mu.Lock()
+	for _, st := range lp.sched.conns {
+		if st.claimed || now.Sub(st.lastActive) <= timeout {
 			continue
 		}
+		st.claimed = true // reserve against a concurrent stealer's claim
+		victims = append(victims, st)
+	}
+	lp.sched.mu.Unlock()
+	for _, st := range victims {
 		lp.stats.idleClosed.Add(1)
-		lp.dropConn(st)
+		lp.reap(st)
 	}
 }
 
-// dropConn tears one connection down and releases anything its
-// half-assembled request adopted.
-func (lp *loop) dropConn(st *connState) {
-	st.dead = true
+// reap tears one of this loop's connections down and releases anything
+// its half-assembled request adopted. The caller must hold the claim (an
+// executor) or have reserved the connection under sched.mu (idle sweep),
+// so no other goroutine touches st concurrently.
+func (lp *loop) reap(st *connState) {
 	if st.cur != nil {
 		for _, base := range st.cur.adopted {
 			lp.store.ReleaseUnused(base)
@@ -301,7 +686,10 @@ func (lp *loop) dropConn(st *connState) {
 		st.cur = nil
 	}
 	st.c.Close()
-	delete(lp.conns, st.c)
+	lp.sched.mu.Lock()
+	st.dead = true
+	delete(lp.sched.conns, st.c)
+	lp.sched.mu.Unlock()
 }
 
 type connState struct {
@@ -310,11 +698,11 @@ type connState struct {
 	cur    *pendingReq
 	resp   []byte
 	dead   bool
-	// inBurst dedups a connection within one group-commit cycle: after
-	// ClearReady re-arms, a connection receiving more data can reappear
-	// in the ready channel while its first appearance is still queued in
-	// the burst.
-	inBurst bool
+	// Scheduling flags, guarded by the home loop's sched.mu. queued:
+	// sitting in the run queue. claimed: an executor (home or stealing)
+	// holds the connection — nobody else may touch it. repost: a
+	// readable event arrived while claimed; requeue on release.
+	queued, claimed, repost bool
 	// lastActive is the last time the connection delivered bytes; the
 	// idle sweep closes connections stalled past Config.IdleTimeout.
 	lastActive time.Time
@@ -341,127 +729,171 @@ func newConnState(c *tcp.Conn) *connState {
 	return &connState{c: c, parser: httpmsg.NewRequestParser(0), lastActive: time.Now()}
 }
 
-// service drains all pending packet buffers on one connection and
-// responds immediately — the unbatched cycle.
-func (lp *loop) service(st *connState) {
-	lp.beginCycle()
-	lp.serviceConn(st, false)
-	lp.finishConn(st)
+// executor runs service cycles against one target loop's connections and
+// shard. lp is the executing loop — stats and key arenas attribute to
+// it; tgt is the loop whose claimed connections and shard are served. In
+// the common case lp == tgt (a loop serving its own queue); in a steal
+// they differ, and the executor enters holding tgt's shard ownership
+// token. Either way the mutation-path invariants are carried by the
+// token and the epoch snapshot, not by which goroutine is driving.
+type executor struct {
+	srv      *Server
+	lp       *loop // executing loop: stats, arenas
+	tgt      *loop // target loop: connections, shard
+	store    *core.Store
+	shard    int
+	stealing bool
+
+	// token records whether this executor holds the target shard's
+	// ownership token (ShardedStore.Acquire) — the exclusive right to
+	// stage mutations and group-commit the shard. The home path takes it
+	// lazily at the first zero-copy PUT and commitGroup releases it, so
+	// read-only cycles never serialise against a concurrent owner.
+	token bool
+
+	// cycleEpoch is the target shard's rebuild epoch (core.Store.Epoch)
+	// snapshotted when the current service cycle began, before any PUT
+	// was staged. cycleBad marks the cycle poisoned: an online rebuild
+	// dropped staged puts whose acks are already buffered, so commitGroup
+	// failed its post-commit check and every response buffered this
+	// cycle is discarded (the connections close instead of acking).
+	cycleEpoch uint64
+	cycleBad   bool
+	// ops counts requests this executor instance dispatched — the
+	// StolenOps accounting for steal cycles.
+	ops uint64
 }
 
-// beginCycle arms the acked-write gate for one service cycle: it
-// snapshots the loop shard's rebuild epoch before anything is staged,
-// so commitGroup can later prove the staged records survived to their
-// fence.
-func (lp *loop) beginCycle() {
-	lp.cycleBad = false
-	if lp.store != nil {
-		lp.cycleEpoch = lp.store.Epoch()
+// executorFor resets this loop's executor scratch for a cycle against
+// tgt (itself, or a steal victim).
+func (lp *loop) executorFor(tgt *loop) *executor {
+	x := &lp.exec
+	*x = executor{
+		srv:      lp.srv,
+		lp:       lp,
+		tgt:      tgt,
+		store:    tgt.store,
+		shard:    tgt.shard,
+		stealing: lp != tgt,
+	}
+	return x
+}
+
+// ensureToken acquires the target shard's ownership token if this
+// executor does not already hold it. Blocking here is fine: the holder
+// is mid-cycle and cycles are bounded by MaxBatch.
+func (x *executor) ensureToken() {
+	if x.token || x.srv.sharded == nil || x.shard < 0 {
+		return
+	}
+	x.srv.sharded.Acquire(x.shard)
+	x.token = true
+}
+
+// releaseToken hands the shard back. Idempotent — commitGroup releases
+// mid-cycle and the cycle end releases again as a safety net.
+func (x *executor) releaseToken() {
+	if x.token {
+		x.srv.sharded.Release(x.shard)
+		x.token = false
 	}
 }
 
-// servingSelf reports whether this loop's shard currently serves
-// through the very Store object the loop's zero-copy paths use.
+// runCycle services one claimed batch. A batch of one (or batching
+// disabled) takes the unbatched path — immediate per-op commits and
+// responses, the adaptive cutoff that keeps unloaded latency flat.
+// Larger batches run the group-commit protocol: stage every zero-copy
+// PUT, one flush+fence for the whole group, then flush all the acks.
+func (x *executor) runCycle(batch []*connState) {
+	if len(batch) == 1 || x.srv.cfg.MaxBatch <= 1 {
+		for _, st := range batch {
+			x.service(st)
+		}
+		return
+	}
+	x.beginCycle()
+	for _, st := range batch {
+		x.serviceConn(st, true)
+	}
+	x.commitGroup()
+	x.lp.stats.groupCommits.Add(1)
+	x.lp.stats.groupedConns.Add(uint64(len(batch)))
+	for _, st := range batch {
+		x.finishConn(st)
+	}
+	x.releaseToken()
+}
+
+// service drains all pending packet buffers on one connection and
+// responds immediately — the unbatched cycle.
+func (x *executor) service(st *connState) {
+	x.beginCycle()
+	x.serviceConn(st, false)
+	x.finishConn(st)
+	x.releaseToken()
+}
+
+// beginCycle arms the acked-write gate for one service cycle: it
+// snapshots the target shard's rebuild epoch before anything is staged,
+// so commitGroup can later prove the staged records survived to their
+// fence.
+func (x *executor) beginCycle() {
+	x.cycleBad = false
+	if x.store != nil {
+		x.cycleEpoch = x.store.Epoch()
+	}
+}
+
+// servingSelf reports whether the target shard currently serves through
+// the very Store object this executor's zero-copy paths use.
 // ServingStore resolves the serving check and the store identity under
 // one lock: a mismatch means the shard is down, rebuilding, or was
 // replaced by a rebuild. Both the zero-copy PUT and GET paths gate on
 // it, so a quarantined or mid-rebuild shard is never read or written
-// through the loop's direct store pointer.
-func (lp *loop) servingSelf() bool {
-	st, err := lp.srv.sharded.ServingStore(lp.shard)
-	return err == nil && st == lp.store
+// through the stale store pointer.
+func (x *executor) servingSelf() bool {
+	st, err := x.srv.sharded.ServingStore(x.shard)
+	return err == nil && st == x.store
 }
 
-// commitGroup commits the loop shard's staged group, then verifies the
+// commitGroup commits the target shard's staged group, then verifies the
 // cycle's buffered acks are safe to flush: the shard must still be
 // serving through the same Store object and rebuild epoch the cycle
 // started with. A mismatch means an online rebuild (Store.Rehydrate)
 // may have dropped staged puts whose 200s are already buffered — the
 // cycle is poisoned (cycleBad) and its connections abort instead of
-// acking writes that were never made durable.
-func (lp *loop) commitGroup() bool {
-	if lp.store == nil {
+// acking writes that were never made durable. The ownership token is
+// released here: the staged group it protected is resolved either way.
+func (x *executor) commitGroup() bool {
+	if x.store == nil {
 		return true
 	}
-	lp.store.Commit()
-	if !lp.cycleBad && (!lp.servingSelf() || lp.store.Epoch() != lp.cycleEpoch) {
-		lp.cycleBad = true
+	x.store.Commit()
+	if !x.cycleBad && (!x.servingSelf() || x.store.Epoch() != x.cycleEpoch) {
+		x.cycleBad = true
 	}
-	return !lp.cycleBad
-}
-
-// serviceBurst is the group-commit cycle: it drains up to MaxBatch
-// readable connections without responding, stages every zero-copy PUT,
-// commits the group under one fence, and only then flushes all the
-// responses — acks strictly after the group fence. A burst of one takes
-// the unbatched path (adaptive cutoff).
-func (lp *loop) serviceBurst(first *connState, rx <-chan *tcp.Conn) {
-	lp.burst = append(lp.burst[:0], first)
-	first.inBurst = true
-	// Bounded busy-poll: an empty ready queue does not mean no work is
-	// coming — the NIC and stack pipelines may be mid-delivery (on a
-	// single core the scheduler interleaves them with this loop at fine
-	// grain, so the queue rarely holds more than one event at the
-	// instant we look). Yield a few times to let deliveries land; two
-	// consecutive empty polls means the batch has genuinely drained, so
-	// an unloaded connection pays at most two scheduler yields.
-	idle := 0
-collect:
-	for len(lp.burst) < lp.srv.cfg.MaxBatch && idle < 2 {
-		select {
-		case c, ok := <-rx:
-			if !ok {
-				break collect
-			}
-			idle = 0
-			c.ClearReady()
-			st := lp.admit(c)
-			if st == nil || st.inBurst {
-				continue
-			}
-			st.inBurst = true
-			lp.burst = append(lp.burst, st)
-		default:
-			idle++
-			runtime.Gosched()
-		}
-	}
-	if len(lp.burst) == 1 {
-		first.inBurst = false
-		lp.service(first)
-		return
-	}
-	lp.beginCycle()
-	for _, st := range lp.burst {
-		lp.serviceConn(st, true)
-	}
-	lp.commitGroup()
-	lp.stats.groupCommits.Add(1)
-	lp.stats.groupedConns.Add(uint64(len(lp.burst)))
-	for _, st := range lp.burst {
-		st.inBurst = false
-		lp.finishConn(st)
-	}
+	x.releaseToken()
+	return !x.cycleBad
 }
 
 // serviceConn drains one connection's pending packet buffers. With
 // staged set, zero-copy PUTs stage into the shard's group commit and
 // their responses stay buffered until the caller commits and flushes.
-func (lp *loop) serviceConn(st *connState, staged bool) {
+func (x *executor) serviceConn(st *connState, staged bool) {
 	if st.dead {
 		return
 	}
 	t0 := time.Now()
 	st.lastActive = t0
-	defer func() { lp.stats.busyNanos.Add(int64(time.Since(t0))) }()
+	defer func() { x.lp.stats.busyNanos.Add(int64(time.Since(t0))) }()
 	for {
 		bufs := st.c.TryReadBufs()
 		if bufs == nil {
 			break
 		}
 		for _, b := range bufs {
-			lp.stats.bytesIn.Add(uint64(b.Len()))
-			lp.handleBuf(st, b, staged)
+			x.lp.stats.bytesIn.Add(uint64(b.Len()))
+			x.handleBuf(st, b, staged)
 		}
 	}
 }
@@ -470,14 +902,14 @@ func (lp *loop) serviceConn(st *connState, staged bool) {
 // death, EOF or error. In a poisoned cycle (an online rebuild dropped
 // staged puts whose acks are buffered) the responses are discarded and
 // the connection fails instead.
-func (lp *loop) finishConn(st *connState) {
-	if lp.cycleBad {
-		lp.abortConn(st)
+func (x *executor) finishConn(st *connState) {
+	if x.cycleBad {
+		x.abortConn(st)
 		return
 	}
-	lp.flushResp(st)
+	x.flushResp(st)
 	if st.c.EOF() || st.c.Err() != nil {
-		lp.dropConn(st)
+		x.tgt.reap(st)
 	}
 }
 
@@ -485,10 +917,10 @@ func (lp *loop) finishConn(st *connState) {
 // be trusted: the bytes are discarded and the connection closes, so the
 // client sees a reset — a retryable transient per kvclient.Transient —
 // instead of an ack for a write that may not exist.
-func (lp *loop) abortConn(st *connState) {
+func (x *executor) abortConn(st *connState) {
 	st.resp = st.resp[:0]
-	lp.stats.ackAborts.Add(1)
-	lp.dropConn(st)
+	x.lp.stats.ackAborts.Add(1)
+	x.tgt.reap(st)
 }
 
 // bodySpan is a byte range of one packet payload belonging to a request
@@ -499,9 +931,17 @@ type bodySpan struct {
 }
 
 // handleBuf processes one received packet buffer.
-func (lp *loop) handleBuf(st *connState, b *pkt.Buf, staged bool) {
+func (x *executor) handleBuf(st *connState, b *pkt.Buf, staged bool) {
 	p := b.Bytes()
-	zc := lp.store != nil && b.PMOff() >= 0
+	zc := x.store != nil && b.PMOff() >= 0
+	if zc && x.srv.sharded != nil && x.srv.sharded.ShardByOff(b.PMOff()) != x.shard {
+		// The packet landed in a PM partition other than the target
+		// shard's — the executing path's rx pool is not the shard's pool.
+		// Adopting it would hand one shard's data slot to another shard's
+		// allocator, so fall back to the copy path and count it.
+		zc = false
+		x.lp.stats.zcFallbacks.Add(1)
+	}
 	t0 := time.Now()
 
 	var spans []bodySpan
@@ -514,12 +954,12 @@ func (lp *loop) handleBuf(st *connState, b *pkt.Buf, staged bool) {
 		}
 		res := st.parser.Feed(p[pos:])
 		if res.Err != nil {
-			lp.protocolError(st, res.Err)
+			x.protocolError(st, res.Err)
 			b.Release()
 			return
 		}
 		if res.HeaderDone {
-			lp.beginRequest(st, b, zc)
+			x.beginRequest(st, b, zc)
 		}
 		if res.Body.Len > 0 {
 			spans = append(spans, bodySpan{off: pos + res.Body.Off, n: res.Body.Len, pr: st.cur})
@@ -531,17 +971,17 @@ func (lp *loop) handleBuf(st *connState, b *pkt.Buf, staged bool) {
 		}
 		if res.Consumed == 0 && !res.Done {
 			// Defensive: the parser always progresses, but never spin.
-			lp.protocolError(st, fmt.Errorf("kvserver: parser stalled"))
+			x.protocolError(st, fmt.Errorf("kvserver: parser stalled"))
 			b.Release()
 			return
 		}
 	}
-	lp.stats.parseNanos.Add(int64(time.Since(t0)))
+	x.lp.stats.parseNanos.Add(int64(time.Since(t0)))
 
 	adoptedBase := -1
 	if len(spans) > 0 {
-		// A span stores zero-copy only if its PUT's key hashes to this
-		// loop's shard (keyOff >= 0); misaligned PUTs fall back to the
+		// A span stores zero-copy only if its PUT's key hashes to the
+		// target shard (keyOff >= 0); misaligned PUTs fall back to the
 		// copy path so correctness never depends on client alignment.
 		anyZC := false
 		for _, sp := range spans {
@@ -555,13 +995,13 @@ func (lp *loop) handleBuf(st *connState, b *pkt.Buf, staged bool) {
 			}
 		}
 		if anyZC {
-			adoptedBase = lp.store.AdoptBuf(b)
-			lp.attachSpansZeroCopy(b, p, spans)
+			adoptedBase = x.store.AdoptBuf(b)
+			x.attachSpansZeroCopy(b, p, spans)
 		}
 	}
 
 	for _, pr := range completed {
-		lp.dispatch(st, pr, staged)
+		x.dispatch(st, pr, staged)
 	}
 	b.Release()
 	if adoptedBase >= 0 {
@@ -571,13 +1011,13 @@ func (lp *loop) handleBuf(st *connState, b *pkt.Buf, staged bool) {
 			// resolves.
 			st.cur.adopted = append(st.cur.adopted, adoptedBase)
 		} else {
-			lp.store.ReleaseUnused(adoptedBase)
+			x.store.ReleaseUnused(adoptedBase)
 		}
 	}
 }
 
 // beginRequest parses the request line once headers complete.
-func (lp *loop) beginRequest(st *connState, b *pkt.Buf, zc bool) {
+func (x *executor) beginRequest(st *connState, b *pkt.Buf, zc bool) {
 	hreq := st.parser.Request()
 	req, err := kvproto.Parse(hreq.Method, hreq.Path)
 	pr := st.cur
@@ -588,17 +1028,17 @@ func (lp *loop) beginRequest(st *connState, b *pkt.Buf, zc bool) {
 		return
 	}
 	pr.req = req
-	if req.Op == kvproto.OpPut && zc && lp.srv.sharded.ShardFor(req.Key) == lp.shard {
-		// The zero-copy path writes through this loop's direct store
+	if req.Op == kvproto.OpPut && zc && x.srv.sharded.ShardFor(req.Key) == x.shard {
+		// The zero-copy path writes through the executor's direct store
 		// pointer, so it must not ingest into a shard the sharded router
 		// has quarantined — the copy path routes through the router, which
 		// answers ErrShardDown (503).
-		if !lp.servingSelf() {
+		if !x.servingSelf() {
 			return
 		}
 		// Copy the (small) key into the arena so the record can
 		// reference it; values stay in place.
-		off := lp.allocKey(req.Key)
+		off := x.allocKey(req.Key)
 		if off < 0 {
 			pr.parseErr = core.ErrFull
 			return
@@ -613,7 +1053,7 @@ func (lp *loop) beginRequest(st *connState, b *pkt.Buf, zc bool) {
 // (everything else is summed in software — those are header-sized
 // leftovers). Spans of misaligned PUTs participate in the checksum
 // accounting but get no extents (their bodies were copied).
-func (lp *loop) attachSpansZeroCopy(b *pkt.Buf, p []byte, spans []bodySpan) {
+func (x *executor) attachSpansZeroCopy(b *pkt.Buf, p []byte, spans []bodySpan) {
 	pmBase := b.PMOff()
 	useNIC := b.CsumStatus == pkt.CsumComplete
 	largest := -1
@@ -656,10 +1096,10 @@ func (lp *loop) attachSpansZeroCopy(b *pkt.Buf, p []byte, spans []bodySpan) {
 				contrib = checksum.Swap16(contrib)
 			}
 			sum = uint32(contrib)
-			lp.stats.derivedSums.Add(1)
+			x.lp.stats.derivedSums.Add(1)
 		} else {
 			sum = checksum.Partial(0, p[sp.off:sp.off+sp.n])
-			lp.stats.softwareSums.Add(1)
+			x.lp.stats.softwareSums.Add(1)
 		}
 		if sp.pr.req.Op != kvproto.OpPut || sp.pr.keyOff < 0 {
 			continue // body on a non-PUT or a copy-path PUT: no extents
@@ -693,24 +1133,25 @@ func statusForErr(err error) int {
 
 // dispatch executes one completed request and queues its response.
 // With staged set (group-commit burst), zero-copy PUTs stage into the
-// loop shard's pending group instead of committing per-op; every other
+// target shard's pending group instead of committing per-op; every other
 // operation first commits the pending group, both as a read barrier and
 // because ops like zeroCopyGet flush buffered responses — no staged
 // PUT's ack may escape before its fence.
-func (lp *loop) dispatch(st *connState, pr *pendingReq, staged bool) {
-	s := lp.srv
-	lp.stats.requests.Add(1)
+func (x *executor) dispatch(st *connState, pr *pendingReq, staged bool) {
+	s := x.srv
+	x.lp.stats.requests.Add(1)
+	x.ops++
 	defer func() {
 		for _, base := range pr.adopted {
-			lp.store.ReleaseUnused(base)
+			x.store.ReleaseUnused(base)
 		}
 	}()
 	if pr.parseErr != nil {
-		lp.stats.errors.Add(1)
+		x.lp.stats.errors.Add(1)
 		st.resp = httpmsg.AppendResponse(st.resp, 400, 0)
 		return
 	}
-	if staged && pr.req.Op != kvproto.OpPut && !lp.commitGroup() {
+	if staged && pr.req.Op != kvproto.OpPut && !x.commitGroup() {
 		// Poisoned cycle: build no response — every connection in this
 		// burst aborts unflushed at cycle end, so no buffered staged-PUT
 		// ack (now unbacked by a durable record) can escape.
@@ -718,45 +1159,51 @@ func (lp *loop) dispatch(st *connState, pr *pendingReq, staged bool) {
 	}
 	switch pr.req.Op {
 	case kvproto.OpPut:
-		lp.stats.puts.Add(1)
+		x.lp.stats.puts.Add(1)
 		var err error
 		if pr.keyOff >= 0 {
-			lp.stats.zcPuts.Add(1)
+			x.lp.stats.zcPuts.Add(1)
+			// Staging is the mutation the ownership token serialises:
+			// take it before touching the shard's staged group. The
+			// unbatched op commits internally, so its token window closes
+			// with the call; a staged op holds it to commitGroup.
+			x.ensureToken()
 			opt := core.PutOptions{
 				Extents: pr.exts, KeyOff: pr.keyOff,
 				HasSum: pr.sumsOK, HWTime: pr.hwtime,
 			}
 			if staged {
-				err = lp.store.PutExtentsStaged(pr.req.Key, pr.vlen, opt)
+				err = x.store.PutExtentsStaged(pr.req.Key, pr.vlen, opt)
 			} else {
-				err = lp.store.PutExtents(pr.req.Key, pr.vlen, opt)
+				err = x.store.PutExtents(pr.req.Key, pr.vlen, opt)
+				x.releaseToken()
 			}
 		} else {
-			// Copy-path PUTs may route to another loop's shard, whose
-			// group this loop does not commit — they stay per-op so their
-			// ack never precedes their fence.
+			// Copy-path PUTs may route to a shard this executor does not
+			// commit — they stay per-op so their ack never precedes their
+			// fence.
 			err = s.backend.Put(pr.req.Key, pr.body)
 		}
 		if err != nil {
-			lp.stats.errors.Add(1)
+			x.lp.stats.errors.Add(1)
 			st.resp = httpmsg.AppendResponse(st.resp, statusForErr(err), 0)
 			return
 		}
 		st.resp = httpmsg.AppendResponse(st.resp, 200, 0)
 	case kvproto.OpGet:
-		lp.stats.gets.Add(1)
-		if lp.store != nil && lp.servingSelf() {
-			lp.zeroCopyGet(st, pr.req.Key)
+		x.lp.stats.gets.Add(1)
+		if x.store != nil && x.servingSelf() {
+			x.zeroCopyGet(st, pr.req.Key)
 			return
 		}
-		// Loop shard down, rebuilding or replaced: fall back to the
+		// Target shard down, rebuilding or replaced: fall back to the
 		// backend router, which answers ErrShardDown (503) for a
-		// quarantined keyspace instead of reading through the loop's
-		// direct store pointer.
+		// quarantined keyspace instead of reading through the stale
+		// store pointer.
 		val, ok, err := s.backend.Get(pr.req.Key)
 		switch {
 		case err != nil:
-			lp.stats.errors.Add(1)
+			x.lp.stats.errors.Add(1)
 			st.resp = httpmsg.AppendResponse(st.resp, statusForErr(err), 0)
 		case !ok:
 			st.resp = httpmsg.AppendResponse(st.resp, 404, 0)
@@ -765,11 +1212,11 @@ func (lp *loop) dispatch(st *connState, pr *pendingReq, staged bool) {
 			st.resp = append(st.resp, val...)
 		}
 	case kvproto.OpDelete:
-		lp.stats.deletes.Add(1)
+		x.lp.stats.deletes.Add(1)
 		found, err := s.backend.Delete(pr.req.Key)
 		switch {
 		case err != nil:
-			lp.stats.errors.Add(1)
+			x.lp.stats.errors.Add(1)
 			st.resp = httpmsg.AppendResponse(st.resp, statusForErr(err), 0)
 		case !found:
 			st.resp = httpmsg.AppendResponse(st.resp, 404, 0)
@@ -777,10 +1224,10 @@ func (lp *loop) dispatch(st *connState, pr *pendingReq, staged bool) {
 			st.resp = httpmsg.AppendResponse(st.resp, 204, 0)
 		}
 	case kvproto.OpRange:
-		lp.stats.ranges.Add(1)
+		x.lp.stats.ranges.Add(1)
 		kvs, err := s.backend.Range(pr.req.Start, pr.req.End, pr.req.Limit)
 		if err != nil {
-			lp.stats.errors.Add(1)
+			x.lp.stats.errors.Add(1)
 			st.resp = httpmsg.AppendResponse(st.resp, statusForErr(err), 0)
 			return
 		}
@@ -788,7 +1235,7 @@ func (lp *loop) dispatch(st *connState, pr *pendingReq, staged bool) {
 		st.resp = httpmsg.AppendResponse(st.resp, 200, len(body))
 		st.resp = append(st.resp, body...)
 	default:
-		lp.stats.errors.Add(1)
+		x.lp.stats.errors.Add(1)
 		st.resp = httpmsg.AppendResponse(st.resp, 400, 0)
 	}
 }
@@ -797,18 +1244,18 @@ func (lp *loop) dispatch(st *connState, pr *pendingReq, staged bool) {
 // fragments, pinning the data until the transport releases it
 // (post-ACK). The value may live in any shard — extents are absolute
 // region offsets, so cross-shard GETs stay zero-copy.
-func (lp *loop) zeroCopyGet(st *connState, key []byte) {
-	tgt := lp.srv.sharded.StoreFor(key)
+func (x *executor) zeroCopyGet(st *connState, key []byte) {
+	tgt := x.srv.sharded.StoreFor(key)
 	if tgt == nil {
 		// Owning shard is quarantined: its keyspace is down, the rest of
 		// the store keeps serving.
-		lp.stats.errors.Add(1)
+		x.lp.stats.errors.Add(1)
 		st.resp = httpmsg.AppendResponse(st.resp, 503, 0)
 		return
 	}
 	ref, ok, err := tgt.GetRef(key)
 	if err != nil {
-		lp.stats.errors.Add(1)
+		x.lp.stats.errors.Add(1)
 		st.resp = httpmsg.AppendResponse(st.resp, statusForErr(err), 0)
 		return
 	}
@@ -828,8 +1275,8 @@ func (lp *loop) zeroCopyGet(st *connState, key []byte) {
 		st.resp = append(st.resp, val...)
 		return
 	}
-	lp.flushResp(st) // preserve pipelined response order
-	lp.stats.zcGets.Add(1)
+	x.flushResp(st) // preserve pipelined response order
+	x.lp.stats.zcGets.Add(1)
 	release := tgt.PinExtents(ref.Extents)
 	head := pkt.NewBuf(make([]byte, tcp.HeaderRoom()+len(hdr)))
 	head.Pull(tcp.HeaderRoom())
@@ -844,7 +1291,7 @@ func (lp *loop) zeroCopyGet(st *connState, key []byte) {
 		}
 		head.AddFrag(fr)
 	}
-	lp.stats.bytesOut.Add(uint64(len(hdr) + ref.VLen))
+	x.lp.stats.bytesOut.Add(uint64(len(hdr) + ref.VLen))
 	if err := st.c.WriteBufs(head); err != nil {
 		release()
 		st.dead = true
@@ -852,55 +1299,71 @@ func (lp *loop) zeroCopyGet(st *connState, key []byte) {
 }
 
 // flushResp writes the batched response bytes.
-func (lp *loop) flushResp(st *connState) {
+func (x *executor) flushResp(st *connState) {
 	if len(st.resp) == 0 || st.dead {
 		return
 	}
-	lp.stats.bytesOut.Add(uint64(len(st.resp)))
+	x.lp.stats.bytesOut.Add(uint64(len(st.resp)))
 	if _, err := st.c.Write(st.resp); err != nil {
 		st.dead = true
 	}
 	st.resp = st.resp[:0]
 }
 
-func (lp *loop) protocolError(st *connState, err error) {
-	lp.stats.errors.Add(1)
+func (x *executor) protocolError(st *connState, err error) {
+	x.lp.stats.errors.Add(1)
 	// The error response flushes everything buffered on this connection,
 	// which may include acks for PUTs staged earlier in a burst: commit
 	// them first so no ack precedes its fence. If the post-commit check
 	// finds an online rebuild dropped the staged group, the buffered
 	// acks are discarded and the connection just closes.
-	if lp.commitGroup() {
+	if x.commitGroup() {
 		st.resp = httpmsg.AppendResponse(st.resp, 400, 0)
-		lp.flushResp(st)
+		x.flushResp(st)
 	} else {
 		st.resp = st.resp[:0]
 	}
-	st.dead = true
-	st.c.Close()
-	delete(lp.conns, st.c)
+	x.tgt.reap(st)
 }
 
-// allocKey copies key bytes into the key arena, returning their region
-// offset (-1 on exhaustion). The arena is a data slot of this loop's
-// shard pinned while the loop appends into it; records referencing the
-// keys keep the slot alive after rotation.
-func (lp *loop) allocKey(key []byte) int {
-	if lp.arenaOff < 0 || lp.arenaUsed+len(key) > lp.store.DataBufSize() {
-		if lp.arenaUnpin != nil {
-			lp.arenaUnpin()
+// allocKey copies key bytes into the executing goroutine's key arena for
+// the target shard, returning their region offset (-1 on exhaustion).
+// The arena is a data slot of the target shard pinned while this
+// goroutine appends into it; records referencing the keys keep the slot
+// alive after rotation. Arenas are keyed per (executing loop, target
+// shard) so steal cycles never share arena state with the home loop, and
+// the (store, epoch) stamp abandons any slot whose shard was rebuilt out
+// from under it.
+func (x *executor) allocKey(key []byte) int {
+	a := x.lp.arenas[x.shard]
+	if a != nil && (a.store != x.store || a.epoch != x.cycleEpoch) {
+		// The shard was rebuilt or replaced since the arena was cut: stop
+		// appending into the old slot. Its pin survives the rebuild
+		// (rescan preserves dataPins), so dropping it here re-admits the
+		// slot once surviving records stop referencing it.
+		a.unpin()
+		delete(x.lp.arenas, x.shard)
+		a = nil
+	}
+	if a == nil || a.used+len(key) > x.store.DataBufSize() {
+		if a != nil {
+			a.unpin()
 		}
-		base := lp.store.AllocDataSlot()
+		base := x.store.AllocDataSlot()
 		if base < 0 {
 			return -1
 		}
-		lp.arenaOff = base
-		lp.arenaUsed = 0
-		lp.arenaUnpin = lp.store.PinExtents([]core.Extent{{Off: base, Len: 1}})
+		if a == nil {
+			a = &keyArena{}
+			x.lp.arenas[x.shard] = a
+		}
+		a.store, a.epoch = x.store, x.cycleEpoch
+		a.off, a.used = base, 0
+		a.unpin = x.store.PinExtents([]core.Extent{{Off: base, Len: 1}})
 	}
-	off := lp.arenaOff + lp.arenaUsed
-	lp.store.WriteData(off, key)
-	lp.arenaUsed += len(key)
+	off := a.off + a.used
+	x.store.WriteData(off, key)
+	a.used += len(key)
 	return off
 }
 

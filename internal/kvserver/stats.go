@@ -29,6 +29,23 @@ type Stats struct {
 	// are discarded and the connection reset so no acked write is ever
 	// lost (clients classify the reset as transient and retry).
 	AckAborts uint64
+	// Steals counts stolen service cycles this loop ran against another
+	// loop's queue; StolenOps counts the requests those cycles handled;
+	// StealAborts counts steal rounds that picked a deep victim but found
+	// no claimable connection — the backlog was contended away by the
+	// home loop (or another thief) before this one could claim it.
+	Steals      uint64
+	StolenOps   uint64
+	StealAborts uint64
+	// ZeroCopyFallbacks counts PUT payloads that arrived in a packet
+	// buffer outside the serving shard's PM partition — the executing
+	// loop's rx pool was not the shard's pool — and fell back to the
+	// copy path.
+	ZeroCopyFallbacks uint64
+	// QueueDepth is a gauge sampled at snapshot time: undrained stack
+	// ready events + NIC ring occupancy + queued run-queue connections
+	// for this loop — the victim-selection metric of the steal path.
+	QueueDepth int
 	// ShardsDown is a gauge: store shards currently quarantined (served
 	// keyspace answers 503).
 	ShardsDown int
@@ -58,6 +75,11 @@ func (s *Stats) merge(o Stats) {
 	s.GroupCommits += o.GroupCommits
 	s.GroupedConns += o.GroupedConns
 	s.AckAborts += o.AckAborts
+	s.Steals += o.Steals
+	s.StolenOps += o.StolenOps
+	s.StealAborts += o.StealAborts
+	s.ZeroCopyFallbacks += o.ZeroCopyFallbacks
+	s.QueueDepth += o.QueueDepth
 	s.ShardsDown += o.ShardsDown
 	s.ParseTime += o.ParseTime
 	s.BusyTime += o.BusyTime
@@ -75,6 +97,8 @@ type statsCounters struct {
 	sheds, idleClosed                     atomic.Uint64
 	groupCommits, groupedConns            atomic.Uint64
 	ackAborts                             atomic.Uint64
+	steals, stolenOps, stealAborts        atomic.Uint64
+	zcFallbacks                           atomic.Uint64
 	parseNanos                            atomic.Int64
 	busyNanos                             atomic.Int64
 }
@@ -90,7 +114,10 @@ func (c *statsCounters) Snapshot() Stats {
 		Sheds: c.sheds.Load(), IdleClosed: c.idleClosed.Load(),
 		GroupCommits: c.groupCommits.Load(), GroupedConns: c.groupedConns.Load(),
 		AckAborts: c.ackAborts.Load(),
-		ParseTime: time.Duration(c.parseNanos.Load()),
-		BusyTime:  time.Duration(c.busyNanos.Load()),
+		Steals:    c.steals.Load(), StolenOps: c.stolenOps.Load(),
+		StealAborts:       c.stealAborts.Load(),
+		ZeroCopyFallbacks: c.zcFallbacks.Load(),
+		ParseTime:         time.Duration(c.parseNanos.Load()),
+		BusyTime:          time.Duration(c.busyNanos.Load()),
 	}
 }

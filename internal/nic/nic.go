@@ -168,6 +168,11 @@ func (n *NIC) RxPoolQ(q int) *pkt.Pool { return n.rxPools[q] }
 // Rx returns receive queue q's channel of packets.
 func (n *NIC) Rx(q int) <-chan *pkt.Buf { return n.rxqs[q] }
 
+// RxQueueLen returns the number of received packets waiting in queue
+// q's descriptor ring — the NIC-level component of a queue's occupancy,
+// which work-stealing loops use to pick victims by depth.
+func (n *NIC) RxQueueLen(q int) int { return len(n.rxqs[q]) }
+
 // Queues returns the RSS queue count.
 func (n *NIC) Queues() int { return len(n.rxqs) }
 

@@ -142,6 +142,11 @@ func (s *Stack) Readable() <-chan *Conn { return s.ready[0] }
 // ReadableQ returns the readable-event channel of RSS queue q.
 func (s *Stack) ReadableQ(q int) <-chan *Conn { return s.ready[q] }
 
+// ReadyLenQ returns the number of undrained readable events on RSS
+// queue q — the stack-level component of a queue's occupancy, which
+// work-stealing loops use to pick victims by depth.
+func (s *Stack) ReadyLenQ(q int) int { return len(s.ready[q]) }
+
 // Queues returns the number of RSS queues (= readable channels).
 func (s *Stack) Queues() int { return len(s.ready) }
 

@@ -41,6 +41,9 @@ type Config struct {
 	KeySpace int
 	// KeyDist selects how keys are drawn.
 	KeyDist Dist
+	// ZipfS is the Zipf skew exponent for DistZipf (s > 1; larger is more
+	// skewed). 0 means the default 1.1.
+	ZipfS float64
 	// PutPct/GetPct/DeletePct are the operation mix out of 100; the
 	// remainder is GETs.
 	PutPct    int
@@ -119,6 +122,9 @@ func Run(cfg Config, dial Dialer) (Result, error) {
 	}
 	if cfg.Retry != nil {
 		cfg.Pipeline = 1
+	}
+	if cfg.ZipfS == 0 {
+		cfg.ZipfS = 1.1
 	}
 
 	type connResult struct {
@@ -199,7 +205,7 @@ func Run(cfg Config, dial Dialer) (Result, error) {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(ci)*7919))
 			var zipf *rand.Zipf
 			if cfg.KeyDist == DistZipf {
-				zipf = rand.NewZipf(rng, 1.1, 1, uint64(cfg.KeySpace-1))
+				zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.KeySpace-1))
 			}
 			value := make([]byte, cfg.ValueSize)
 			rng.Read(value)
