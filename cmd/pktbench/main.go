@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	pktbench -experiment table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|heal|steal|all \
+//	pktbench -experiment table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|heal|steal|erase|all \
 //	         [-profile paper|fast|off] [-requests N] [-duration D] [-conns 1,25,50,75,100] \
 //	         [-shards 1,2,4,8] [-batches 1,4,16,64] [-seeds N] [-json FILE]
 //
@@ -19,7 +19,10 @@
 // destroy-rebuild churn, and writes BENCH_heal.json. The steal
 // experiment runs a connection-placement-skewed workload with the
 // work-stealing scheduler off and on (plus a uniform sanity point) and
-// writes BENCH_steal.json.
+// writes BENCH_steal.json. The erase experiment sweeps the cross-shard
+// parity torture mode (whole data areas destroyed and healed by
+// reconstruction) over -seeds seeds, measures the parity write overhead
+// and warm/cold/reconstruct rebuild times, and writes BENCH_erase.json.
 package main
 
 import (
@@ -37,7 +40,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|heal|steal|all")
+		experiment = flag.String("experiment", "all", "table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|heal|steal|erase|all")
 		seeds      = flag.Int("seeds", 256, "torture runs for the crash mode (other modes scale down)")
 		profile    = flag.String("profile", "paper", "latency profile: paper|fast|off")
 		requests   = flag.Int("requests", 4000, "requests per RTT measurement")
@@ -282,6 +285,31 @@ func main() {
 			fmt.Printf("wrote %s\n", out)
 			if res.Failed() {
 				return fmt.Errorf("heal sweep had failing runs (seeds above)")
+			}
+			return nil
+		})
+	}
+	if want("erase") {
+		run("E13 erase", func() error {
+			res, err := bench.RunErase(prof, *seeds, 3000, *duration)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			out := *jsonPath
+			if out == "" || *experiment == "all" {
+				out = "BENCH_erase.json"
+			}
+			blob, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+			if res.Failed() {
+				return fmt.Errorf("erase sweep had failing runs (seeds above)")
 			}
 			return nil
 		})

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"packetstore/internal/calib"
+)
+
+// TestRunEraseSmoke runs a tiny erase sweep through the bench wrapper;
+// the full sweep is pktbench -experiment erase.
+func TestRunEraseSmoke(t *testing.T) {
+	res, err := RunErase(calib.Off(), 6, 1000, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		for _, note := range res.FailureNotes {
+			t.Error(note)
+		}
+		t.Fatalf("erase sweep failed: %d failures in %d runs", res.Failures, res.Runs)
+	}
+	if res.SingleLossRuns == 0 || res.TwoLossRuns == 0 {
+		t.Fatalf("sweep shape degenerate: %d single-loss, %d two-loss",
+			res.SingleLossRuns, res.TwoLossRuns)
+	}
+	if res.Reconstructions == 0 {
+		t.Fatal("no records reconstructed from parity")
+	}
+	if res.Rejoins == 0 {
+		t.Fatal("no operator rejoin samples recorded")
+	}
+	if res.BaselineThroughput <= 0 || res.ParityThroughput <= 0 {
+		t.Fatalf("throughput phases empty: base %.0f parity %.0f",
+			res.BaselineThroughput, res.ParityThroughput)
+	}
+	if res.ParityWritesPerOp <= 0 {
+		t.Fatal("parity deployment folded no parity lines on the write path")
+	}
+	if res.ColdRebuildUs <= 0 || res.WarmRebuildUs <= 0 || res.ReconstructRebuildUs <= 0 {
+		t.Fatalf("rebuild timings empty: cold %.0f warm %.0f reconstruct %.0f",
+			res.ColdRebuildUs, res.WarmRebuildUs, res.ReconstructRebuildUs)
+	}
+	// Timing comparisons (warm < cold) are asserted by the full pktbench
+	// run, not here — a loaded CI host makes microsecond-scale ordering
+	// flaky at this store size.
+}

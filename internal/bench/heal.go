@@ -131,7 +131,6 @@ func healThroughput(profile calib.Profile, seed int64, window time.Duration) (ba
 	const shards = 4
 	cfg := core.Config{MetaSlots: 1024, SlotSize: 128, DataSlots: 1024, DataBufSize: 512}
 	size := core.ShardedRegionSize(cfg, shards)
-	stride := size / shards
 	r := pmem.New(size, profile)
 	ss, err := core.OpenSharded(r, cfg, shards)
 	if err != nil {
@@ -209,9 +208,10 @@ func healThroughput(profile calib.Profile, seed int64, window time.Duration) (ba
 	const faultPeriod = 10 * time.Millisecond
 	stop := make(chan struct{})
 	churnDone := make(chan uint64, 1)
+	first := make(chan struct{})
 	go func() {
 		var n uint64
-		before := h.Stats().Rebuilds
+		rejoins := h.RejoinC()
 		for {
 			select {
 			case <-stop:
@@ -219,25 +219,31 @@ func healThroughput(profile calib.Profile, seed int64, window time.Duration) (ba
 				return
 			case <-time.After(faultPeriod):
 			}
-			r.CorruptByte(victim*stride, 0xff)
-			for {
-				st := h.Stats()
-				if st.Rebuilds > before {
-					n += st.Rebuilds - before
-					before = st.Rebuilds
-					break
+			ss.SmashSuperblock(victim)
+			// Event-driven: the healer pushes each completed rejoin on its
+			// sample channel, so the churn loop sleeps until the victim is
+			// actually back instead of polling Stats on a timer.
+			select {
+			case <-rejoins:
+				n++
+				if n == 1 {
+					close(first)
 				}
-				select {
-				case <-stop:
-					churnDone <- n
-					return
-				default:
-					time.Sleep(50 * time.Microsecond)
-				}
+			case <-stop:
+				churnDone <- n
+				return
 			}
 		}
 	}()
 	heal = measure()
+	// The measurement window may close mid-cycle. Wait for the cycle in
+	// flight (and thereby at least one rejoin overall) before stopping,
+	// so ChurnRebuilds is never zero just because a short window raced a
+	// slow rebuild.
+	select {
+	case <-first:
+	case <-time.After(10 * time.Second):
+	}
 	close(stop)
 	rebuilds = <-churnDone
 	return base, heal, rebuilds, nil

@@ -10,10 +10,11 @@ import (
 // TestRunHealSmoke runs a tiny heal sweep through the bench wrapper;
 // the full sweep is pktbench -experiment heal.
 func TestRunHealSmoke(t *testing.T) {
-	// The churn window must fit fault injection (10ms period) plus scrub
-	// detection (~16ms) plus a rebuild with slack for -race overhead —
-	// 50ms flaked with zero completed rebuilds about one run in six.
-	res, err := RunHeal(calib.Off(), 6, 1000, 100*time.Millisecond)
+	// The churn phase waits event-driven on the healer's rejoin sample
+	// channel for the cycle in flight, so a short window can no longer
+	// flake with zero completed rebuilds (it used to, about one run in
+	// six at 50ms, when the wall-clock window raced the rebuild).
+	res, err := RunHeal(calib.Off(), 6, 1000, 50*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -114,7 +114,9 @@ func (s *Store) commitStagedLocked() {
 		return
 	}
 	tFlush := s.tnow()
-	// Phase A.
+	// Phase A. Parity deltas fold in first so the parity lines join the
+	// same batch and persist under the same fence as the data they cover.
+	s.applyParityLocked()
 	s.r.FlushBatch(&s.fs)
 	s.r.Fence()
 

@@ -165,6 +165,13 @@ type Config struct {
 	ChecksumReuse bool
 	// VerifyOnGet recomputes and checks the value checksum on every read.
 	VerifyOnGet bool
+	// ParityGroup groups a ShardedStore's shards into RAID-5-style parity
+	// groups of up to this many members, each backed by one parity
+	// partition that makes single-member data-area loss survivable. 0 or
+	// 1 disables parity (no layout or behaviour change); plain Stores and
+	// single-shard stores ignore it. Requires SlotSize and DataBufSize to
+	// be multiples of the cache-line size.
+	ParityGroup int
 	// Breakdown collects per-phase put timings (Breakdown()). Off by
 	// default: the clock reads (4+ per put) are measurable against a
 	// ~1µs operation, so only the E-series breakdown runs pay for them.
@@ -220,6 +227,16 @@ type Stats struct {
 	// retired (GroupedPuts/GroupCommits is the achieved batch size).
 	GroupCommits uint64
 	GroupedPuts  uint64
+	// ParityWrites counts parity lines folded and flushed on the write
+	// path (the incremental redundancy cost); Reconstructions counts
+	// records successfully re-materialised from parity, and
+	// UnrecoverableSlots counts repair attempts that failed because the
+	// loss exceeded the group's redundancy.
+	ParityWrites       uint64
+	Reconstructions    uint64
+	UnrecoverableSlots uint64
+	// SlotsHeld gauges data slots currently fenced for media damage.
+	SlotsHeld int
 }
 
 // Breakdown accumulates per-phase put time for the Table 2 reproduction.
@@ -283,6 +300,24 @@ type Store struct {
 	// own observers).
 	onQuarantine func(slot int, err error)
 
+	// parity is this store's parity-group runtime (nil when redundancy is
+	// off). Attached once after open, immutable afterwards.
+	parity *parityRT
+	// parityFold is applyParityLocked's reusable span batch (guarded by
+	// mu, like every commit-path scratch).
+	parityFold []pmem.XorSpan
+	// scrubStamp records, per metadata slot, the scrub generation that
+	// last validated the slot's record; scrubPass is the current
+	// generation (starts at 1 so stamp 0 always means "never"). Rebuilds
+	// skip re-validating records with a fresh stamp.
+	scrubStamp []uint32
+	scrubPass  uint32
+	// valueBad gates serving, per metadata slot, while a record's value
+	// bytes are known-damaged and awaiting a deferred parity repair:
+	// reads answer a typed ErrCorrupt instead of bytes that cannot be
+	// trusted. Volatile — reset by full rescans, re-derived by repair.
+	valueBad []bool
+
 	rng   *rand.Rand
 	stats Stats
 	bd    Breakdown
@@ -323,6 +358,9 @@ func openAt(r *pmem.Region, cfg Config, base int) (*Store, error) {
 	s.dataPins = make([]int32, cfg.DataSlots)
 	s.dataHeld = make([]bool, cfg.DataSlots)
 	s.metaFenced = make([]bool, cfg.MetaSlots)
+	s.scrubStamp = make([]uint32, cfg.MetaSlots)
+	s.scrubPass = 1
+	s.valueBad = make([]bool, cfg.MetaSlots)
 	s.pool = pkt.NewPMPool(r, s.dataBase, cfg.DataBufSize, cfg.DataSlots)
 
 	switch magic := r.ReadUint64(base + sbOMagic); magic {
@@ -366,6 +404,11 @@ func (s *Store) Stats() Stats {
 	st := s.stats
 	st.Records = s.count
 	st.SlotsQuarantined = s.quarantined
+	for _, h := range s.dataHeld {
+		if h {
+			st.SlotsHeld++
+		}
+	}
 	return st
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"packetstore/internal/checksum"
@@ -37,6 +38,14 @@ import (
 // ReleaseUnused, and anything truly orphaned leaks — bounded by the
 // in-flight work at the instant of one heal event, not by later churn.
 func (s *Store) Rehydrate() error {
+	// With parity, a rebuild is also a reconstruction pass: take the
+	// group's repair mutex before the store lock, so every repair below
+	// runs with the group quiesced (scrub repairs elsewhere in the group
+	// try-lock this mutex and defer). s.parity is immutable after attach.
+	if rt := s.parity; rt != nil {
+		rt.repairMu.Lock()
+		defer rt.repairMu.Unlock()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.staged = nil
@@ -72,6 +81,18 @@ type ScrubResult struct {
 	// Excised counts committed records the repair rebuild dropped from
 	// the index (quarantined slots plus value-corrupt records retired).
 	Excised int
+	// Reconstructed counts damaged records repaired in place from parity
+	// this step (their fences lifted, their bytes re-validated).
+	Reconstructed int
+	// Unrecoverable counts records whose reconstruction failed because
+	// the loss exceeds the group's redundancy — the caller quarantines
+	// the shard so the damage surfaces typed, never as silent misses.
+	Unrecoverable int
+	// NeedsRebuild counts damaged records an in-place repair could not
+	// handle right now (group peer down or busy, or metadata damage):
+	// the caller quarantines the shard and lets the rebuild path — which
+	// owns the whole group — reconstruct or excise them.
+	NeedsRebuild int
 	// Next is the cursor for the following step; 0 means the pass
 	// wrapped (one full sweep of the slot array completed).
 	Next int
@@ -119,16 +140,38 @@ func (s *Store) ScrubSlots(cursor, n int) ScrubResult {
 		res.Checked++
 		s.r.Touch(s.slotOff(i), s.cfg.SlotSize)
 		if err := s.validateSlot(sl); err != nil {
-			// The repair rescan below re-finds this slot, fences it and
-			// fires the quarantine hook — no need to report it twice.
 			res.Bad++
-			damaged = true
+			s.scrubStamp[i] = 0
+			if s.parity == nil {
+				// The repair rescan below re-finds this slot, fences it and
+				// fires the quarantine hook — no need to report it twice.
+				damaged = true
+				continue
+			}
+			// CRC damage with parity: the record cannot be served (its key
+			// bytes or extents are untrustworthy, so a lookup would miss
+			// silently). Repair in place, or hand the shard to the rebuild
+			// path, which owns the whole group.
+			switch rerr := s.repairRecordLocked(i, false); {
+			case rerr == nil:
+				res.Reconstructed++
+			case errors.Is(rerr, ErrUnrecoverable):
+				res.Unrecoverable++
+				s.valueBad[i] = true
+			default: // deferred or metadata damage
+				res.NeedsRebuild++
+			}
 			continue
 		}
 		exts, err := s.readExtentsLocked(sl)
 		if err != nil {
 			res.Bad++
-			damaged = true
+			s.scrubStamp[i] = 0
+			if s.parity == nil {
+				damaged = true
+			} else {
+				res.NeedsRebuild++
+			}
 			continue
 		}
 		var acc checksum.Accumulator
@@ -138,6 +181,27 @@ func (s *Store) ScrubSlots(cursor, n int) ScrubResult {
 		}
 		want := binary.LittleEndian.Uint32(sl[oVCsum:])
 		if checksum.Norm16(checksum.Fold(acc.Sum())) != checksum.Norm16(checksum.Fold(want)) {
+			res.Bad++
+			s.scrubStamp[i] = 0
+			if s.parity != nil {
+				// Data-area media damage under intact metadata: exactly what
+				// parity covers. Repair in place; if the group cannot help
+				// right now, gate the record (typed reads, skipped scans)
+				// and fence its data slots until a later pass repairs it.
+				switch rerr := s.repairRecordLocked(i, false); {
+				case rerr == nil:
+					res.Reconstructed++
+				case errors.Is(rerr, ErrUnrecoverable):
+					res.Unrecoverable++
+					s.valueBad[i] = true
+				default:
+					s.valueBad[i] = true
+					for _, e := range exts {
+						s.dataHeld[s.dataSlotIndex(e.Off)] = true
+					}
+				}
+				continue
+			}
 			// The metadata is intact but the value bytes are not: media
 			// damage in the data area. Retire the record (clear the commit
 			// word; crash-safe — recovery simply never sees it again), and
@@ -152,9 +216,10 @@ func (s *Store) ScrubSlots(cursor, n int) ScrubResult {
 				s.dataHeld[s.dataSlotIndex(e.Off)] = true
 			}
 			s.clearSeqLocked(i)
-			res.Bad++
 			damaged = true
+			continue
 		}
+		s.scrubStamp[i] = s.scrubPass
 	}
 	if damaged {
 		before := s.count
@@ -169,6 +234,10 @@ func (s *Store) ScrubSlots(cursor, n int) ScrubResult {
 	}
 	if end >= s.cfg.MetaSlots {
 		res.Next = 0
+		// One full sweep completed: advance the validation generation the
+		// per-slot stamps are measured against (rebuilds trust stamps from
+		// the current or previous generation).
+		s.scrubPass++
 	} else {
 		res.Next = end
 	}
@@ -184,21 +253,30 @@ func (s *Store) ScrubSlots(cursor, n int) ScrubResult {
 // forever under the store lock. On damage the index is rebuilt from a
 // slot rescan. Returns whether a rebuild ran and how many records it
 // dropped.
-func (s *Store) AuditIndex() (rebuilt bool, excised int) {
+//
+// With parity attached the in-place rescan is refused: it would excise
+// any CRC-damaged slot it trips over instead of reconstructing it. The
+// returned error (typed ErrCorrupt) tells the caller to quarantine the
+// shard and route it through Rebuild, whose rescan owns the whole group
+// and repairs from parity.
+func (s *Store) AuditIndex() (rebuilt bool, excised int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.commitStagedLocked()
 	if s.auditLocked() {
-		return false, 0
+		return false, 0, nil
+	}
+	if s.parity != nil {
+		return false, 0, fmt.Errorf("%w: index structure damaged; rebuild required", ErrCorrupt)
 	}
 	before := s.count
-	if err := s.rescan(rescanIndex); err != nil {
-		panic(fmt.Sprintf("pktstore: index rescan failed on validated slots: %v", err))
+	if rerr := s.rescan(rescanIndex); rerr != nil {
+		panic(fmt.Sprintf("pktstore: index rescan failed on validated slots: %v", rerr))
 	}
 	if d := before - s.count; d > 0 {
 		excised = d
 	}
-	return true, excised
+	return true, excised, nil
 }
 
 // auditLocked walks every tower level with a step budget, checking that

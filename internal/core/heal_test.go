@@ -157,14 +157,14 @@ func TestAuditIndexRepairsTowerFlip(t *testing.T) {
 	if _, bad, _ := fullScrub(s); bad != 0 {
 		t.Fatalf("slot CRC unexpectedly covered the tower (bad=%d)", bad)
 	}
-	rebuilt, _ := s.AuditIndex()
+	rebuilt, _, _ := s.AuditIndex()
 	if !rebuilt {
 		t.Fatal("audit missed a flipped level-0 link")
 	}
 	for _, k := range []string{"alpha", "beta", "gamma", "delta"} {
 		wantKey(t, s, k)
 	}
-	if rebuilt, _ := s.AuditIndex(); rebuilt {
+	if rebuilt, _, _ := s.AuditIndex(); rebuilt {
 		t.Fatal("audit of a repaired index rebuilt again")
 	}
 }

@@ -137,10 +137,12 @@ func (s *Store) stagePutLocked(key []byte, vlen int, opt PutOptions) error {
 	}
 	slotIdx := s.metaFree[len(s.metaFree)-1]
 	s.metaFree = s.metaFree[:len(s.metaFree)-1]
+	s.scrubStamp[slotIdx], s.valueBad[slotIdx] = 0, false
 	chains := make([]int, nChains)
 	for i := range chains {
 		chains[i] = s.metaFree[len(s.metaFree)-1]
 		s.metaFree = s.metaFree[:len(s.metaFree)-1]
+		s.scrubStamp[chains[i]], s.valueBad[chains[i]] = 0, false
 	}
 	s.bd.Alloc += s.since(tAlloc)
 
@@ -415,6 +417,10 @@ type Ref struct {
 func (s *Store) GetRef(key []byte) (Ref, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.getRefLocked(key)
+}
+
+func (s *Store) getRefLocked(key []byte) (Ref, bool, error) {
 	// Reads act as a commit barrier: a staged record must not be served
 	// (and thereby observable) while its durability is still pending,
 	// or a crash could lose a value another client already read.
@@ -423,6 +429,11 @@ func (s *Store) GetRef(key []byte) (Ref, bool, error) {
 	idx := s.findGE(key, nil)
 	if idx < 0 || s.compareKey(key, keyPrefix(key), s.slot(idx), false) != 0 {
 		return Ref{}, false, nil
+	}
+	if s.valueBad[idx] {
+		// Known media damage awaiting a deferred parity repair: a typed
+		// error, never bytes that cannot be trusted.
+		return Ref{}, false, fmt.Errorf("%w: value bytes pending parity repair for key %q", ErrCorrupt, key)
 	}
 	sl := s.slot(idx)
 	exts, err := s.readExtentsLocked(sl)
@@ -440,10 +451,15 @@ func (s *Store) GetRef(key []byte) (Ref, bool, error) {
 }
 
 // Get returns a copy of the value stored under key, verifying its
-// checksum when configured.
+// checksum when configured. The copy happens under the store lock, so
+// the returned bytes are stable against concurrent in-place parity
+// repairs rewriting the record's media; zero-copy readers use GetRef
+// and pin their extents instead.
 func (s *Store) Get(key []byte) ([]byte, bool, error) {
-	ref, ok, err := s.GetRef(key)
+	s.mu.Lock()
+	ref, ok, err := s.getRefLocked(key)
 	if err != nil || !ok {
+		s.mu.Unlock()
 		return nil, ok, err
 	}
 	out := make([]byte, 0, ref.VLen)
@@ -456,6 +472,7 @@ func (s *Store) Get(key []byte) ([]byte, bool, error) {
 			acc.Add(b)
 		}
 	}
+	s.mu.Unlock()
 	if s.cfg.VerifyOnGet && checksum.Norm16(checksum.Fold(acc.Sum())) != checksum.Norm16(checksum.Fold(ref.Csum)) {
 		return nil, false, fmt.Errorf("%w: checksum mismatch for key %q", ErrCorrupt, key)
 	}

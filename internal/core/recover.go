@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -50,10 +51,18 @@ func (s *Store) rescan(mode rescanMode) error {
 	used := make([]bool, s.cfg.MetaSlots)
 	var survivors []rec
 	byKey := make(map[string]int) // key -> survivors index
+	unrecoverable := 0
 
 	s.seq, s.count, s.quarantined = 0, 0, 0
 	for i := range s.metaFenced {
 		s.metaFenced[i] = false
+	}
+	if mode != rescanIndex {
+		// Serving gates are re-derived: repaired records drop them, still-
+		// damaged ones re-earn them through the repair paths below.
+		for i := range s.valueBad {
+			s.valueBad[i] = false
+		}
 	}
 	if mode == rescanRehydrate {
 		// Record reference counts are about to be recomputed from the
@@ -81,6 +90,30 @@ func (s *Store) rescan(mode rescanMode) error {
 			continue // never committed, or deleted
 		}
 		if err := s.validateSlot(sl); err != nil {
+			if s.parity != nil && mode == rescanRehydrate {
+				// The rebuild owns the group's repairMu (Rehydrate takes it
+				// before the store lock), so reconstruction runs with the
+				// whole group quiesced.
+				switch rerr := s.repairRecordLocked(i, true); {
+				case rerr == nil:
+					goto survived // repaired and re-validated: a normal record
+				case errors.Is(rerr, errMetaDamage):
+					// Parity spans the data area only; metadata damage still
+					// takes the excise path below.
+				default:
+					// Deferred (a group peer is down) or unrecoverable. Fence
+					// the slot without clearing its commit word: the media is
+					// preserved, so a retry after the peer rejoins can still
+					// reconstruct. The rescan as a whole fails typed — the
+					// shard must not serve while acked records are missing.
+					unrecoverable++
+					s.quarantined++
+					s.metaFenced[i] = true
+					s.scrubStamp[i] = 0
+					used[i] = true
+					continue
+				}
+			}
 			if s.onQuarantine != nil {
 				s.onQuarantine(i, err)
 			}
@@ -94,6 +127,7 @@ func (s *Store) rescan(mode rescanMode) error {
 			used[i] = true
 			continue
 		}
+	survived:
 		key := append([]byte(nil), s.slotKey(sl)...)
 		if j, dup := byKey[string(key)]; dup {
 			// Keep the newer version; retire the loser.
@@ -110,6 +144,40 @@ func (s *Store) rescan(mode rescanMode) error {
 		if seq > s.seq {
 			s.seq = seq
 		}
+	}
+
+	if s.parity != nil && mode == rescanRehydrate {
+		// Value sweep: slot CRCs cover metadata and keys, but only the
+		// value checksum notices damaged value bytes, and boot-style scans
+		// never read values. A rebuild with parity attached does — except
+		// for records the scrubber validated within the last full pass,
+		// whose stamps make the re-read redundant (the scrub-aware rebuild
+		// hand-off that shrinks time-to-rejoin).
+		kept := survivors[:0]
+		for _, rv := range survivors {
+			if st := s.scrubStamp[rv.idx]; st != 0 && s.scrubPass-st <= 1 {
+				kept = append(kept, rv)
+				continue
+			}
+			sl := s.slot(rv.idx)
+			if s.valueChecksumOKLocked(sl) {
+				s.scrubStamp[rv.idx] = s.scrubPass
+				kept = append(kept, rv)
+				continue
+			}
+			if rerr := s.repairRecordLocked(rv.idx, true); rerr == nil {
+				kept = append(kept, rv)
+				continue
+			}
+			// Damaged beyond what the group can reconstruct right now:
+			// fence, preserve the media, fail the rescan typed below.
+			unrecoverable++
+			s.quarantined++
+			s.metaFenced[rv.idx] = true
+			s.scrubStamp[rv.idx] = 0
+			used[rv.idx] = true
+		}
+		survivors = kept
 	}
 
 	// Mark used slots (records + their chains) and data references.
@@ -188,6 +256,14 @@ func (s *Store) rescan(mode rescanMode) error {
 	s.r.Fence()
 
 	s.count = len(survivors)
+	if unrecoverable > 0 {
+		// Committed (possibly acked) records exist that cannot currently be
+		// reconstructed. The store must not be re-admitted as serving — a
+		// miss for those keys would be silent loss — so the rescan fails
+		// with the typed error; the supervisor keeps the shard down and
+		// retries once group peers rejoin.
+		return fmt.Errorf("%w: %d slots await parity repair or exceed redundancy", ErrUnrecoverable, unrecoverable)
+	}
 	return nil
 }
 
@@ -287,6 +363,13 @@ func (s *Store) Ascend(start []byte, fn func(rec Record) bool) error {
 	}
 	for idx >= 0 {
 		sl := s.slot(idx)
+		if s.valueBad[idx] {
+			// Damaged value awaiting deferred parity repair: omitted from
+			// iteration rather than handing out bytes that cannot be
+			// trusted (point reads answer the typed error instead).
+			idx = slotNext(sl, 0)
+			continue
+		}
 		s.r.Touch(s.slotOff(idx), 64)
 		exts, err := s.readExtentsLocked(sl)
 		if err != nil {

@@ -36,14 +36,15 @@ func shardStride(cfg Config) int {
 }
 
 // ShardedRegionSize returns the PM region size shards copies of cfg
-// need when laid side by side.
+// need when laid side by side, plus the parity partitions appended
+// after them when Config.ParityGroup enables redundancy.
 func ShardedRegionSize(cfg Config, shards int) int {
 	if shards <= 1 {
 		shards = 1
 	}
 	cc := cfg
 	cc.fill()
-	return shards * shardStride(cc)
+	return shards*shardStride(cc) + len(parityGroups(cc, shards))*parityStride(cc)
 }
 
 // ShardedStore partitions a PM region into independent Stores — each
@@ -84,6 +85,11 @@ type ShardedStore struct {
 	// after each serving->down transition — the healer's push wakeup.
 	notifyMu sync.Mutex
 	notify   func(shard int, reason error)
+
+	// parity holds each shard's parity-group runtime (nil slice when
+	// redundancy is off). Built once by initParity, immutable afterwards;
+	// Rebuild re-attaches entries to freshly opened Stores.
+	parity []*parityRT
 }
 
 // OpenSharded formats or recovers a ShardedStore of shards partitions
@@ -137,6 +143,7 @@ func OpenSharded(r *pmem.Region, cfg Config, shards int) (*ShardedStore, error) 
 	if downCount == shards {
 		return nil, fmt.Errorf("all %d shards failed: %w", shards, errs[0])
 	}
+	ss.initParity()
 	return ss, nil
 }
 
@@ -231,10 +238,30 @@ func (ss *ShardedStore) Rebuild(i int) error {
 	// The expensive part runs outside ss.mu: the other shards' routing
 	// is never blocked by a rebuild.
 	var err error
+	var reconsBefore uint64
 	if st != nil {
+		reconsBefore = st.Stats().Reconstructions
 		err = st.Rehydrate()
 	} else {
 		st, err = openAt(ss.r, ss.cfg, i*ss.stride)
+		if err == nil && ss.parity != nil {
+			// A fresh open recovers without parity attached (slots whose CRC
+			// fails are fenced, not repaired). Attach the group runtime and,
+			// if anything was fenced, run the reconstruction pass over it.
+			st.mu.Lock()
+			st.parity = ss.parity[i]
+			st.mu.Unlock()
+			if st.Quarantined() > 0 {
+				err = st.Rehydrate()
+			}
+		}
+	}
+
+	if err == nil && st.Stats().Reconstructions > reconsBefore {
+		// The rescan had to repair records, so the member's data area lost
+		// content — including free-space bytes the rescan does not restore.
+		// Re-derive the group's parity from what the members hold now.
+		ss.resyncGroupParity(st)
 	}
 
 	ss.mu.Lock()
@@ -510,6 +537,10 @@ func (ss *ShardedStore) Stats() Stats {
 		out.SlotsQuarantined += st.SlotsQuarantined
 		out.GroupCommits += st.GroupCommits
 		out.GroupedPuts += st.GroupedPuts
+		out.ParityWrites += st.ParityWrites
+		out.Reconstructions += st.Reconstructions
+		out.UnrecoverableSlots += st.UnrecoverableSlots
+		out.SlotsHeld += st.SlotsHeld
 	}
 	return out
 }

@@ -40,7 +40,6 @@ func RunHeal(seed int64) (RunStats, error) {
 	cfg := tortureCfg()
 	rng := rand.New(rand.NewSource(seed))
 	size := core.ShardedRegionSize(cfg, shards)
-	stride := size / shards
 	r := pmem.New(size, calib.Off())
 	ss, err := core.OpenSharded(r, cfg, shards)
 	if err != nil {
@@ -194,7 +193,7 @@ func RunHeal(seed int64) (RunStats, error) {
 	} else {
 		// Shard loss under load: trash the victim's superblock magic and
 		// let the supervisor notice, quarantine, rebuild and re-admit.
-		r.CorruptByte(victim*stride, 0xff)
+		ss.SmashSuperblock(victim)
 		if err := waitHeal("shard rejoin", func() bool {
 			st := h.Stats()
 			return st.Rebuilds > 0 && ss.ShardErr(victim) == nil

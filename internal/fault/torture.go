@@ -61,6 +61,9 @@ type RunStats struct {
 	RejoinNs    int64
 	TrafficOps  int64
 	TrafficErrs int64
+	// Reconstructions counts records the erase mode re-materialised
+	// from parity and the surviving group members.
+	Reconstructions uint64
 }
 
 // tortureCfg is the small, fully explicit geometry the PM-level modes

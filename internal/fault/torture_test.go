@@ -74,6 +74,22 @@ func TestTortureNet(t *testing.T) {
 	}
 }
 
+// TestTortureErase destroys whole data areas under cross-shard parity:
+// single-member loss must heal with zero acked-write loss and an intact
+// parity group (operator-reported on seed%4==0, scrub-discovered on
+// other even seeds); two-member loss (odd seeds) must surface as typed
+// ErrUnrecoverable — never silent misses or wrong bytes.
+func TestTortureErase(t *testing.T) {
+	n := seeds(t, 6, 208)
+	for i := 0; i < n; i++ {
+		rs, err := RunErase(tortureBase + int64(i))
+		if err != nil {
+			t.Fatalf("seed %d (reconstructed %d, rejoin %dns, traffic %d): %v",
+				rs.Seed, rs.Reconstructions, rs.RejoinNs, rs.TrafficOps, err)
+		}
+	}
+}
+
 // TestTortureHeal injects shard loss (even seeds) and latent bit flips
 // (odd seeds) into a live store under traffic: the healer must rebuild
 // and rejoin every quarantined shard with the acked prefix intact, and

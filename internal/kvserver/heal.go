@@ -1,6 +1,7 @@
 package kvserver
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -30,6 +31,13 @@ type Healer struct {
 	stats   HealStats
 	rejoins []time.Duration
 	loopSrc func() []Stats // optional: Server.LoopStats for healthz
+
+	// rejoinC publishes each rejoin sample the moment a rebuild
+	// re-admits its shard — the event-driven wait the heal benchmarks
+	// block on instead of polling counters against a wall clock. Sends
+	// never block (buffered; extra samples are dropped once full, and the
+	// cumulative stats still hold every sample).
+	rejoinC chan time.Duration
 
 	// wake receives shard indices from the store's quarantine
 	// notification, so the first rebuild attempt starts immediately
@@ -92,6 +100,12 @@ type HealStats struct {
 	// RebuildFailures counts attempts that left the shard down.
 	Rebuilds        uint64
 	RebuildFailures uint64
+	// Reconstructions counts records the scrubber repaired in place from
+	// parity; UnrecoverableSlots counts scrub repair attempts that found
+	// loss beyond the group's redundancy (rebuild-path reconstructions
+	// are visible in the store's own counters).
+	Reconstructions    uint64
+	UnrecoverableSlots uint64
 	// ShardsDown / ShardsRebuilding are gauges sampled at Stats time.
 	ShardsDown       int
 	ShardsRebuilding int
@@ -113,6 +127,7 @@ func NewHealer(ss *core.ShardedStore, cfg HealConfig) *Healer {
 		downAt:  make([]time.Time, n),
 		busy:    make([]bool, n),
 		wake:    make(chan int, n),
+		rejoinC: make(chan time.Duration, 4*n),
 		done:    make(chan struct{}),
 		ret:     make(chan struct{}),
 	}
@@ -127,6 +142,12 @@ func NewHealer(ss *core.ShardedStore, cfg HealConfig) *Healer {
 	})
 	return h
 }
+
+// RejoinC returns the channel on which the supervisor publishes each
+// heal's time-to-rejoin as the shard is re-admitted. Receivers get an
+// event-driven signal that a rebuild completed — no counter polling, no
+// wall-clock window.
+func (h *Healer) RejoinC() <-chan time.Duration { return h.rejoinC }
 
 // SetLoopSource wires the server's per-loop stats into the healthz
 // report, making queue depths and steal activity observable in
@@ -228,6 +249,10 @@ func (h *Healer) tryRebuild(i int, now time.Time) {
 		h.stats.Rebuilds++
 		h.rejoins = append(h.rejoins, end.Sub(downAt))
 		h.downAt[i], h.backoff[i], h.nextTry[i] = time.Time{}, 0, time.Time{}
+		select {
+		case h.rejoinC <- end.Sub(downAt):
+		default:
+		}
 	}()
 }
 
@@ -256,9 +281,34 @@ func (h *Healer) scrubStep(i int) {
 	h.cursors[i] = res.Next
 	h.stats.ScrubErrorsFound += uint64(res.Bad)
 	h.stats.ScrubRepaired += uint64(res.Excised)
+	h.stats.Reconstructions += uint64(res.Reconstructed)
+	h.stats.UnrecoverableSlots += uint64(res.Unrecoverable)
 	h.mu.Unlock()
+	// Damage an in-place repair could not clear takes the shard through
+	// the rebuild path: quarantine with a typed reason. Unrecoverable
+	// loss MUST surface typed rather than as silent misses for the
+	// damaged keys, and deferred/metadata damage is exactly what a group
+	// rebuild (which owns the whole parity group) exists to repair.
+	switch {
+	case res.Unrecoverable > 0:
+		h.ss.Quarantine(i, fmt.Errorf("%w: %d records beyond parity redundancy", core.ErrUnrecoverable, res.Unrecoverable))
+		return
+	case res.NeedsRebuild > 0:
+		h.ss.Quarantine(i, fmt.Errorf("%w: %d damaged records need a group rebuild", core.ErrCorrupt, res.NeedsRebuild))
+		return
+	}
 	if res.Next == 0 {
-		rebuilt, excised := st.AuditIndex()
+		rebuilt, excised, err := st.AuditIndex()
+		if err != nil {
+			// Index damage with parity attached: the in-place rescan would
+			// excise instead of reconstruct, so route through Rebuild.
+			h.ss.Quarantine(i, err)
+			h.mu.Lock()
+			h.stats.ScrubErrorsFound++
+			h.stats.ScrubPasses++
+			h.mu.Unlock()
+			return
+		}
 		h.mu.Lock()
 		if rebuilt {
 			h.stats.ScrubErrorsFound++
@@ -325,6 +375,8 @@ type ScrubHealth struct {
 	Repaired        uint64 `json:"repaired"`
 	Rebuilds        uint64 `json:"rebuilds"`
 	RebuildFailures uint64 `json:"rebuild_failures"`
+	Reconstructions uint64 `json:"reconstructions"`
+	Unrecoverable   uint64 `json:"unrecoverable_slots"`
 }
 
 // LoopHealth is one event loop's scheduler view in the healthz report:
@@ -365,6 +417,8 @@ func healthFromStates(states []core.ShardStatus, st *HealStats) HealthReport {
 			Repaired:        st.ScrubRepaired,
 			Rebuilds:        st.Rebuilds,
 			RebuildFailures: st.RebuildFailures,
+			Reconstructions: st.Reconstructions,
+			Unrecoverable:   st.UnrecoverableSlots,
 		}
 	}
 	return rep

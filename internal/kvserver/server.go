@@ -231,6 +231,11 @@ func (s *Server) Stats() Stats {
 	}
 	if s.sharded != nil {
 		out.ShardsDown = s.sharded.DownShards()
+		st := s.sharded.Stats()
+		out.ParityWrites = st.ParityWrites
+		out.Reconstructions = st.Reconstructions
+		out.UnrecoverableSlots = st.UnrecoverableSlots
+		out.SlotsHeld = st.SlotsHeld
 	}
 	return out
 }

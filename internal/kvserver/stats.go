@@ -49,6 +49,14 @@ type Stats struct {
 	// ShardsDown is a gauge: store shards currently quarantined (served
 	// keyspace answers 503).
 	ShardsDown int
+	// Redundancy counters sampled from the store at snapshot time:
+	// parity lines written on the commit path, records re-materialised
+	// from parity, repair attempts that exceeded the group's redundancy,
+	// and data slots currently fenced for media damage.
+	ParityWrites       uint64
+	Reconstructions    uint64
+	UnrecoverableSlots uint64
+	SlotsHeld          int
 	ParseTime  time.Duration
 	// BusyTime is the time this loop (core) spent servicing requests —
 	// the serving critical path, including emulated PM stalls. Per-loop
@@ -81,6 +89,10 @@ func (s *Stats) merge(o Stats) {
 	s.ZeroCopyFallbacks += o.ZeroCopyFallbacks
 	s.QueueDepth += o.QueueDepth
 	s.ShardsDown += o.ShardsDown
+	s.ParityWrites += o.ParityWrites
+	s.Reconstructions += o.Reconstructions
+	s.UnrecoverableSlots += o.UnrecoverableSlots
+	s.SlotsHeld += o.SlotsHeld
 	s.ParseTime += o.ParseTime
 	s.BusyTime += o.BusyTime
 }

@@ -14,6 +14,9 @@ import (
 type FlushSet struct {
 	spans []lineSpan
 	refs  int // line references accumulated by Add (before dedup)
+	// scratch is reused by VisitSpans so parity maintenance can walk the
+	// set without consuming it or disturbing its dedup accounting.
+	scratch []lineSpan
 }
 
 // lineSpan is an inclusive range of cache-line indices.
@@ -50,6 +53,32 @@ func (fs *FlushSet) Refs() int { return fs.refs }
 func (fs *FlushSet) Reset() {
 	fs.spans = fs.spans[:0]
 	fs.refs = 0
+}
+
+// VisitSpans calls fn(off, n) for every distinct line-aligned byte range
+// currently in the set, in ascending address order with overlaps and
+// adjacency merged. The set itself is untouched: iteration works on a
+// scratch copy, so the later FlushBatch still sees the original spans
+// and its dedup (LinesCoalesced) accounting is unaffected. fn may Add
+// further ranges to the set; they are not visited.
+func (fs *FlushSet) VisitSpans(fn func(off, n int)) {
+	if len(fs.spans) == 0 {
+		return
+	}
+	fs.scratch = append(fs.scratch[:0], fs.spans...)
+	sort.Slice(fs.scratch, func(a, b int) bool { return fs.scratch[a].first < fs.scratch[b].first })
+	cur := fs.scratch[0]
+	for _, sp := range fs.scratch[1:] {
+		if sp.first <= cur.last+1 {
+			if sp.last > cur.last {
+				cur.last = sp.last
+			}
+			continue
+		}
+		fn(cur.first*LineSize, (cur.last-cur.first+1)*LineSize)
+		cur = sp
+	}
+	fn(cur.first*LineSize, (cur.last-cur.first+1)*LineSize)
 }
 
 // normalize sorts the spans, merges overlapping and adjacent ones in

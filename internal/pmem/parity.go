@@ -1,0 +1,155 @@
+package pmem
+
+import "time"
+
+// Parity support. The store layers RAID-5-style redundancy over a shared
+// Region: a parity partition holds, line for line, the XOR of its group
+// members' partitions. Three primitives keep that invariant cheap to
+// maintain and usable for repair:
+//
+//   - XorDeltaBatch folds a member's not-yet-durable changes (volatile
+//     image XOR durable shadow) into the parity partition's volatile
+//     image, so the parity lines can ride the member's own
+//     FlushBatch/Fence.
+//   - XorReconstruct rebuilds a lost range as the XOR of the surviving
+//     images, writing the result at media level (volatile and durable).
+//   - EraseRange models losing the media itself: both images zeroed.
+//
+// The XOR math happens at DRAM speed (the delta is computed from cached
+// lines); what is charged is the PM cost of the extra stores and, for
+// reconstruction, the write-backs that make the repair durable.
+
+// XorSpan names one fold of a batch: the unpersisted change of the
+// member range [Off, Off+N) is XORed into the same-length parity range
+// at Poff. Both ranges must be line-aligned and must not overlap.
+type XorSpan struct {
+	Poff, Off, N int
+}
+
+// XorDeltaBatch XORs the unpersisted change of each span's member range
+// into its parity range: for every covered byte,
+// parity ^= member_volatile ^ member_durable. The parity lines are
+// marked dirty — the caller adds them to its FlushSet so they persist
+// under the very fence that makes the member changes durable. Write
+// latency is charged per parity line touched, in a single charge for
+// the whole batch: a group commit folds its spans back-to-back, and
+// consuming an emulated sub-microsecond delay costs far more scheduler
+// time than it models when paid span by span.
+func (r *Region) XorDeltaBatch(spans []XorSpan) {
+	nl := 0
+	r.mu.Lock()
+	for _, sp := range spans {
+		if sp.N == 0 {
+			continue
+		}
+		if sp.Off%LineSize != 0 || sp.Poff%LineSize != 0 {
+			r.mu.Unlock()
+			panic("pmem: unaligned XorDeltaBatch")
+		}
+		r.check(sp.Off, sp.N)
+		r.check(sp.Poff, sp.N)
+		for i := 0; i < sp.N; i++ {
+			r.buf[sp.Poff+i] ^= r.buf[sp.Off+i] ^ r.shadow[sp.Off+i]
+		}
+		r.markDirtyLocked(sp.Poff, sp.N)
+		nl += lines(sp.Poff, sp.N)
+	}
+	r.mu.Unlock()
+	if nl == 0 {
+		return
+	}
+	r.charge(time.Duration(nl) * r.writeLine)
+	r.statsMu.Lock()
+	r.stats.Writes++
+	r.stats.ParityLines += uint64(nl)
+	r.statsMu.Unlock()
+}
+
+// XorReconstruct rebuilds [off, off+n) as the byte-wise XOR of the
+// durable images of the source ranges (each n bytes, line-aligned) and
+// installs the result at media level: both the volatile and the durable
+// image are rewritten, as a repair path that writes, flushes and fences
+// would leave them. Destination lines that are volatile-dirty are
+// skipped and counted — someone is mid-write there, and clobbering an
+// in-flight line would corrupt state the durable images cannot vouch
+// for; the caller treats skipped lines as not-yet-repairable. Write and
+// flush latency is charged per reconstructed line, plus one fence.
+func (r *Region) XorReconstruct(off int, srcs []int, n int) (skipped int) {
+	if n == 0 || len(srcs) == 0 {
+		return 0
+	}
+	if off%LineSize != 0 {
+		panic("pmem: unaligned XorReconstruct")
+	}
+	r.check(off, n)
+	for _, s := range srcs {
+		if s%LineSize != 0 {
+			panic("pmem: unaligned XorReconstruct source")
+		}
+		r.check(s, n)
+	}
+	line := make([]byte, LineSize)
+	restored := 0
+	r.mu.Lock()
+	for o := 0; o < n; o += LineSize {
+		l := (off + o) / LineSize
+		if r.dirty[l/64]&(1<<(l%64)) != 0 {
+			skipped++
+			continue
+		}
+		copy(line, r.shadow[srcs[0]+o:])
+		for _, s := range srcs[1:] {
+			for i := 0; i < LineSize; i++ {
+				line[i] ^= r.shadow[s+o+i]
+			}
+		}
+		copy(r.buf[off+o:], line)
+		copy(r.shadow[off+o:], line)
+		// The line is durable again: drop it from any flushed-but-unfenced
+		// window so a later fence cannot resurrect pre-repair content.
+		r.pending[l/64] &^= 1 << (l % 64)
+		restored++
+	}
+	r.mu.Unlock()
+	r.charge(time.Duration(restored)*(r.writeLine+r.flushLine) + r.fence)
+	r.statsMu.Lock()
+	r.stats.Writes++
+	r.stats.ReconstructedLines += uint64(restored)
+	r.statsMu.Unlock()
+	return skipped
+}
+
+// EraseRange destroys [off, off+n) at media level: volatile and durable
+// images are zeroed and all per-line write-back state is dropped, as if
+// the PM rows themselves were lost. Fault injection uses it to model
+// whole-data-area loss that only redundancy can survive.
+func (r *Region) EraseRange(off, n int) {
+	r.check(off, n)
+	if n == 0 {
+		return
+	}
+	r.mu.Lock()
+	for i := off; i < off+n; i++ {
+		r.buf[i] = 0
+		r.shadow[i] = 0
+	}
+	first := off / LineSize
+	last := (off + n - 1) / LineSize
+	for l := first; l <= last; l++ {
+		w, bit := l/64, uint64(1)<<(l%64)
+		r.dirty[w] &^= bit
+		r.pending[w] &^= bit
+	}
+	r.mu.Unlock()
+}
+
+// ReadShadow copies the durable image of [off, off+len(dst)) into dst,
+// uncharged. Verification helpers use it to check media-level
+// invariants (for example that a parity partition equals the XOR of its
+// members) without perturbing latency accounting.
+func (r *Region) ReadShadow(dst []byte, off int) {
+	r.check(off, len(dst))
+	r.mu.Lock()
+	copy(dst, r.shadow[off:])
+	r.mu.Unlock()
+}

@@ -109,7 +109,12 @@ type Stats struct {
 	BatchFlushes   uint64
 	LinesCoalesced uint64
 	WastedFlushes  uint64
-	Charged        time.Duration // total emulated delay
+	// ParityLines counts parity lines updated by XorDeltaBatch on the
+	// write path; ReconstructedLines counts lines rebuilt from surviving
+	// group members by XorReconstruct on the repair path.
+	ParityLines        uint64
+	ReconstructedLines uint64
+	Charged            time.Duration // total emulated delay
 }
 
 // Region is a simulated PM device. All mutating methods are safe for
