@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	pktbench -experiment table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|heal|steal|erase|all \
+//	pktbench -experiment table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|heal|steal|erase|readmix|all \
 //	         [-profile paper|fast|off] [-requests N] [-duration D] [-conns 1,25,50,75,100] \
 //	         [-shards 1,2,4,8] [-batches 1,4,16,64] [-seeds N] [-json FILE]
 //
@@ -23,6 +23,9 @@
 // parity torture mode (whole data areas destroyed and healed by
 // reconstruction) over -seeds seeds, measures the parity write overhead
 // and warm/cold/reconstruct rebuild times, and writes BENCH_erase.json.
+// The readmix experiment sweeps GET-heavy mixes (50/90/99% reads x
+// connection counts) with the lock-free read fast path forced off and
+// on, and writes BENCH_readmix.json.
 package main
 
 import (
@@ -40,7 +43,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|heal|steal|erase|all")
+		experiment = flag.String("experiment", "all", "table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|heal|steal|erase|readmix|all")
 		seeds      = flag.Int("seeds", 256, "torture runs for the crash mode (other modes scale down)")
 		profile    = flag.String("profile", "paper", "latency profile: paper|fast|off")
 		requests   = flag.Int("requests", 4000, "requests per RTT measurement")
@@ -227,6 +230,35 @@ func main() {
 			out := *jsonPath
 			if out == "" || *experiment == "all" {
 				out = "BENCH_steal.json"
+			}
+			blob, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+			return nil
+		})
+	}
+	if want("readmix") {
+		run("E14 readmix", func() error {
+			// The read-mix sweep defaults to the issue's grid: 50/90/99%
+			// reads x 16,100 connections on the largest -shards entry.
+			ns := shards[len(shards)-1]
+			rc := []int{16, 100}
+			if *connsFlag != "1,25,50,75,100" {
+				rc = conns
+			}
+			res, err := bench.RunReadMix(prof, ns, rc, *duration)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			out := *jsonPath
+			if out == "" || *experiment == "all" {
+				out = "BENCH_readmix.json"
 			}
 			blob, err := json.MarshalIndent(res, "", "  ")
 			if err != nil {

@@ -17,9 +17,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,6 +45,7 @@ func main() {
 		idle      = flag.Duration("idle-timeout", 0, "close connections idle this long (0 = never)")
 		heal      = flag.Bool("heal", true, "run the self-healing supervisor (background scrub + online shard rebuild)")
 		scrubIval = flag.Duration("scrub-interval", 5*time.Millisecond, "pause between scrub budget slices")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof (plus a /healthz JSON mirror) on this address, e.g. localhost:6060 (empty = off)")
 	)
 	flag.Parse()
 	if *shards < 1 {
@@ -84,6 +88,44 @@ func main() {
 		go healer.Run()
 		srv.SetHealthSource(healer.Health)
 		fmt.Printf("pktstored: healer running (scrub interval %v); GET /healthz reports shard state\n", *scrubIval)
+	}
+
+	if *pprofAddr != "" {
+		// The main listener speaks the store's own wire protocol, so the
+		// stdlib profiling handlers get their own HTTP listener. The
+		// /healthz mirror serves the same report as the native endpoint,
+		// letting one scrape target cover profiles and health.
+		plst, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		http.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			var rep kvserver.HealthReport
+			if healer != nil {
+				rep = healer.Health()
+			} else {
+				rep.Ready = true
+				for i, h := range ss.Health() {
+					sh := kvserver.ShardHealth{Shard: i, State: "serving"}
+					if h != nil {
+						sh.State, sh.Reason = "down", h.Error()
+						rep.Ready = false
+					}
+					rep.Shards = append(rep.Shards, sh)
+				}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			if !rep.Ready {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			_ = json.NewEncoder(w).Encode(rep)
+		})
+		go func() {
+			if err := http.Serve(plst, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pktstored: pprof listener:", err)
+			}
+		}()
+		fmt.Printf("pktstored: pprof + /healthz mirror on http://%s/debug/pprof/\n", plst.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

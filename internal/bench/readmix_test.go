@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"packetstore/internal/calib"
+)
+
+// TestReadMixSmoke runs a small read-mix experiment through the bench
+// wrapper; the full measurement is pktbench -experiment readmix. It
+// validates plumbing — the A/B knob lands, GETs take the lock-free
+// path, counters flow — not absolute throughput numbers.
+func TestReadMixSmoke(t *testing.T) {
+	res, err := runReadMix(calib.Off(), 2, []int{8}, []int{99}, 1<<10, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("want 4 points (direct+server x locked+fast), got %d", len(res.Points))
+	}
+	for _, direct := range []bool{true, false} {
+		fast := res.point(false, direct, 99, 8)
+		if fast == nil || fast.Throughput <= 0 {
+			t.Fatalf("fast-path point (direct=%v) missing or empty: %+v", direct, fast)
+		}
+		if fast.Gets == 0 || fast.FastGets == 0 {
+			t.Fatalf("no GET took the lock-free path (direct=%v): %+v", direct, fast)
+		}
+		// The fallback ratio must be below 100%: a fast path that always
+		// concedes to the mutex is dead code, not an optimization.
+		if fast.FastGetFallbacks >= fast.Gets {
+			t.Fatalf("every GET fell back to the locked path (%d of %d, direct=%v)",
+				fast.FastGetFallbacks, fast.Gets, direct)
+		}
+		locked := res.point(true, direct, 99, 8)
+		if locked == nil || locked.Throughput <= 0 {
+			t.Fatalf("locked baseline point (direct=%v) missing or empty: %+v", direct, locked)
+		}
+		// The A/B knob must actually pin the baseline to the mutex.
+		if locked.FastGets != 0 {
+			t.Fatalf("locked baseline served %d GETs lock-free (direct=%v)", locked.FastGets, direct)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("speedup")) {
+		t.Fatal("print output missing speedup summary")
+	}
+}

@@ -111,8 +111,12 @@ func (s *Store) stagedIndexOf(idx int) int {
 //	   each acked key exists on media.
 func (s *Store) commitStagedLocked() {
 	if len(s.staged) == 0 {
+		// No seqlock bracket on the empty case: read-path commit barriers
+		// land here constantly and must not churn the mutation sequence.
 		return
 	}
+	s.beginMutLocked()
+	defer s.endMutLocked()
 	tFlush := s.tnow()
 	// Phase A. Parity deltas fold in first so the parity lines join the
 	// same batch and persist under the same fence as the data they cover.
@@ -161,6 +165,7 @@ func (s *Store) commitStagedLocked() {
 	}
 	s.bd.Flush += s.since(tFlush)
 	s.staged = s.staged[:0]
+	s.stagedN.Store(0)
 }
 
 // supersedeStagedLocked handles a same-key overwrite landing on a
@@ -184,6 +189,7 @@ func (s *Store) supersedeStagedLocked(j int) int {
 // (freeRecordLocked), batched the clear (phase C), or never stamped it
 // (superseded staged puts).
 func (s *Store) recycleRecordLocked(idx int) {
+	s.clearDescLocked(idx)
 	sl := s.slot(idx)
 	exts, err := s.readExtentsLocked(sl)
 	koff := int(binary.LittleEndian.Uint32(sl[oKOff:]))

@@ -53,6 +53,7 @@ import (
 	"hash/crc32"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"packetstore/internal/pkt"
@@ -176,6 +177,11 @@ type Config struct {
 	// default: the clock reads (4+ per put) are measurable against a
 	// ~1µs operation, so only the E-series breakdown runs pay for them.
 	Breakdown bool
+	// LockedReads disables the lock-free GET fast path (fastget.go),
+	// forcing every read through the store mutex. It exists as the A/B
+	// baseline knob for the E14 read-mix benchmark; production
+	// configurations leave it false.
+	LockedReads bool
 }
 
 func (c *Config) fill() {
@@ -237,6 +243,15 @@ type Stats struct {
 	UnrecoverableSlots uint64
 	// SlotsHeld gauges data slots currently fenced for media damage.
 	SlotsHeld int
+	// FastGets counts reads served entirely by the lock-free fast path
+	// (hits and validated misses). FastGetRetries counts optimistic
+	// attempts discarded by a mid-read sequence change; FastGetFallbacks
+	// counts reads that conceded to the locked slow path (see the
+	// fallback taxonomy in fastget.go). Gets = FastGets + fallbacks'
+	// locked completions.
+	FastGets         uint64
+	FastGetRetries   uint64
+	FastGetFallbacks uint64
 }
 
 // Breakdown accumulates per-phase put time for the Table 2 reproduction.
@@ -266,13 +281,19 @@ type Store struct {
 	metaFree []int     // free metadata slot indices
 	dataRefs []int32   // per data slot: -1 pool-owned, >=0 record refs
 	// dataPins counts external borrows of a store-owned data slot —
-	// transmit pins (PinExtents) and the server's key arena — separately
-	// from record references. An online rebuild (Rehydrate) recomputes
-	// dataRefs from the slot scan but preserves dataPins: the borrowers
-	// still hold offsets into those slots, and their releases decrement
-	// this counter unconditionally, so a slot re-admits to the pool the
-	// moment both counts drain instead of leaking forever.
-	dataPins []int32
+	// transmit pins (PinExtents), the server's key arena, and lock-free
+	// readers mid-copy — separately from record references. An online
+	// rebuild (Rehydrate) recomputes dataRefs from the slot scan but
+	// preserves dataPins: the borrowers still hold offsets into those
+	// slots, and their releases decrement this counter unconditionally,
+	// so a slot re-admits to the pool the moment both counts drain
+	// instead of leaking forever. Atomic because the fast read path pins
+	// and unpins without the store mutex (fastget.go).
+	dataPins []atomic.Int32
+	// recycleWanted marks slots whose recycle a mutator deferred because
+	// a lock-free reader held a pin: the final unpinner re-enters the
+	// lock and completes it (unpinFast).
+	recycleWanted []atomic.Bool
 	// dataHeld marks data slots with confirmed media damage (a value
 	// checksum failed over their bytes): they are never returned to the
 	// NIC pool when their counts drain — the fault could recur and eat
@@ -327,9 +348,38 @@ type Store struct {
 	// are not yet stamped; fs accumulates their dirty lines for the group
 	// flush. Both live under mu; every read/delete/sync entry point
 	// commits the pending group first, so staged state never escapes the
-	// batch that created it.
-	staged []prepared
-	fs     pmem.FlushSet
+	// batch that created it. stagedN shadows len(staged) atomically so
+	// the lock-free read path can honor the commit barrier without the
+	// lock.
+	staged  []prepared
+	stagedN atomic.Int32
+	fs      pmem.FlushSet
+
+	// --- lock-free read fast path (fastget.go, DESIGN §5.13) ---
+
+	// mutSeq is the store's seqlock word: even = stable, odd = a
+	// mutation bracket is open. mutDepth (under mu) nests brackets.
+	mutSeq   atomic.Uint64
+	mutDepth int
+	// oddHot is a leaky gauge of recent open-bracket sightings: +2 per
+	// odd snapshot, -1 per even one. Readers consult it to decide
+	// whether an open bracket is worth a yield-and-retry (read-mostly
+	// traffic, gauge near zero) or an immediate concession to the lock
+	// (sustained write pressure, gauge pinned high).
+	oddHot atomic.Int32
+	// recs publishes one immutable descriptor per committed record;
+	// fastHead mirrors the superblock's head tower (slot index + 1 per
+	// level, 0 = nil). Maintained under mu inside mutation brackets,
+	// read with plain atomic loads by lock-free GETs.
+	recs     []atomic.Pointer[nodeDesc]
+	fastHead [maxHeight]atomic.Uint32
+	// Read-side counters, atomic so the fast path can count without the
+	// lock; Stats() merges them into the snapshot.
+	gets             atomic.Uint64
+	hits             atomic.Uint64
+	fastGets         atomic.Uint64
+	fastGetRetries   atomic.Uint64
+	fastGetFallbacks atomic.Uint64
 }
 
 // Open formats (fresh region) or recovers (existing) a Store over r.
@@ -355,9 +405,11 @@ func openAt(r *pmem.Region, cfg Config, base int) (*Store, error) {
 	for i := range s.dataRefs {
 		s.dataRefs[i] = -1
 	}
-	s.dataPins = make([]int32, cfg.DataSlots)
+	s.dataPins = make([]atomic.Int32, cfg.DataSlots)
+	s.recycleWanted = make([]atomic.Bool, cfg.DataSlots)
 	s.dataHeld = make([]bool, cfg.DataSlots)
 	s.metaFenced = make([]bool, cfg.MetaSlots)
+	s.recs = make([]atomic.Pointer[nodeDesc], cfg.MetaSlots)
 	s.scrubStamp = make([]uint32, cfg.MetaSlots)
 	s.scrubPass = 1
 	s.valueBad = make([]bool, cfg.MetaSlots)
@@ -402,6 +454,11 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
+	st.Gets = s.gets.Load()
+	st.Hits = s.hits.Load()
+	st.FastGets = s.fastGets.Load()
+	st.FastGetRetries = s.fastGetRetries.Load()
+	st.FastGetFallbacks = s.fastGetFallbacks.Load()
 	st.Records = s.count
 	st.SlotsQuarantined = s.quarantined
 	for _, h := range s.dataHeld {
@@ -505,6 +562,8 @@ func (s *Store) headNext(level int) int {
 
 func (s *Store) setHeadNext(level, idx int) {
 	s.r.WriteUint32(s.base+sbOTower+4*level, uint32(idx+1))
+	// Mirror the head link for lock-free readers (fastget.go).
+	s.fastHead[level].Store(uint32(idx + 1))
 }
 
 func slotNext(sl []byte, level int) int {
@@ -627,7 +686,7 @@ func (s *Store) AdoptBuf(b *pkt.Buf) int {
 func (s *Store) ReleaseUnused(base int) {
 	s.mu.Lock()
 	idx := s.dataSlotIndex(base)
-	unused := s.dataRefs[idx] == 0 && s.dataPins[idx] == 0 && !s.dataHeld[idx]
+	unused := s.dataRefs[idx] == 0 && s.dataPins[idx].Load() == 0 && !s.dataHeld[idx]
 	if unused {
 		s.dataRefs[idx] = -1
 	}
@@ -655,9 +714,21 @@ func (s *Store) unrefDataLocked(off int) {
 // once nothing refers to it: no record references, no external pins,
 // and no media-damage fence.
 func (s *Store) maybeRecycleLocked(idx int) {
-	if s.dataRefs[idx] != 0 || s.dataPins[idx] != 0 || s.dataHeld[idx] {
+	if s.dataRefs[idx] != 0 || s.dataHeld[idx] {
 		return
 	}
+	if s.dataPins[idx].Load() != 0 {
+		// A lock-free reader still borrows the slot. Publish the recycle
+		// intent and re-check: sequential consistency guarantees either
+		// this load sees the pin drain, or the final unpinner sees the
+		// intent and re-enters the lock to finish the recycle (unpinFast)
+		// — the slot cannot leak.
+		s.recycleWanted[idx].Store(true)
+		if s.dataPins[idx].Load() != 0 {
+			return
+		}
+	}
+	s.recycleWanted[idx].Store(false)
 	s.dataRefs[idx] = -1
 	s.pool.ReturnSlot(s.dataBase + idx*s.cfg.DataBufSize)
 }
@@ -677,7 +748,7 @@ func (s *Store) PinExtents(exts []Extent) func() {
 		if s.dataRefs[idx] < 0 {
 			panic("pktstore: pinning data in an unadopted slot")
 		}
-		s.dataPins[idx]++
+		s.dataPins[idx].Add(1)
 	}
 	s.mu.Unlock()
 	var once sync.Once
@@ -686,7 +757,7 @@ func (s *Store) PinExtents(exts []Extent) func() {
 			s.mu.Lock()
 			for _, e := range exts {
 				idx := s.dataSlotIndex(e.Off)
-				s.dataPins[idx]--
+				s.dataPins[idx].Add(-1)
 				s.maybeRecycleLocked(idx)
 			}
 			s.mu.Unlock()

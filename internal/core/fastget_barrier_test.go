@@ -1,0 +1,181 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"packetstore/internal/calib"
+	"packetstore/internal/pmem"
+)
+
+// Satellite tests for the seqlock read path's commit-barrier contract:
+// a staged-but-uncommitted value must never be observable through the
+// lock-free fast path, at any persist-op index of the group commit.
+
+// TestFastGetStagedBarrier: while a group is staged, the fast path must
+// concede (stagedN forces the fallback) so the locked path's read
+// barrier commits the group before serving it — the E10 contract
+// extended to lock-free reads.
+func TestFastGetStagedBarrier(t *testing.T) {
+	_, s := newStore(t, Config{MetaSlots: 512, DataSlots: 512, VerifyOnGet: true})
+	if err := s.PutStaged([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	falls0 := s.fastGetFallbacks.Load()
+	if _, _, done := s.fastGet([]byte("k")); done {
+		t.Fatal("fast path served a read while a staged group was pending")
+	}
+	if s.fastGetFallbacks.Load() == falls0 {
+		t.Fatal("staged-pending fallback not counted")
+	}
+	// The public read still works — through the locked barrier.
+	fences0 := s.Region().Stats().Fences
+	v, ok, err := s.Get([]byte("k"))
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get = %q,%v,%v", v, ok, err)
+	}
+	if s.Region().Stats().Fences == fences0 {
+		t.Fatal("read served a staged record without committing it")
+	}
+	// Once the group is durable the fast path serves it.
+	v2, ok2, done2 := s.fastGet([]byte("k"))
+	if !done2 || !ok2 || string(v2) != "v" {
+		t.Fatalf("fastGet after commit = %q,%v,done=%v", v2, ok2, done2)
+	}
+}
+
+// TestCommitHoldsMutSeqOddAtEveryPersist: every persist op of a staged
+// group commit lands inside the store's mutation bracket (mutSeq odd),
+// so an optimistic reader racing any commit cut point is guaranteed to
+// detect the mutation and retry or fall back — there is no persist-op
+// index at which a half-committed batch looks stable.
+func TestCommitHoldsMutSeqOddAtEveryPersist(t *testing.T) {
+	r, s := newStore(t, Config{MetaSlots: 512, DataSlots: 512, VerifyOnGet: true})
+	for i := 0; i < 8; i++ {
+		if err := s.PutStaged([]byte(fmt.Sprintf("key-%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ops, odd := 0, 0
+	r.SetPersistHook(func(op pmem.PersistOp) pmem.PersistDecision {
+		ops++
+		if s.mutSeq.Load()%2 == 1 {
+			odd++
+		}
+		return pmem.PersistDecision{}
+	})
+	s.Commit()
+	r.SetPersistHook(nil)
+	if ops == 0 {
+		t.Fatal("no persist ops observed")
+	}
+	if odd != ops {
+		t.Fatalf("%d of %d commit persist ops ran outside the mutation bracket", ops-odd, ops)
+	}
+	if s.mutSeq.Load()%2 != 0 {
+		t.Fatal("mutSeq left odd after commit")
+	}
+}
+
+// TestFastGetCrashCutEquivalence cuts the power at every persist-op
+// index inside a batched commit, reopens, and checks the lock-free fast
+// path agrees byte-for-byte with the locked view for every key — and
+// that what it serves is prefix-consistent (pre-batch or batch value,
+// never a torn hybrid). A staged value that did not survive the cut
+// must be invisible to both paths equally.
+func TestFastGetCrashCutEquivalence(t *testing.T) {
+	pmem.SetCrashLogger(func(int64) {})
+	defer pmem.SetCrashLogger(nil)
+	cfg := Config{MetaSlots: 512, DataSlots: 512, VerifyOnGet: true}
+
+	baseline := map[string]string{}
+	runBatch := func(s *Store) {
+		for i := 0; i < 6; i++ {
+			k := fmt.Sprintf("key-%d", i%4) // overwrites and fresh keys
+			if i >= 4 {
+				k = fmt.Sprintf("fresh-%d", i)
+			}
+			if err := s.PutStaged([]byte(k), []byte("new-"+k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Commit()
+	}
+	setup := func() (*pmem.Region, *Store) {
+		r := pmem.New(cfg.RegionSize(), calib.Off())
+		s, err := Open(r, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			k := fmt.Sprintf("key-%d", i)
+			baseline[k] = "old-" + k
+			if err := s.Put([]byte(k), []byte("old-"+k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return r, s
+	}
+
+	r0, s0 := setup()
+	total := 0
+	r0.SetPersistHook(func(op pmem.PersistOp) pmem.PersistDecision {
+		total++
+		return pmem.PersistDecision{}
+	})
+	runBatch(s0)
+	r0.SetPersistHook(nil)
+	if total == 0 {
+		t.Fatal("no persist ops observed")
+	}
+
+	allKeys := []string{"key-0", "key-1", "key-2", "key-3", "fresh-4", "fresh-5"}
+	for cut := 1; cut <= total; cut++ {
+		for _, tear := range []int{0, 13} {
+			r, s := setup()
+			n := 0
+			r.SetPersistHook(func(op pmem.PersistOp) pmem.PersistDecision {
+				n++
+				if n == cut {
+					return pmem.PersistDecision{Cut: true, TearBytes: tear}
+				}
+				return pmem.PersistDecision{}
+			})
+			runBatch(s)
+			r.Crash(int64(cut*100 + tear))
+			s2, err := Open(r, cfg)
+			if err != nil {
+				t.Fatalf("cut %d tear %d: reopen: %v", cut, tear, err)
+			}
+			// Locked view: the index walk under the store mutex.
+			locked := map[string]string{}
+			for _, rec := range dump(t, s2) {
+				locked[string(rec.Key)] = string(rec.Value)
+			}
+			fast0 := s2.fastGets.Load()
+			for _, k := range allKeys {
+				fval, fok, done := s2.fastGet([]byte(k))
+				if !done {
+					t.Fatalf("cut %d tear %d: fast path fell back on quiescent key %q", cut, tear, k)
+				}
+				lval, lok := locked[k]
+				if fok != lok {
+					t.Fatalf("cut %d tear %d: key %q fast ok=%v locked ok=%v", cut, tear, k, fok, lok)
+				}
+				if !fok {
+					continue
+				}
+				if !bytes.Equal(fval, []byte(lval)) {
+					t.Fatalf("cut %d tear %d: key %q fast=%q locked=%q", cut, tear, k, fval, lval)
+				}
+				if v := string(fval); v != "new-"+k && v != baseline[k] {
+					t.Fatalf("cut %d tear %d: key %q fast path served torn value %q", cut, tear, k, v)
+				}
+			}
+			if got := s2.fastGets.Load() - fast0; got != uint64(len(allKeys)) {
+				t.Fatalf("cut %d tear %d: only %d of %d reads took the fast path", cut, tear, got, len(allKeys))
+			}
+		}
+	}
+}

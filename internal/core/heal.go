@@ -48,7 +48,13 @@ func (s *Store) Rehydrate() error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// The whole rebuild is one mutation bracket: lock-free readers fall
+	// back from the first dropped staged put to the rebuilt index, which
+	// also covers the epoch advance — no separate read-side epoch check.
+	s.beginMutLocked()
+	defer s.endMutLocked()
 	s.staged = nil
+	s.stagedN.Store(0)
 	s.fs.Reset()
 	if s.r.ReadUint64(s.base+sbOMagic) != sbMagic || s.validateSuperblock() != nil {
 		s.writeSuperblock()
@@ -117,6 +123,11 @@ func (s *Store) ScrubSlots(cursor, n int) ScrubResult {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.commitStagedLocked()
+	// One bracket for the whole step: repairs rewrite media in place and
+	// retired records unlink, so lock-free readers sit out the step (its
+	// length is already bounded by n to cap serving-latency impact).
+	s.beginMutLocked()
+	defer s.endMutLocked()
 	if cursor < 0 || cursor >= s.cfg.MetaSlots {
 		cursor = 0
 	}
@@ -157,7 +168,7 @@ func (s *Store) ScrubSlots(cursor, n int) ScrubResult {
 				res.Reconstructed++
 			case errors.Is(rerr, ErrUnrecoverable):
 				res.Unrecoverable++
-				s.valueBad[i] = true
+				s.setValueBadLocked(i, true)
 			default: // deferred or metadata damage
 				res.NeedsRebuild++
 			}
@@ -193,9 +204,9 @@ func (s *Store) ScrubSlots(cursor, n int) ScrubResult {
 					res.Reconstructed++
 				case errors.Is(rerr, ErrUnrecoverable):
 					res.Unrecoverable++
-					s.valueBad[i] = true
+					s.setValueBadLocked(i, true)
 				default:
-					s.valueBad[i] = true
+					s.setValueBadLocked(i, true)
 					for _, e := range exts {
 						s.dataHeld[s.dataSlotIndex(e.Off)] = true
 					}
@@ -352,6 +363,11 @@ func (s *Store) CorruptRecord(key []byte, t FlipTarget, pick int, mask byte) int
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.commitStagedLocked()
+	// Injection is a media mutation: bracket it so a lock-free reader
+	// copying the victim's bytes discards its snapshot (the flip may land
+	// mid-copy — pins stop repairs and recycling, not injected damage).
+	s.beginMutLocked()
+	defer s.endMutLocked()
 	idx := s.findGE(key, nil)
 	if idx < 0 || s.compareKey(key, keyPrefix(key), s.slot(idx), false) != 0 {
 		return -1

@@ -128,6 +128,10 @@ func (ss *ShardedStore) EraseDataArea(i int) {
 	if st != nil {
 		st.mu.Lock()
 		defer st.mu.Unlock()
+		// Media mutation: bracket it so the victim's lock-free readers
+		// discard any copy the erasure overlapped.
+		st.beginMutLocked()
+		defer st.endMutLocked()
 	}
 	ss.r.EraseRange(off, n)
 }
@@ -149,7 +153,9 @@ func (ss *ShardedStore) SmashSuperblock(i int) {
 		return
 	}
 	st.mu.Lock()
+	st.beginMutLocked()
 	st.r.CorruptByte(st.base+sbOMagic, 0xff)
+	st.endMutLocked()
 	st.mu.Unlock()
 }
 
@@ -367,7 +373,7 @@ func (s *Store) liftDamageLocked(idx int) {
 	}
 	koff := int(binary.LittleEndian.Uint32(sl[oKOff:]))
 	s.dataHeld[s.dataSlotIndex(koff)] = false
-	s.valueBad[idx] = false
+	s.setValueBadLocked(idx, false)
 	s.scrubStamp[idx] = s.scrubPass
 }
 
@@ -394,6 +400,11 @@ func (s *Store) repairRecordLocked(idx int, groupHeld bool) error {
 	if rt == nil {
 		return errRepairDeferred
 	}
+	// Every caller (scrub step, rescan) already holds a mutation bracket;
+	// nest one anyway so an in-place rewrite can never run with an even
+	// sequence if a future caller forgets.
+	s.beginMutLocked()
+	defer s.endMutLocked()
 	ranges, err := s.recordRangesLocked(s.slot(idx))
 	if err != nil {
 		return err
@@ -406,7 +417,7 @@ func (s *Store) repairRecordLocked(idx int, groupHeld bool) error {
 		// path, which quarantines the shard and owns the whole group.
 		for _, rg := range ranges {
 			for di := s.dataSlotIndex(rg[0]); di <= s.dataSlotIndex(rg[1]-1); di++ {
-				if s.dataPins[di] > 0 {
+				if s.dataPins[di].Load() > 0 {
 					return errRepairDeferred
 				}
 			}

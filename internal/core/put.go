@@ -124,6 +124,8 @@ func (s *Store) putCopy(key, value []byte, staged bool) error {
 // range into s.fs. Nothing is flushed or fenced here — a per-op put is
 // simply a stage followed immediately by commitStagedLocked.
 func (s *Store) stagePutLocked(key []byte, vlen int, opt PutOptions) error {
+	s.beginMutLocked()
+	defer s.endMutLocked()
 	if s.cfg.Breakdown {
 		s.bd.Ops++
 	}
@@ -301,6 +303,12 @@ func (s *Store) stagePutLocked(key []byte, vlen int, opt PutOptions) error {
 		}
 	}
 	s.staged = append(s.staged, p)
+	s.stagedN.Add(1)
+	// Publish the record's descriptor for lock-free readers. They still
+	// cannot serve it before Commit — stagedN forces the fallback, whose
+	// locked read is the commit barrier — but publishing here keeps the
+	// mirror in lockstep with the index links written above.
+	s.publishDescLocked(slotIdx, seq)
 	s.stats.Puts++
 	s.stats.BytesStored += uint64(vlen)
 	return nil
@@ -308,6 +316,11 @@ func (s *Store) stagePutLocked(key []byte, vlen int, opt PutOptions) error {
 
 func (s *Store) writeSlotNextLocked(idx, level, next int) {
 	s.r.WriteUint32(s.slotOff(idx)+oTower+4*level, uint32(next+1))
+	// Mirror the link into the published descriptor, if any, so the
+	// lock-free walk (fastget.go) tracks every retarget.
+	if d := s.recs[idx].Load(); d != nil {
+		d.next[level].Store(uint32(next + 1))
+	}
 }
 
 // writeChainsLocked stages extent-continuation slots into the group's
@@ -413,8 +426,13 @@ type Ref struct {
 
 // GetRef locates key and returns extent references. The referenced data
 // is only guaranteed stable while pinned (PinExtents) or under the
-// caller's own synchronization with deletes.
+// caller's own synchronization with deletes; GetRefPinned does lookup
+// and pin in one atomic step. The common case completes lock-free
+// (fastget.go).
 func (s *Store) GetRef(key []byte) (Ref, bool, error) {
+	if ref, ok, done := s.fastGetRef(key); done {
+		return ref, ok, nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.getRefLocked(key)
@@ -425,7 +443,7 @@ func (s *Store) getRefLocked(key []byte) (Ref, bool, error) {
 	// (and thereby observable) while its durability is still pending,
 	// or a crash could lose a value another client already read.
 	s.commitStagedLocked()
-	s.stats.Gets++
+	s.gets.Add(1)
 	idx := s.findGE(key, nil)
 	if idx < 0 || s.compareKey(key, keyPrefix(key), s.slot(idx), false) != 0 {
 		return Ref{}, false, nil
@@ -440,7 +458,7 @@ func (s *Store) getRefLocked(key []byte) (Ref, bool, error) {
 	if err != nil {
 		return Ref{}, false, err
 	}
-	s.stats.Hits++
+	s.hits.Add(1)
 	return Ref{
 		Extents: exts,
 		VLen:    int(binary.LittleEndian.Uint32(sl[oVLen:])),
@@ -451,11 +469,14 @@ func (s *Store) getRefLocked(key []byte) (Ref, bool, error) {
 }
 
 // Get returns a copy of the value stored under key, verifying its
-// checksum when configured. The copy happens under the store lock, so
-// the returned bytes are stable against concurrent in-place parity
-// repairs rewriting the record's media; zero-copy readers use GetRef
-// and pin their extents instead.
+// checksum when configured. The common case completes lock-free with
+// pinned extents (fastget.go); the slow path copies under the store
+// lock, so in either case the returned bytes are stable against
+// concurrent in-place parity repairs rewriting the record's media.
 func (s *Store) Get(key []byte) ([]byte, bool, error) {
+	if val, ok, done := s.fastGet(key); done {
+		return val, ok, nil
+	}
 	s.mu.Lock()
 	ref, ok, err := s.getRefLocked(key)
 	if err != nil || !ok {
@@ -464,14 +485,19 @@ func (s *Store) Get(key []byte) ([]byte, bool, error) {
 	}
 	out := make([]byte, 0, ref.VLen)
 	var acc checksum.Accumulator
+	nl := 0
 	for _, e := range ref.Extents {
 		b := s.r.Slice(e.Off, e.Len)
-		s.r.Touch(e.Off, e.Len)
+		nl += lineSpan(e.Off, e.Len)
 		out = append(out, b...)
 		if s.cfg.VerifyOnGet {
 			acc.Add(b)
 		}
 	}
+	// One batched latency charge for the whole value instead of a
+	// per-extent Touch: span-by-span charging paid the scheduler
+	// hand-off per extent (the read-path twin of XorDeltaBatch's fix).
+	s.r.TouchLines(nl)
 	s.mu.Unlock()
 	if s.cfg.VerifyOnGet && checksum.Norm16(checksum.Fold(acc.Sum())) != checksum.Norm16(checksum.Fold(ref.Csum)) {
 		return nil, false, fmt.Errorf("%w: checksum mismatch for key %q", ErrCorrupt, key)
@@ -496,6 +522,8 @@ func (s *Store) Delete(key []byte) (bool, error) {
 	}
 	sl := s.slot(idx)
 	height := int(sl[oHeight])
+	s.beginMutLocked()
+	defer s.endMutLocked()
 	// Unlink from every level it occupies.
 	for l := 0; l < height; l++ {
 		next := slotNext(sl, l)

@@ -53,6 +53,16 @@ func (s *Store) rescan(mode rescanMode) error {
 	byKey := make(map[string]int) // key -> survivors index
 	unrecoverable := 0
 
+	// The whole rescan is one mutation bracket: lock-free readers fall
+	// back for its duration, and the descriptor mirror is rebuilt from
+	// scratch alongside the index (survivors republish below; everything
+	// else — excised, deduped, quarantined — stays unpublished).
+	s.beginMutLocked()
+	defer s.endMutLocked()
+	for i := range s.recs {
+		s.recs[i].Store(nil)
+	}
+
 	s.seq, s.count, s.quarantined = 0, 0, 0
 	for i := range s.metaFenced {
 		s.metaFenced[i] = false
@@ -234,6 +244,9 @@ func (s *Store) rescan(mode rescanMode) error {
 		if h < 1 || h > maxHeight {
 			h = 1
 		}
+		// Publish the survivor's descriptor before retargeting its tower:
+		// the writeSlotNextLocked calls below then mirror into it.
+		s.publishDescLocked(rv.idx, rv.seq)
 		for l := 0; l < maxHeight; l++ {
 			// Clear the tower; links below are rewritten as successors
 			// arrive.
@@ -332,6 +345,7 @@ func (s *Store) inDataArea(off, n int) bool {
 }
 
 func (s *Store) clearSeqLocked(idx int) {
+	s.clearDescLocked(idx)
 	off := s.slotOff(idx)
 	s.r.WriteUint64(off+oSeq, 0)
 	s.r.Persist(off+oSeq, 8)

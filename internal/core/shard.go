@@ -541,6 +541,9 @@ func (ss *ShardedStore) Stats() Stats {
 		out.Reconstructions += st.Reconstructions
 		out.UnrecoverableSlots += st.UnrecoverableSlots
 		out.SlotsHeld += st.SlotsHeld
+		out.FastGets += st.FastGets
+		out.FastGetRetries += st.FastGetRetries
+		out.FastGetFallbacks += st.FastGetFallbacks
 	}
 	return out
 }

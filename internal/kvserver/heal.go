@@ -343,6 +343,15 @@ func (h *Healer) Stats() HealStats {
 func (h *Healer) Health() HealthReport {
 	st := h.Stats()
 	rep := healthFromStates(h.ss.States(), &st)
+	if ss := h.ss.Stats(); ss.Gets != 0 || ss.FastGets != 0 || ss.FastGetFallbacks != 0 {
+		rep.Reads = &ReadPathHealth{
+			Gets:             ss.Gets,
+			Hits:             ss.Hits,
+			FastGets:         ss.FastGets,
+			FastGetRetries:   ss.FastGetRetries,
+			FastGetFallbacks: ss.FastGetFallbacks,
+		}
+	}
 	h.mu.Lock()
 	src := h.loopSrc
 	h.mu.Unlock()
@@ -392,14 +401,29 @@ type LoopHealth struct {
 	StealAborts uint64 `json:"steal_aborts"`
 }
 
+// ReadPathHealth is the lock-free read path's section of the healthz
+// report: how many GETs the seqlock fast path served without the shard
+// mutex versus how many conceded to the locked slow path. A fallback
+// ratio near 1 under a read-heavy workload means something is
+// continuously holding mutation brackets (scrub pressure, heavy write
+// churn) and the E14 speedup is not being realised.
+type ReadPathHealth struct {
+	Gets             uint64 `json:"gets"`
+	Hits             uint64 `json:"hits"`
+	FastGets         uint64 `json:"fast_gets"`
+	FastGetRetries   uint64 `json:"fast_get_retries"`
+	FastGetFallbacks uint64 `json:"fast_get_fallbacks"`
+}
+
 // HealthReport is the GET /healthz body. Ready is true only when every
 // shard serves — the poll-for-readiness signal the heal experiment (and
 // an operator's load balancer) watches.
 type HealthReport struct {
-	Ready  bool          `json:"ready"`
-	Shards []ShardHealth `json:"shards"`
-	Scrub  ScrubHealth   `json:"scrub"`
-	Loops  []LoopHealth  `json:"loops,omitempty"`
+	Ready  bool            `json:"ready"`
+	Shards []ShardHealth   `json:"shards"`
+	Scrub  ScrubHealth     `json:"scrub"`
+	Loops  []LoopHealth    `json:"loops,omitempty"`
+	Reads  *ReadPathHealth `json:"reads,omitempty"`
 }
 
 func healthFromStates(states []core.ShardStatus, st *HealStats) HealthReport {

@@ -304,6 +304,7 @@ func TestCommitGroupDetectsMidCycleRebuild(t *testing.T) {
 	if err := x.store.PutStaged([]byte("staged-a"), []byte("v")); err != nil {
 		t.Fatal(err)
 	}
+	x.stagedOps++ // dispatch's accounting; these tests stage directly
 	if !x.commitGroup() {
 		t.Fatal("healthy cycle flagged bad")
 	}
@@ -312,6 +313,7 @@ func TestCommitGroupDetectsMidCycleRebuild(t *testing.T) {
 	if err := x.store.PutStaged([]byte("staged-b"), []byte("v")); err != nil {
 		t.Fatal(err)
 	}
+	x.stagedOps++ // dispatch's accounting; these tests stage directly
 	ss.Quarantine(1, fmt.Errorf("injected"))
 	if x.servingSelf() {
 		t.Fatal("servingSelf true on a quarantined shard")
@@ -366,6 +368,7 @@ func TestCommitGroupGateHoldsUnderSteal(t *testing.T) {
 	if err := x.store.PutStaged([]byte("stolen-a"), []byte("v")); err != nil {
 		t.Fatal(err)
 	}
+	x.stagedOps++ // dispatch's accounting; this test stages directly
 	ss.Quarantine(1, fmt.Errorf("injected"))
 	if err := ss.Rebuild(1); err != nil {
 		t.Fatal(err)

@@ -236,6 +236,9 @@ func (s *Server) Stats() Stats {
 		out.Reconstructions = st.Reconstructions
 		out.UnrecoverableSlots = st.UnrecoverableSlots
 		out.SlotsHeld = st.SlotsHeld
+		out.FastGets = st.FastGets
+		out.FastGetRetries = st.FastGetRetries
+		out.FastGetFallbacks = st.FastGetFallbacks
 	}
 	return out
 }
@@ -767,6 +770,13 @@ type executor struct {
 	// ops counts requests this executor instance dispatched — the
 	// StolenOps accounting for steal cycles.
 	ops uint64
+	// stagedOps counts puts staged into the shard's group this cycle.
+	// Zero means there is no group to commit: commitGroup then skips the
+	// store's Commit round trip (and the acked-write gate re-check, which
+	// only protects staged acks), so a GET-only cycle never takes the
+	// shard mutex or the ownership token — reads stop queueing behind a
+	// stolen shard's drain.
+	stagedOps int
 }
 
 // executorFor resets this loop's executor scratch for a cycle against
@@ -873,6 +883,22 @@ func (x *executor) commitGroup() bool {
 	if x.store == nil {
 		return true
 	}
+	if x.stagedOps == 0 {
+		// Nothing staged this cycle — there is no group to commit and no
+		// buffered staged-PUT ack for the epoch gate to protect. Skip the
+		// Commit round trip and the Epoch read (both take the shard
+		// mutex, which would put every lock-free GET of a read-only
+		// cycle right back behind the write path). The serving check
+		// stays: it resolves at the shard map, and a cycle whose shard
+		// quarantined or was replaced mid-flight must not flush its
+		// buffered responses as if the shard were healthy.
+		if !x.cycleBad && !x.servingSelf() {
+			x.cycleBad = true
+		}
+		x.releaseToken()
+		return !x.cycleBad
+	}
+	x.stagedOps = 0
 	x.store.Commit()
 	if !x.cycleBad && (!x.servingSelf() || x.store.Epoch() != x.cycleEpoch) {
 		x.cycleBad = true
@@ -1179,6 +1205,9 @@ func (x *executor) dispatch(st *connState, pr *pendingReq, staged bool) {
 			}
 			if staged {
 				err = x.store.PutExtentsStaged(pr.req.Key, pr.vlen, opt)
+				if err == nil {
+					x.stagedOps++
+				}
 			} else {
 				err = x.store.PutExtents(pr.req.Key, pr.vlen, opt)
 				x.releaseToken()
@@ -1258,7 +1287,10 @@ func (x *executor) zeroCopyGet(st *connState, key []byte) {
 		st.resp = httpmsg.AppendResponse(st.resp, 503, 0)
 		return
 	}
-	ref, ok, err := tgt.GetRef(key)
+	// Lookup and pin are one atomic step: the old GetRef-then-PinExtents
+	// pair left a window where a delete could recycle the extents' slots
+	// before the pin landed. The common case also completes lock-free.
+	ref, release, ok, err := tgt.GetRefPinned(key)
 	if err != nil {
 		x.lp.stats.errors.Add(1)
 		st.resp = httpmsg.AppendResponse(st.resp, statusForErr(err), 0)
@@ -1269,20 +1301,21 @@ func (x *executor) zeroCopyGet(st *connState, key []byte) {
 		return
 	}
 	// Large values would exceed one segment without TSO; fall back to the
-	// copy path rather than fail.
+	// copy path rather than fail. The pins hold the bytes stable for the
+	// copy, then release before buffering.
 	hdr := httpmsg.AppendResponse(nil, 200, ref.VLen)
 	if len(hdr)+ref.VLen > st.c.MaxSegment() {
 		val := make([]byte, 0, ref.VLen)
 		for _, e := range ref.Extents {
 			val = append(val, tgt.Slice(e.Off, e.Len)...)
 		}
+		release()
 		st.resp = append(st.resp, hdr...)
 		st.resp = append(st.resp, val...)
 		return
 	}
 	x.flushResp(st) // preserve pipelined response order
 	x.lp.stats.zcGets.Add(1)
-	release := tgt.PinExtents(ref.Extents)
 	head := pkt.NewBuf(make([]byte, tcp.HeaderRoom()+len(hdr)))
 	head.Pull(tcp.HeaderRoom())
 	copy(head.Bytes(), hdr)

@@ -57,7 +57,14 @@ type Stats struct {
 	Reconstructions    uint64
 	UnrecoverableSlots uint64
 	SlotsHeld          int
-	ParseTime  time.Duration
+	// Read-path counters sampled from the store at snapshot time:
+	// lock-free GETs served without the shard mutex, optimistic attempts
+	// discarded by a mid-read mutation, and reads that conceded to the
+	// locked slow path (see core's fallback taxonomy).
+	FastGets         uint64
+	FastGetRetries   uint64
+	FastGetFallbacks uint64
+	ParseTime        time.Duration
 	// BusyTime is the time this loop (core) spent servicing requests —
 	// the serving critical path, including emulated PM stalls. Per-loop
 	// snapshots (Server.LoopStats) expose how evenly sharding splits it.
@@ -93,6 +100,9 @@ func (s *Stats) merge(o Stats) {
 	s.Reconstructions += o.Reconstructions
 	s.UnrecoverableSlots += o.UnrecoverableSlots
 	s.SlotsHeld += o.SlotsHeld
+	s.FastGets += o.FastGets
+	s.FastGetRetries += o.FastGetRetries
+	s.FastGetFallbacks += o.FastGetFallbacks
 	s.ParseTime += o.ParseTime
 	s.BusyTime += o.BusyTime
 }

@@ -1,0 +1,33 @@
+package pmem
+
+import "time"
+
+// CopyOut copies [off, off+len(dst)) into dst under the region's write
+// lock, so the copy is atomic with respect to every locked mutator
+// (Write, XorDeltaBatch, XorReconstruct, EraseRange, CorruptByte). It
+// charges no latency: lock-free readers account their PM cost separately
+// with TouchLines, batching the whole value into one charge. Unlike
+// Slice, the returned bytes cannot be torn by a concurrent locked write —
+// the caller still must validate (checksum + sequence recheck) against
+// writers that bypass the lock, such as NIC DMA into recycled slots.
+func (r *Region) CopyOut(dst []byte, off int) {
+	r.check(off, len(dst))
+	r.mu.Lock()
+	copy(dst, r.buf[off:])
+	r.mu.Unlock()
+}
+
+// TouchLines charges the PM read latency for nl cache lines as a single
+// batch: one charge call, one stats update. Per-extent Touch calls pay
+// the scheduler hand-off per span; a read that knows its total footprint
+// batches it here (the read-path analogue of XorDeltaBatch's single
+// write charge).
+func (r *Region) TouchLines(nl int) {
+	if nl <= 0 {
+		return
+	}
+	r.charge(time.Duration(nl) * r.readLine)
+	r.statsMu.Lock()
+	r.stats.Reads += uint64(nl)
+	r.statsMu.Unlock()
+}

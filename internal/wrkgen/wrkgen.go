@@ -44,8 +44,8 @@ type Config struct {
 	// ZipfS is the Zipf skew exponent for DistZipf (s > 1; larger is more
 	// skewed). 0 means the default 1.1.
 	ZipfS float64
-	// PutPct/GetPct/DeletePct are the operation mix out of 100; the
-	// remainder is GETs.
+	// PutPct/DeletePct are the operation mix out of 100; the remainder
+	// is GETs (GetPct derives it).
 	PutPct    int
 	DeletePct int
 	// Pipeline keeps up to this many requests in flight per connection
@@ -86,6 +86,11 @@ type Result struct {
 	Elapsed time.Duration
 	Hist    hdrhist.Hist
 }
+
+// GetPct is the GET share of the mix: whatever PutPct and DeletePct
+// leave over (read-mix sweeps are specified by their read percentage,
+// but the generator's knobs are the write ones).
+func (c Config) GetPct() int { return 100 - c.PutPct - c.DeletePct }
 
 // Throughput returns requests per second.
 func (r Result) Throughput() float64 {
