@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	pktbench -experiment table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|heal|steal|erase|readmix|all \
+//	pktbench -experiment table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|heal|steal|erase|readmix|surge|all \
 //	         [-profile paper|fast|off] [-requests N] [-duration D] [-conns 1,25,50,75,100] \
 //	         [-shards 1,2,4,8] [-batches 1,4,16,64] [-seeds N] [-json FILE]
 //
@@ -43,7 +43,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|heal|steal|erase|readmix|all")
+		experiment = flag.String("experiment", "all", "table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|heal|steal|erase|readmix|surge|all")
 		seeds      = flag.Int("seeds", 256, "torture runs for the crash mode (other modes scale down)")
 		profile    = flag.String("profile", "paper", "latency profile: paper|fast|off")
 		requests   = flag.Int("requests", 4000, "requests per RTT measurement")
@@ -259,6 +259,41 @@ func main() {
 			out := *jsonPath
 			if out == "" || *experiment == "all" {
 				out = "BENCH_readmix.json"
+			}
+			blob, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+			return nil
+		})
+	}
+	if want("surge") {
+		run("E15 surge", func() error {
+			// The surge sweep runs one fixed deployment shape (2 shards,
+			// 96 connections) at offered loads of 0.5x-3x measured
+			// capacity, overload control off and on, plus the breaker
+			// containment episode. Conns/shards honor single-value
+			// overrides.
+			ns := 2
+			if *shardsFlag != "1,2,4,8" && len(shards) == 1 {
+				ns = shards[0]
+			}
+			nc := 96
+			if *connsFlag != "1,25,50,75,100" && len(conns) == 1 {
+				nc = conns[0]
+			}
+			res, err := bench.RunSurge(prof, ns, nc, *duration, nil)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			out := *jsonPath
+			if out == "" || *experiment == "all" {
+				out = "BENCH_surge.json"
 			}
 			blob, err := json.MarshalIndent(res, "", "  ")
 			if err != nil {

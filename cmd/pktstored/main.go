@@ -46,6 +46,11 @@ func main() {
 		heal      = flag.Bool("heal", true, "run the self-healing supervisor (background scrub + online shard rebuild)")
 		scrubIval = flag.Duration("scrub-interval", 5*time.Millisecond, "pause between scrub budget slices")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof (plus a /healthz JSON mirror) on this address, e.g. localhost:6060 (empty = off)")
+
+		overload   = flag.Bool("overload", false, "enable overload control: requests whose X-Budget-Us lapsed are answered 503 unexecuted")
+		ovTarget   = flag.Duration("overload-target", 0, "acceptable queue sojourn before shedding starts (0 = 2ms default)")
+		ovInterval = flag.Duration("overload-interval", 0, "sojourn must stay above target this long before shedding (0 = 50ms default)")
+		retryAfter = flag.Duration("overload-retry-after", 0, "Retry-After-Ms hint on overload 503s (0 = 25ms default)")
 	)
 	flag.Parse()
 	if *shards < 1 {
@@ -80,7 +85,14 @@ func main() {
 		fatal(err)
 	}
 	srv := kvserver.NewNetServerWithConfig(lst, kvserver.ShardedPktStore{S: ss},
-		kvserver.Config{MaxConns: *maxConns, IdleTimeout: *idle})
+		kvserver.Config{MaxConns: *maxConns, IdleTimeout: *idle,
+			Overload: kvserver.OverloadConfig{
+				Enabled: *overload, Target: *ovTarget,
+				Interval: *ovInterval, RetryAfter: *retryAfter,
+			}})
+	if *overload {
+		fmt.Println("pktstored: overload control on (expired X-Budget-Us requests answered 503 unexecuted)")
+	}
 
 	var healer *kvserver.Healer
 	if *heal {

@@ -20,6 +20,10 @@ type Request struct {
 	Method        string
 	Path          string
 	ContentLength int
+	// BudgetUs is the client's remaining latency budget in microseconds
+	// (X-Budget-Us header), or 0 when the client did not send one. The
+	// header is optional, so old clients interoperate unchanged.
+	BudgetUs int64
 	// BodyComplete is set once the whole body has been consumed.
 	BodyComplete bool
 }
@@ -169,12 +173,19 @@ func (p *RequestParser) parseHeaderBlock() error {
 		}
 		name := strings.ToLower(strings.TrimSpace(ln[:colon]))
 		val := strings.TrimSpace(ln[colon+1:])
-		if name == "content-length" {
+		switch name {
+		case "content-length":
 			n, err := strconv.Atoi(val)
 			if err != nil || n < 0 {
 				return fmt.Errorf("httpmsg: bad content-length %q", val)
 			}
 			p.req.ContentLength = n
+		case "x-budget-us":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return fmt.Errorf("httpmsg: bad x-budget-us %q", val)
+			}
+			p.req.BudgetUs = n
 		}
 	}
 	return nil
@@ -184,6 +195,13 @@ func (p *RequestParser) parseHeaderBlock() error {
 // dst, returning the extended slice. The body itself is appended by the
 // caller (possibly as packet fragments).
 func AppendRequest(dst []byte, method, path string, bodyLen int) []byte {
+	return AppendRequestBudget(dst, method, path, bodyLen, 0)
+}
+
+// AppendRequestBudget is AppendRequest plus an X-Budget-Us header when
+// budgetUs > 0: the client's remaining latency budget, letting the server
+// drop the request instead of executing it once the budget has lapsed.
+func AppendRequestBudget(dst []byte, method, path string, bodyLen int, budgetUs int64) []byte {
 	dst = append(dst, method...)
 	dst = append(dst, ' ')
 	dst = append(dst, path...)
@@ -193,6 +211,11 @@ func AppendRequest(dst []byte, method, path string, bodyLen int) []byte {
 		dst = strconv.AppendInt(dst, int64(bodyLen), 10)
 		dst = append(dst, '\r', '\n')
 	}
+	if budgetUs > 0 {
+		dst = append(dst, "X-Budget-Us: "...)
+		dst = strconv.AppendInt(dst, budgetUs, 10)
+		dst = append(dst, '\r', '\n')
+	}
 	return append(dst, '\r', '\n')
 }
 
@@ -200,6 +223,9 @@ func AppendRequest(dst []byte, method, path string, bodyLen int) []byte {
 type Response struct {
 	Status        int
 	ContentLength int
+	// RetryAfterMs is the server's backoff hint in milliseconds
+	// (Retry-After-Ms header on 503 sheds), or 0 when absent.
+	RetryAfterMs int64
 }
 
 // ResponseParser incrementally parses responses on a client connection.
@@ -300,12 +326,21 @@ func (p *ResponseParser) parseStatusBlock() error {
 		if colon < 0 {
 			return fmt.Errorf("httpmsg: malformed header %q", ln)
 		}
-		if strings.EqualFold(strings.TrimSpace(ln[:colon]), "content-length") {
-			n, err := strconv.Atoi(strings.TrimSpace(ln[colon+1:]))
+		name := strings.TrimSpace(ln[:colon])
+		val := strings.TrimSpace(ln[colon+1:])
+		switch {
+		case strings.EqualFold(name, "content-length"):
+			n, err := strconv.Atoi(val)
 			if err != nil || n < 0 {
 				return fmt.Errorf("httpmsg: bad content-length")
 			}
 			p.resp.ContentLength = n
+		case strings.EqualFold(name, "retry-after-ms"):
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return fmt.Errorf("httpmsg: bad retry-after-ms")
+			}
+			p.resp.RetryAfterMs = n
 		}
 	}
 	return nil
@@ -344,6 +379,25 @@ func AppendResponse(dst []byte, status, bodyLen int) []byte {
 	dst = append(dst, StatusText(status)...)
 	dst = append(dst, "\r\nContent-Length: "...)
 	dst = strconv.AppendInt(dst, int64(bodyLen), 10)
+	dst = append(dst, "\r\n\r\n"...)
+	return dst
+}
+
+// AppendResponseRetryAfter serializes a response header block carrying a
+// Retry-After-Ms backoff hint (milliseconds). Used on overload sheds so
+// retrying clients can pace themselves off the server's own estimate
+// instead of a blind exponential schedule.
+func AppendResponseRetryAfter(dst []byte, status, bodyLen int, retryAfterMs int64) []byte {
+	dst = append(dst, "HTTP/1.1 "...)
+	dst = strconv.AppendInt(dst, int64(status), 10)
+	dst = append(dst, ' ')
+	dst = append(dst, StatusText(status)...)
+	dst = append(dst, "\r\nContent-Length: "...)
+	dst = strconv.AppendInt(dst, int64(bodyLen), 10)
+	if retryAfterMs > 0 {
+		dst = append(dst, "\r\nRetry-After-Ms: "...)
+		dst = strconv.AppendInt(dst, retryAfterMs, 10)
+	}
 	dst = append(dst, "\r\n\r\n"...)
 	return dst
 }

@@ -29,6 +29,7 @@ type Client struct {
 	pend    []byte // unconsumed response bytes
 	wbuf    []byte
 	timeout time.Duration
+	budget  time.Duration
 }
 
 // ErrStatus wraps an unexpected HTTP status. StatusError values match it
@@ -43,6 +44,9 @@ var ErrStatus = errors.New("kvclient: unexpected status")
 type StatusError struct {
 	Op     string
 	Status int
+	// RetryAfter is the server's backoff hint (Retry-After-Ms header),
+	// or 0 when the server sent none. The retry layer paces off it.
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
@@ -76,6 +80,18 @@ func (cl *Client) Close() error { return cl.c.Close() }
 // deadline, a server that dies mid-response strands the client forever.
 func (cl *Client) SetTimeout(d time.Duration) { cl.timeout = d }
 
+// SetBudget attaches an X-Budget-Us latency-budget header to every
+// subsequent request (see kvproto: servers that understand it drop the
+// request instead of executing it once the budget lapses; old servers
+// ignore it). Zero disables.
+func (cl *Client) SetBudget(d time.Duration) { cl.budget = d }
+
+// RetryAfter returns the server's backoff hint from the most recently
+// received response (0 when the server sent none).
+func (cl *Client) RetryAfter() time.Duration {
+	return time.Duration(cl.parser.Response().RetryAfterMs) * time.Millisecond
+}
+
 // armDeadline applies the per-request deadline (or clears it) on
 // transports that support one.
 func (cl *Client) armDeadline(t time.Time) {
@@ -101,7 +117,15 @@ func (cl *Client) roundTrip(method, path string, body []byte) (int, []byte, erro
 // in order, and keep enough Recvs flowing that the peer's response
 // stream never backs up.
 func (cl *Client) Send(method, path string, body []byte) error {
-	cl.wbuf = httpmsg.AppendRequest(cl.wbuf[:0], method, path, len(body))
+	return cl.SendBudget(method, path, body, cl.budget)
+}
+
+// SendBudget is Send with an explicit per-request latency budget,
+// overriding the connection-wide SetBudget value. Open-loop load
+// generators use it to send the budget *remaining* after client-side
+// queueing, so the server's doomed-work check sees the truth.
+func (cl *Client) SendBudget(method, path string, body []byte, budget time.Duration) error {
+	cl.wbuf = httpmsg.AppendRequestBudget(cl.wbuf[:0], method, path, len(body), budget.Microseconds())
 	cl.wbuf = append(cl.wbuf, body...)
 	_, err := cl.c.Write(cl.wbuf)
 	return err
@@ -146,7 +170,7 @@ func (cl *Client) Put(key, value []byte) error {
 		return err
 	}
 	if status != 200 && status != 201 {
-		return &StatusError{Op: "PUT", Status: status}
+		return &StatusError{Op: "PUT", Status: status, RetryAfter: cl.RetryAfter()}
 	}
 	return nil
 }
@@ -163,7 +187,7 @@ func (cl *Client) Get(key []byte) ([]byte, bool, error) {
 	case 404:
 		return nil, false, nil
 	}
-	return nil, false, &StatusError{Op: "GET", Status: status}
+	return nil, false, &StatusError{Op: "GET", Status: status, RetryAfter: cl.RetryAfter()}
 }
 
 // Delete removes key; found=false on 404.
@@ -178,7 +202,7 @@ func (cl *Client) Delete(key []byte) (bool, error) {
 	case 404:
 		return false, nil
 	}
-	return false, &StatusError{Op: "DELETE", Status: status}
+	return false, &StatusError{Op: "DELETE", Status: status, RetryAfter: cl.RetryAfter()}
 }
 
 // Range queries [start, end) up to limit records.
@@ -188,7 +212,7 @@ func (cl *Client) Range(start, end []byte, limit int) ([]kvproto.KV, error) {
 		return nil, err
 	}
 	if status != 200 {
-		return nil, &StatusError{Op: "RANGE", Status: status}
+		return nil, &StatusError{Op: "RANGE", Status: status, RetryAfter: cl.RetryAfter()}
 	}
 	return kvproto.DecodeRangeBody(body)
 }

@@ -185,3 +185,155 @@ func TestRetryTimeoutOverOSSockets(t *testing.T) {
 		t.Fatalf("stats = %+v, want 1 redial after the timeout", st)
 	}
 }
+
+func TestRetryHonorsRetryAfterHint(t *testing.T) {
+	// Two 503s carrying a 40ms Retry-After-Ms hint, then success. The
+	// hint must replace the (microsecond) exponential schedule, so the
+	// operation cannot complete in less than two jittered hints (>= 20ms
+	// each at half-jitter).
+	const resp503Hint = "HTTP/1.1 503 Service Unavailable\r\nRetry-After-Ms: 40\r\nContent-Length: 0\r\n\r\n"
+	conn := &scriptConn{resp: []byte(resp503Hint + resp503Hint + resp200)}
+	rc := NewRetry(seqDial(conn), fastRetry(5))
+	start := time.Now()
+	if err := rc.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("retry did not ride through hinted 503s: %v", err)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("completed in %v — the 40ms Retry-After hints were not honored", d)
+	}
+	if st := rc.Stats(); st.Retries != 2 {
+		t.Fatalf("stats = %+v, want 2 retries", st)
+	}
+}
+
+func TestBreakerOpensAndFastFails(t *testing.T) {
+	// Every request 503s: after BreakerThreshold consecutive transient
+	// failures the breaker opens mid-operation, and the next operation
+	// fast-fails locally without touching the connection.
+	conn := &scriptConn{resp: []byte(resp503 + resp503 + resp503 + resp503)}
+	cfg := fastRetry(10)
+	cfg.BreakerThreshold = 3
+	cfg.BreakerCooldown = time.Hour // stay open for the test's lifetime
+	rc := NewRetry(seqDial(conn), cfg)
+	err := rc.Put([]byte("k"), []byte("v"))
+	if !Transient(err) {
+		t.Fatalf("want transient failure, got %v", err)
+	}
+	st := rc.Stats()
+	if st.BreakerOpens != 1 {
+		t.Fatalf("stats = %+v, want 1 breaker open", st)
+	}
+	wrote := conn.wrote.Len()
+	if err := rc.Put([]byte("k"), []byte("v")); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker returned %v, want ErrBreakerOpen", err)
+	}
+	if conn.wrote.Len() != wrote {
+		t.Fatal("fast-fail generated network traffic")
+	}
+	if st := rc.Stats(); st.BreakerFastFails != 1 {
+		t.Fatalf("stats = %+v, want 1 fast-fail", st)
+	}
+	if !Transient(ErrBreakerOpen) {
+		t.Fatal("ErrBreakerOpen must classify transient")
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	// Threshold failures open the breaker; after cooldown, the half-open
+	// probe finds a healthy server and must close the breaker again.
+	// One connection scripts the whole episode: two 503s (the outage),
+	// then 200s (the recovery). 503s keep the connection synchronized, so
+	// the half-open probe rides the same conn and finds it healthy.
+	conn := &scriptConn{resp: []byte(resp503 + resp503 + resp200 + resp200)}
+	cfg := fastRetry(2) // exactly threshold failures, then exhausted
+	cfg.BreakerThreshold = 2
+	cfg.BreakerCooldown = time.Millisecond
+	rc := NewRetry(seqDial(conn), cfg)
+	if err := rc.Put([]byte("k"), []byte("v")); !Transient(err) {
+		t.Fatalf("want transient failure, got %v", err)
+	}
+	if st := rc.Stats(); st.BreakerOpens != 1 {
+		t.Fatalf("stats = %+v, want breaker open", st)
+	}
+	time.Sleep(2 * time.Millisecond) // cooldown passes
+	if err := rc.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if err := rc.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("closed breaker rejected: %v", err)
+	}
+	if st := rc.Stats(); st.BreakerFastFails != 0 {
+		t.Fatalf("stats = %+v, want no fast-fails after recovery", st)
+	}
+}
+
+func TestRetryBudgetStopsAmplification(t *testing.T) {
+	// A bucket of 2 tokens allows two retries across operations; the
+	// third retry is denied and the operation fails with the last error
+	// even though attempts remain.
+	conn := &scriptConn{resp: []byte(resp503 + resp503 + resp503 + resp503)}
+	cfg := fastRetry(10)
+	cfg.RetryBudget = 2
+	rc := NewRetry(seqDial(conn), cfg)
+	err := rc.Put([]byte("k"), []byte("v"))
+	if !Transient(err) {
+		t.Fatalf("want transient failure, got %v", err)
+	}
+	st := rc.Stats()
+	if st.Retries != 2 || st.BudgetDenied != 1 || st.Exhausted != 1 {
+		t.Fatalf("stats = %+v, want 2 retries then a budget denial", st)
+	}
+}
+
+func TestHedgedGetRacesStragglers(t *testing.T) {
+	// The primary server accepts the GET and stalls forever; the hedge
+	// (second dial) answers. The client must return the hedge's response
+	// and adopt its connection as the new primary.
+	lst, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lst.Close()
+	const hedgeVal = "hedged"
+	conns := 0
+	go func() {
+		for {
+			c, err := lst.Accept()
+			if err != nil {
+				return
+			}
+			conns++
+			stall := conns == 1
+			go func(c net.Conn, stall bool) {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						c.Close()
+						return
+					}
+					if stall {
+						continue // swallow: the straggling primary
+					}
+					fmt.Fprintf(c, "HTTP/1.1 200 OK\r\nContent-Length: %d\r\n\r\n%s", len(hedgeVal), hedgeVal)
+				}
+			}(c, stall)
+		}
+	}()
+	rc := NewRetry(func() (Conn, error) {
+		return net.Dial("tcp", lst.Addr().String())
+	}, RetryConfig{Attempts: 2, Backoff: time.Millisecond, BackoffMax: time.Millisecond,
+		Timeout: time.Second, Hedge: 5 * time.Millisecond})
+	defer rc.Close()
+	val, ok, err := rc.Get([]byte("k"))
+	if err != nil || !ok || string(val) != hedgeVal {
+		t.Fatalf("hedged GET = %q, %v, %v; want %q", val, ok, err, hedgeVal)
+	}
+	st := rc.Stats()
+	if st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Fatalf("stats = %+v, want 1 hedge, 1 win", st)
+	}
+	// The adopted hedge connection keeps serving.
+	if val, ok, err := rc.Get([]byte("k")); err != nil || !ok || string(val) != hedgeVal {
+		t.Fatalf("post-hedge GET = %q, %v, %v", val, ok, err)
+	}
+}

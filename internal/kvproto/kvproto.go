@@ -10,6 +10,13 @@
 // Range results use a length-prefixed binary body: repeated
 // (u32 key length, key bytes, u32 value length, value bytes), little
 // endian.
+//
+// Protocol versioning: any request MAY carry an X-Budget-Us header — the
+// client's remaining latency budget in microseconds. Servers that
+// understand it drop requests whose budget has lapsed before execution
+// (503 + Retry-After-Ms); servers that don't simply ignore the header,
+// and clients that don't send it get the original always-execute
+// behavior, so old and new endpoints interoperate in both directions.
 package kvproto
 
 import (
@@ -18,6 +25,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Op identifies a request's operation.
@@ -39,6 +47,11 @@ type Request struct {
 	Start []byte // range
 	End   []byte // range
 	Limit int    // range
+	// Budget is the client's remaining latency budget (from the optional
+	// X-Budget-Us header), or 0 when the client didn't send one. A server
+	// may drop the request instead of executing it once Budget has
+	// elapsed since arrival.
+	Budget time.Duration
 }
 
 // KeyPath builds the request path for a key.

@@ -1,0 +1,172 @@
+package kvserver
+
+import (
+	"testing"
+	"time"
+)
+
+// codelHarness drives the control law with a synthetic clock so the
+// tests are exact: observations advance time explicitly and no real
+// sleeping happens.
+type codelHarness struct {
+	cd  codel
+	now time.Time
+}
+
+func newCodelHarness(target, interval time.Duration) *codelHarness {
+	return &codelHarness{
+		cd:  codel{target: target, interval: interval},
+		now: time.Unix(1000, 0),
+	}
+}
+
+// step advances the clock and feeds one sojourn observation.
+func (h *codelHarness) step(advance, sojourn time.Duration) bool {
+	h.now = h.now.Add(advance)
+	return h.cd.observe(sojourn, h.now)
+}
+
+func TestCodelBelowTargetNeverSheds(t *testing.T) {
+	h := newCodelHarness(2*time.Millisecond, 50*time.Millisecond)
+	for i := 0; i < 1000; i++ {
+		if h.step(time.Millisecond, time.Millisecond) {
+			t.Fatalf("shed at observation %d with sojourn below target", i)
+		}
+	}
+	if h.cd.dropping {
+		t.Fatal("entered dropping with sojourn below target")
+	}
+}
+
+func TestCodelBurstShorterThanIntervalPasses(t *testing.T) {
+	h := newCodelHarness(2*time.Millisecond, 50*time.Millisecond)
+	// 40ms of standing sojourn — above target but shorter than the
+	// interval — then a dip below target. Nothing may shed.
+	for i := 0; i < 40; i++ {
+		if h.step(time.Millisecond, 10*time.Millisecond) {
+			t.Fatalf("shed %dms into a sub-interval burst", i)
+		}
+	}
+	if h.step(time.Millisecond, time.Millisecond) {
+		t.Fatal("shed on the dip that proved the burst drained")
+	}
+	if h.cd.dropping {
+		t.Fatal("dropping after the burst drained")
+	}
+}
+
+func TestCodelStandingQueueTripsAfterInterval(t *testing.T) {
+	h := newCodelHarness(2*time.Millisecond, 50*time.Millisecond)
+	sheds, first := 0, -1
+	for i := 0; i < 60; i++ {
+		if h.step(time.Millisecond, 10*time.Millisecond) {
+			sheds++
+			if first < 0 {
+				first = i
+			}
+		}
+	}
+	if sheds == 0 {
+		t.Fatal("standing queue above target for > interval never shed")
+	}
+	// The first shed must wait out a full interval (50 observations at
+	// 1ms spacing; the first observation only arms the deadline).
+	if first < 50 {
+		t.Fatalf("first shed at observation %d, before the interval elapsed", first)
+	}
+	if !h.cd.dropping {
+		t.Fatal("not in dropping state with the queue still standing")
+	}
+}
+
+func TestCodelDropRateTightens(t *testing.T) {
+	h := newCodelHarness(2*time.Millisecond, 50*time.Millisecond)
+	// Hold a standing queue for 2 simulated seconds and collect shed
+	// times. CoDel paces sheds at interval/sqrt(count): the gaps must
+	// shrink monotonically-ish; compare first gap vs a later one.
+	var shedAt []time.Duration
+	start := h.now
+	for i := 0; i < 2000; i++ {
+		if h.step(time.Millisecond, 10*time.Millisecond) {
+			shedAt = append(shedAt, h.now.Sub(start))
+		}
+	}
+	if len(shedAt) < 6 {
+		t.Fatalf("only %d sheds in 2s of standing queue", len(shedAt))
+	}
+	firstGap := shedAt[1] - shedAt[0]
+	lastGap := shedAt[len(shedAt)-1] - shedAt[len(shedAt)-2]
+	if lastGap >= firstGap {
+		t.Fatalf("drop pacing did not tighten: first gap %v, last gap %v", firstGap, lastGap)
+	}
+}
+
+func TestCodelDipExitsDropping(t *testing.T) {
+	h := newCodelHarness(2*time.Millisecond, 50*time.Millisecond)
+	for i := 0; i < 200; i++ {
+		h.step(time.Millisecond, 10*time.Millisecond)
+	}
+	if !h.cd.dropping {
+		t.Fatal("not dropping after 200ms standing queue")
+	}
+	if h.step(time.Millisecond, time.Millisecond) {
+		t.Fatal("shed on a sojourn below target")
+	}
+	if h.cd.dropping {
+		t.Fatal("dip below target did not exit dropping")
+	}
+	// And a fresh standing queue must again wait out a full interval
+	// before shedding resumes (possibly faster via the restart
+	// heuristic, but never instantly).
+	if h.step(time.Millisecond, 10*time.Millisecond) {
+		t.Fatal("shed immediately after leaving dropping")
+	}
+}
+
+func TestCodelRelapseResumesNearOldRate(t *testing.T) {
+	h := newCodelHarness(2*time.Millisecond, 50*time.Millisecond)
+	// Build up a high drop count.
+	for i := 0; i < 1000; i++ {
+		h.step(time.Millisecond, 10*time.Millisecond)
+	}
+	countBefore := h.cd.count
+	if countBefore < 4 {
+		t.Fatalf("drop count %d too low to exercise the restart heuristic", countBefore)
+	}
+	// Brief dip, then an immediate relapse.
+	h.step(time.Millisecond, time.Millisecond)
+	relapseSheds := 0
+	for i := 0; i < 60; i++ {
+		if h.step(time.Millisecond, 10*time.Millisecond) {
+			relapseSheds++
+		}
+	}
+	if relapseSheds == 0 {
+		t.Fatal("relapse never resumed shedding")
+	}
+	// The restart heuristic (count - 2) must carry history over: the
+	// count after re-entering dropping starts near the old rate instead
+	// of from 1.
+	if h.cd.count < countBefore/2 {
+		t.Fatalf("restart count %d lost the drop history (was %d)", h.cd.count, countBefore)
+	}
+}
+
+func TestOverloadConfigDefaults(t *testing.T) {
+	var c OverloadConfig
+	c.fill(8)
+	if c.Target != 2*time.Millisecond || c.Interval != 50*time.Millisecond {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if c.RetryAfter != 25*time.Millisecond {
+		t.Fatalf("RetryAfter default = %v", c.RetryAfter)
+	}
+	if c.BrownoutBatch != 32 {
+		t.Fatalf("BrownoutBatch = %d, want 4x MaxBatch", c.BrownoutBatch)
+	}
+	c = OverloadConfig{}
+	c.fill(2)
+	if c.BrownoutBatch != 16 {
+		t.Fatalf("BrownoutBatch floor = %d, want 16", c.BrownoutBatch)
+	}
+}

@@ -31,6 +31,17 @@ type Healer struct {
 	stats   HealStats
 	rejoins []time.Duration
 	loopSrc func() []Stats // optional: Server.LoopStats for healthz
+	// pressureSrc is the server's overload signal (Server.Pressure,
+	// 0..1): the scrubber sheds its own budget first when the serving
+	// path is browned out — background PM reads are the most
+	// discretionary work in the system.
+	pressureSrc func() float64
+	// breakerSrc optionally aggregates client-side circuit-breaker
+	// opens (kvclient.RetryStats.BreakerOpens) for deployments that
+	// co-locate the store's clients (benches, sidecar proxies), so
+	// breaker transitions surface in /healthz next to the server-side
+	// overload counters.
+	breakerSrc func() uint64
 
 	// rejoinC publishes each rejoin sample the moment a rebuild
 	// re-admits its shard — the event-driven wait the heal benchmarks
@@ -106,6 +117,10 @@ type HealStats struct {
 	// are visible in the store's own counters).
 	Reconstructions    uint64
 	UnrecoverableSlots uint64
+	// ScrubThrottled counts scrub steps that ran with a reduced (or
+	// zero) slot budget because the serving path was under overload
+	// pressure (see Healer.SetPressureSource).
+	ScrubThrottled uint64
 	// ShardsDown / ShardsRebuilding are gauges sampled at Stats time.
 	ShardsDown       int
 	ShardsRebuilding int
@@ -155,6 +170,26 @@ func (h *Healer) RejoinC() <-chan time.Duration { return h.rejoinC }
 func (h *Healer) SetLoopSource(fn func() []Stats) {
 	h.mu.Lock()
 	h.loopSrc = fn
+	h.mu.Unlock()
+}
+
+// SetPressureSource wires the server's overload signal (typically
+// Server.Pressure) into the supervisor: while loops are browned out the
+// scrub budget shrinks proportionally — at full pressure scrub steps
+// skip entirely — so background PM scans stop competing with the
+// serving path exactly when it is saturated.
+func (h *Healer) SetPressureSource(fn func() float64) {
+	h.mu.Lock()
+	h.pressureSrc = fn
+	h.mu.Unlock()
+}
+
+// SetBreakerSource wires an aggregate of client-side circuit-breaker
+// opens into the healthz report's overload section, for deployments
+// that co-locate the store's own clients.
+func (h *Healer) SetBreakerSource(fn func() uint64) {
+	h.mu.Lock()
+	h.breakerSrc = fn
 	h.mu.Unlock()
 }
 
@@ -266,7 +301,23 @@ func (h *Healer) scrubStep(i int) {
 	}
 	h.mu.Lock()
 	cursor := h.cursors[i]
+	pressure := h.pressureSrc
 	h.mu.Unlock()
+	// Overload brownout throttles the scrub budget first: background
+	// CRC walks are pure discretionary PM traffic, so they yield their
+	// share of the media and the store locks to the serving path.
+	budget := h.cfg.ScrubSlots
+	if pressure != nil {
+		if p := pressure(); p > 0 {
+			budget = int(float64(h.cfg.ScrubSlots) * (1 - p))
+			h.mu.Lock()
+			h.stats.ScrubThrottled++
+			h.mu.Unlock()
+			if budget <= 0 {
+				return
+			}
+		}
+	}
 	if cursor == 0 {
 		if err := st.CheckSuperblock(); err != nil {
 			h.ss.Quarantine(i, err)
@@ -276,7 +327,7 @@ func (h *Healer) scrubStep(i int) {
 			return
 		}
 	}
-	res := st.ScrubSlots(cursor, h.cfg.ScrubSlots)
+	res := st.ScrubSlots(cursor, budget)
 	h.mu.Lock()
 	h.cursors[i] = res.Next
 	h.stats.ScrubErrorsFound += uint64(res.Bad)
@@ -354,8 +405,10 @@ func (h *Healer) Health() HealthReport {
 	}
 	h.mu.Lock()
 	src := h.loopSrc
+	brkSrc := h.breakerSrc
 	h.mu.Unlock()
 	if src != nil {
+		var ov OverloadHealth
 		for q, ls := range src() {
 			rep.Loops = append(rep.Loops, LoopHealth{
 				Queue:       q,
@@ -364,8 +417,25 @@ func (h *Healer) Health() HealthReport {
 				Steals:      ls.Steals,
 				StolenOps:   ls.StolenOps,
 				StealAborts: ls.StealAborts,
+				Brownout:    ls.BrownoutLoops > 0,
+				Expired:     ls.Expired,
+				CoDelSheds:  ls.CoDelSheds,
 			})
+			ov.Sheds += ls.Sheds
+			ov.IdleClosed += ls.IdleClosed
+			ov.Expired += ls.Expired
+			ov.CoDelSheds += ls.CoDelSheds
+			ov.Brownouts += ls.Brownouts
+			ov.BrownoutLoops += ls.BrownoutLoops
+			ov.QueueDelayMs += float64(ls.QueueDelay) / float64(time.Millisecond)
 		}
+		rep.Overload = &ov
+	}
+	if brkSrc != nil {
+		if rep.Overload == nil {
+			rep.Overload = &OverloadHealth{}
+		}
+		rep.Overload.BreakerOpens = brkSrc()
 	}
 	return rep
 }
@@ -386,6 +456,7 @@ type ScrubHealth struct {
 	RebuildFailures uint64 `json:"rebuild_failures"`
 	Reconstructions uint64 `json:"reconstructions"`
 	Unrecoverable   uint64 `json:"unrecoverable_slots"`
+	Throttled       uint64 `json:"throttled,omitempty"`
 }
 
 // LoopHealth is one event loop's scheduler view in the healthz report:
@@ -399,6 +470,26 @@ type LoopHealth struct {
 	Steals      uint64 `json:"steals"`
 	StolenOps   uint64 `json:"stolen_ops"`
 	StealAborts uint64 `json:"steal_aborts"`
+	// Overload view: whether the loop's CoDel controller is currently
+	// shedding (brownout), and its doomed-work/shed counters.
+	Brownout   bool   `json:"brownout,omitempty"`
+	Expired    uint64 `json:"expired,omitempty"`
+	CoDelSheds uint64 `json:"codel_sheds,omitempty"`
+}
+
+// OverloadHealth is the overload-control section of the healthz report:
+// the accept-layer and queue-controller shed counters that were
+// previously invisible to operators, aggregated across loops, plus the
+// optional client-side breaker aggregate (SetBreakerSource).
+type OverloadHealth struct {
+	Sheds         uint64  `json:"sheds"`
+	IdleClosed    uint64  `json:"idle_closed"`
+	Expired       uint64  `json:"expired"`
+	CoDelSheds    uint64  `json:"codel_sheds"`
+	Brownouts     uint64  `json:"brownouts"`
+	BrownoutLoops int     `json:"brownout_loops"`
+	QueueDelayMs  float64 `json:"queue_delay_ms"`
+	BreakerOpens  uint64  `json:"breaker_opens,omitempty"`
 }
 
 // ReadPathHealth is the lock-free read path's section of the healthz
@@ -419,11 +510,12 @@ type ReadPathHealth struct {
 // shard serves — the poll-for-readiness signal the heal experiment (and
 // an operator's load balancer) watches.
 type HealthReport struct {
-	Ready  bool            `json:"ready"`
-	Shards []ShardHealth   `json:"shards"`
-	Scrub  ScrubHealth     `json:"scrub"`
-	Loops  []LoopHealth    `json:"loops,omitempty"`
-	Reads  *ReadPathHealth `json:"reads,omitempty"`
+	Ready    bool            `json:"ready"`
+	Shards   []ShardHealth   `json:"shards"`
+	Scrub    ScrubHealth     `json:"scrub"`
+	Loops    []LoopHealth    `json:"loops,omitempty"`
+	Reads    *ReadPathHealth `json:"reads,omitempty"`
+	Overload *OverloadHealth `json:"overload,omitempty"`
 }
 
 func healthFromStates(states []core.ShardStatus, st *HealStats) HealthReport {
@@ -443,6 +535,7 @@ func healthFromStates(states []core.ShardStatus, st *HealStats) HealthReport {
 			RebuildFailures: st.RebuildFailures,
 			Reconstructions: st.Reconstructions,
 			Unrecoverable:   st.UnrecoverableSlots,
+			Throttled:       st.ScrubThrottled,
 		}
 	}
 	return rep

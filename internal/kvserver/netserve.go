@@ -27,6 +27,7 @@ type NetServer struct {
 
 	sheds      atomic.Uint64
 	idleClosed atomic.Uint64
+	expired    atomic.Uint64
 }
 
 // NewNetServer wraps an OS listener.
@@ -39,13 +40,17 @@ func NewNetServer(lst net.Listener, backend Backend) *NetServer {
 // Config.IdleTimeout bounds every read so a stalled client cannot hold a
 // serving goroutine forever.
 func NewNetServerWithConfig(lst net.Listener, backend Backend, cfg Config) *NetServer {
+	cfg.fill()
 	return &NetServer{backend: backend, lst: lst, cfg: cfg, conns: make(map[net.Conn]struct{})}
 }
 
 // Sheds counts connections rejected at the MaxConns cap; IdleClosed
-// counts connections closed by the read deadline.
+// counts connections closed by the read deadline; Expired counts
+// requests dropped unexecuted because their client budget lapsed
+// (Config.Overload.Enabled).
 func (s *NetServer) Sheds() uint64      { return s.sheds.Load() }
 func (s *NetServer) IdleClosed() uint64 { return s.idleClosed.Load() }
+func (s *NetServer) Expired() uint64    { return s.expired.Load() }
 
 // SetHealthSource installs the GET /healthz report producer — normally
 // (*Healer).Health. Without one, /healthz reports ready unconditionally.
@@ -77,7 +82,7 @@ func (s *NetServer) Serve() error {
 		s.mu.Unlock()
 		if full {
 			s.sheds.Add(1)
-			c.Write(httpmsg.AppendResponse(nil, 503, 0))
+			c.Write(httpmsg.AppendResponseRetryAfter(nil, 503, 0, s.cfg.Overload.RetryAfter.Milliseconds()))
 			c.Close()
 			continue
 		}
@@ -113,6 +118,7 @@ func (s *NetServer) serveConn(c net.Conn) {
 	var cur kvproto.Request
 	var curErr error
 	var curHealth bool
+	var deadline time.Time
 
 	for {
 		if s.cfg.IdleTimeout > 0 {
@@ -125,6 +131,10 @@ func (s *NetServer) serveConn(c net.Conn) {
 			}
 			return
 		}
+		// Arrival stamp for the whole chunk: pipelined requests deeper in
+		// the buffer age against it while earlier ones execute, so a
+		// backlog on this connection shows up as lapsed budgets.
+		chunkAt := time.Now()
 		chunk := rbuf[:n]
 		resp = resp[:0]
 		for len(chunk) > 0 {
@@ -140,14 +150,24 @@ func (s *NetServer) serveConn(c net.Conn) {
 				if !curHealth {
 					cur, curErr = kvproto.Parse(hreq.Method, hreq.Path)
 				}
+				deadline = time.Time{}
+				if s.cfg.Overload.Enabled && hreq.BudgetUs > 0 {
+					deadline = chunkAt.Add(time.Duration(hreq.BudgetUs) * time.Microsecond)
+				}
 				body = body[:0]
 			}
 			body = append(body, chunk[res.Body.Off:res.Body.Off+res.Body.Len]...)
 			chunk = chunk[res.Consumed:]
 			if res.Done {
-				if curHealth {
+				switch {
+				case curHealth:
 					resp = s.appendHealth(resp)
-				} else {
+				case !deadline.IsZero() && time.Now().After(deadline) && curErr == nil:
+					// Doomed-work elimination: the client's budget lapsed
+					// before execution; answer 503 instead of executing.
+					s.expired.Add(1)
+					resp = httpmsg.AppendResponseRetryAfter(resp, 503, 0, s.cfg.Overload.RetryAfter.Milliseconds())
+				default:
 					resp = s.respond(resp, cur, curErr, body)
 				}
 				parser.Reset()
@@ -163,7 +183,11 @@ func (s *NetServer) serveConn(c net.Conn) {
 
 // appendHealth serves GET /healthz: the JSON HealthReport, 200 when
 // every shard serves and 503 while any is down or rebuilding — the body
-// is present either way so a poller can see per-shard progress.
+// is present either way so a poller can see per-shard progress. The
+// accept layer's own overload counters (connections shed at the
+// MaxConns cap, idle closes, expired-budget drops) are merged into the
+// report's overload section, so they are visible to operators even
+// without a healer wired.
 func (s *NetServer) appendHealth(resp []byte) []byte {
 	s.mu.Lock()
 	fn := s.health
@@ -172,6 +196,12 @@ func (s *NetServer) appendHealth(resp []byte) []byte {
 	if fn != nil {
 		rep = fn()
 	}
+	if rep.Overload == nil {
+		rep.Overload = &OverloadHealth{}
+	}
+	rep.Overload.Sheds += s.sheds.Load()
+	rep.Overload.IdleClosed += s.idleClosed.Load()
+	rep.Overload.Expired += s.expired.Load()
 	b, err := json.Marshal(rep)
 	if err != nil {
 		return httpmsg.AppendResponse(resp, 500, 0)

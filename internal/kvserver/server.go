@@ -67,9 +67,15 @@ type Config struct {
 	MaxBatch int
 	// Steal configures the work-stealing scheduler.
 	Steal StealConfig
+	// Overload configures deadline-aware admission and the CoDel
+	// run-queue controller (see OverloadConfig). Disabled by default.
+	Overload OverloadConfig
 }
 
-func (c *Config) fill() { c.Steal.fill() }
+func (c *Config) fill() {
+	c.Steal.fill()
+	c.Overload.fill(c.MaxBatch)
+}
 
 // Server is the storage server application. One event-loop goroutine per
 // NIC RSS queue emulates the paper's busy-polling server cores. With a
@@ -109,6 +115,10 @@ type sched struct {
 	// at the steal poll rate must not contend with the hot loop's
 	// scheduling path.
 	qlen atomic.Int32
+	// cd is the CoDel sojourn controller over this run queue
+	// (Config.Overload); guarded by mu like the queue it watches, since
+	// observations come from popBatch on home and stealer goroutines.
+	cd codel
 }
 
 // loop is one event-loop "core": the home of the connections whose flows
@@ -137,6 +147,12 @@ type loop struct {
 	// convoy on the shard token — and a loop parked in Acquire is a loop
 	// not draining the shared accept channel.
 	theft atomic.Bool
+	// brownout mirrors the CoDel controller's dropping state outside
+	// sched.mu: while set, batchMax returns the larger BrownoutBatch
+	// (fence amortization when it buys the most), idle peers stop
+	// stealing extra work onto this loop, and Server.Pressure reports
+	// the loop as pressed so the Healer throttles background scrub.
+	brownout atomic.Bool
 
 	// arenas holds this goroutine's key arena per target shard. Steal
 	// cycles execute on the stealer's goroutine, so arenas never need
@@ -206,6 +222,7 @@ func NewWithConfig(stk *tcp.Stack, port uint16, backend Backend, cfg Config) (*S
 			arenas: make(map[int]*keyArena),
 		}
 		lp.sched.conns = make(map[*tcp.Conn]*connState)
+		lp.sched.cd = codel{target: cfg.Overload.Target, interval: cfg.Overload.Interval}
 		if s.sharded != nil {
 			pool := stk.NIC().RxPoolQ(q)
 			for i := 0; i < s.sharded.Shards(); i++ {
@@ -253,8 +270,28 @@ func (s *Server) LoopStats() []Stats {
 	for i, lp := range s.loops {
 		out[i] = lp.stats.Snapshot()
 		out[i].QueueDepth = lp.depth()
+		if lp.brownout.Load() {
+			out[i].BrownoutLoops = 1
+		}
 	}
 	return out
+}
+
+// Pressure is the overload signal exported to background work (the
+// Healer's scrub budget, steal admission): the fraction of event loops
+// currently in brownout, 0 when fully healthy through 1 when every
+// loop's queue controller is shedding.
+func (s *Server) Pressure() float64 {
+	if len(s.loops) == 0 {
+		return 0
+	}
+	n := 0
+	for _, lp := range s.loops {
+		if lp.brownout.Load() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.loops))
 }
 
 // Run services the event loops until Close. The caller's goroutine runs
@@ -375,6 +412,15 @@ func (lp *loop) register(c *tcp.Conn) {
 // from any goroutine; stealers use it to queue the events they pulled
 // off the victim's ready channel.
 func (lp *loop) noteReady(c *tcp.Conn) {
+	// With overload control on, anchor the queue-entry stamp at the
+	// arrival time persisted in the oldest pending packet buffer rather
+	// than at this wakeup: ready-channel and scheduler delays upstream of
+	// the run queue are queueing too, and anchoring at wakeup would hide
+	// them from the CoDel sojourn and the request deadline.
+	var arrival time.Time
+	if lp.srv.cfg.Overload.Enabled {
+		arrival = c.OldestRxTime()
+	}
 	lp.sched.mu.Lock()
 	st := lp.sched.conns[c]
 	if st == nil {
@@ -390,6 +436,10 @@ func (lp *loop) noteReady(c *tcp.Conn) {
 		st.repost = true
 	} else if !st.queued && !st.dead {
 		st.queued = true
+		st.readyAt = time.Now()
+		if !arrival.IsZero() && arrival.Before(st.readyAt) {
+			st.readyAt = arrival
+		}
 		lp.sched.runq = append(lp.sched.runq, st)
 		lp.sched.qlen.Store(int32(len(lp.sched.runq)))
 	}
@@ -399,7 +449,19 @@ func (lp *loop) noteReady(c *tcp.Conn) {
 // popBatch claims up to max runnable connections for an executor,
 // appending them to out. A claimed connection is untouchable by every
 // other goroutine until doneWith returns it.
+//
+// With Config.Overload enabled this is also the CoDel observation
+// point: each claim's run-queue sojourn feeds the controller, and when
+// the law says shed, the *newest* queued connection is claimed into the
+// batch with its shed503 flag set — the executor answers its pending
+// requests with 503+Retry-After-Ms instead of executing them. Shedding
+// newest-over-oldest keeps the requests that have already waited (and
+// whose clients have already invested their budget) while pushing back
+// on fresh arrivals.
 func (lp *loop) popBatch(out []*connState, max int) []*connState {
+	overload := lp.srv.cfg.Overload.Enabled
+	var now time.Time
+	var minSojourn, sumSojourn time.Duration
 	lp.sched.mu.Lock()
 	q := lp.sched.runq
 	n := 0
@@ -412,6 +474,15 @@ func (lp *loop) popBatch(out []*connState, max int) []*connState {
 		}
 		st.claimed = true
 		out = append(out, st)
+		if overload {
+			if now.IsZero() {
+				now = time.Now()
+				minSojourn = now.Sub(st.readyAt)
+			} else if d := now.Sub(st.readyAt); d < minSojourn {
+				minSojourn = d
+			}
+			sumSojourn += now.Sub(st.readyAt)
+		}
 	}
 	// Shift the consumed prefix out, nilling the vacated tail so the
 	// backing array does not retain dead connStates.
@@ -419,7 +490,34 @@ func (lp *loop) popBatch(out []*connState, max int) []*connState {
 	for i := len(q) - n; i < len(q); i++ {
 		q[i] = nil
 	}
-	lp.sched.runq = q[:len(q)-n]
+	q = q[:len(q)-n]
+	if overload && !now.IsZero() {
+		lp.stats.queueDelayNanos.Add(int64(sumSojourn))
+		if lp.sched.cd.observe(minSojourn, now) {
+			// Shed the newest queued connection (the run-queue tail).
+			for len(q) > 0 {
+				st := q[len(q)-1]
+				q[len(q)-1] = nil
+				q = q[:len(q)-1]
+				st.queued = false
+				if st.claimed || st.dead {
+					continue
+				}
+				st.claimed = true
+				st.shed503 = true
+				out = append(out, st)
+				lp.stats.codelSheds.Add(1)
+				break
+			}
+		}
+		if was := lp.brownout.Load(); was != lp.sched.cd.dropping {
+			lp.brownout.Store(lp.sched.cd.dropping)
+			if !was {
+				lp.stats.brownouts.Add(1)
+			}
+		}
+	}
+	lp.sched.runq = q
 	lp.sched.qlen.Store(int32(len(lp.sched.runq)))
 	lp.sched.mu.Unlock()
 	return out
@@ -434,6 +532,7 @@ func (lp *loop) doneWith(batch []*connState) {
 	lp.sched.mu.Lock()
 	for _, st := range batch {
 		st.claimed = false
+		st.shed503 = false
 		if st.repost {
 			st.repost = false
 			if !st.dead && !st.queued {
@@ -464,9 +563,18 @@ func (lp *loop) depth() int {
 	return s.stk.ReadyLenQ(lp.q) + s.stk.NIC().RxQueueLen(lp.q) + lp.queuedLen()
 }
 
-// batchMax is the claim size for one service cycle.
+// batchMax is the claim size for one service cycle. In brownout the
+// group-commit burst is forced up to BrownoutBatch: under pressure a
+// bigger group amortizes its one fence over more PUTs, which is exactly
+// when that trade is worth the added per-request latency.
 func (lp *loop) batchMax() int {
-	if m := lp.srv.cfg.MaxBatch; m > 1 {
+	m := lp.srv.cfg.MaxBatch
+	if m > 1 && lp.brownout.Load() {
+		if b := lp.srv.cfg.Overload.BrownoutBatch; b > m {
+			return b
+		}
+	}
+	if m > 1 {
 		return m
 	}
 	return 1
@@ -561,8 +669,9 @@ func (lp *loop) drainAccepts() (open bool) {
 // loop here.
 func (lp *loop) gather(rx <-chan *tcp.Conn) {
 	idle := 0
-	budget := 4 * lp.srv.cfg.MaxBatch
-	for polls := 0; lp.queuedLen() < lp.srv.cfg.MaxBatch && idle < 2 && polls < budget; polls++ {
+	target := lp.batchMax()
+	budget := 4 * target
+	for polls := 0; lp.queuedLen() < target && idle < 2 && polls < budget; polls++ {
 		select {
 		case c, ok := <-rx:
 			if !ok {
@@ -600,7 +709,10 @@ func (lp *loop) trySteal() bool {
 		return false
 	}
 	// Steal only from genuine idleness — the local backlog has priority.
-	if lp.queuedLen() > 0 || s.stk.ReadyLenQ(lp.q) > 0 {
+	// A loop still in brownout is not idle either: its controller has
+	// not yet proven the standing queue drained, so taking on a peer's
+	// work would feed the very pressure the brownout is shedding.
+	if lp.queuedLen() > 0 || s.stk.ReadyLenQ(lp.q) > 0 || lp.brownout.Load() {
 		return false
 	}
 	var victim *loop
@@ -651,11 +763,12 @@ pull:
 }
 
 // shed rejects a connection at the MaxConns cap: the client gets an
-// immediate 503 and the connection closes, keeping per-loop state
-// bounded under connection floods.
+// immediate 503 (with the Retry-After-Ms pacing hint) and the
+// connection closes, keeping per-loop state bounded under connection
+// floods.
 func (lp *loop) shed(c *tcp.Conn) {
 	lp.stats.sheds.Add(1)
-	resp := httpmsg.AppendResponse(nil, 503, 0)
+	resp := httpmsg.AppendResponseRetryAfter(nil, 503, 0, lp.srv.cfg.Overload.RetryAfter.Milliseconds())
 	c.Write(resp)
 	c.Close()
 }
@@ -711,6 +824,19 @@ type connState struct {
 	// holds the connection — nobody else may touch it. repost: a
 	// readable event arrived while claimed; requeue on release.
 	queued, claimed, repost bool
+	// shed503 marks a connection claimed by a CoDel shed decision: the
+	// executor parses its pending requests (cheap) but answers each
+	// with 503+Retry-After-Ms instead of executing (the expensive
+	// part), keeping the HTTP pipeline synchronized. Set under sched.mu
+	// at claim time, read by the claiming executor, cleared at release.
+	shed503 bool
+	// readyAt is when the connection last entered the run queue — with
+	// overload control on, backdated to the arrival stamp of its oldest
+	// pending packet, so delivery delays upstream of the queue count.
+	// Set under sched.mu by noteReady: the base of the CoDel sojourn
+	// observation and a fallback anchor for the request deadline (+ client
+	// budget).
+	readyAt time.Time
 	// lastActive is the last time the connection delivered bytes; the
 	// idle sweep closes connections stalled past Config.IdleTimeout.
 	lastActive time.Time
@@ -720,6 +846,11 @@ type connState struct {
 type pendingReq struct {
 	req      kvproto.Request
 	parseErr error
+	// deadline is when the client's latency budget lapses (readyAt +
+	// X-Budget-Us); zero when the client sent no budget or overload
+	// control is off. A request past it at dispatch is answered 503
+	// without executing — the client has already given up on it.
+	deadline time.Time
 	// Zero-copy PUT assembly.
 	keyOff int
 	exts   []core.Extent
@@ -1059,7 +1190,27 @@ func (x *executor) beginRequest(st *connState, b *pkt.Buf, zc bool) {
 		return
 	}
 	pr.req = req
-	if req.Op == kvproto.OpPut && zc && x.srv.sharded.ShardFor(req.Key) == x.shard {
+	if hreq.BudgetUs > 0 && x.srv.cfg.Overload.Enabled {
+		pr.req.Budget = time.Duration(hreq.BudgetUs) * time.Microsecond
+		// Anchor at the arrival stamp persisted in the packet buffer that
+		// carried this request's header (NIC hardware stamp when
+		// offloaded, stack software stamp otherwise): the budget then
+		// covers every wait the request has suffered since it reached the
+		// host — socket queues, ready channels, run queue — not just the
+		// parse-to-dispatch gap.
+		anchor := b.HWTime
+		if anchor.IsZero() {
+			anchor = b.Time
+		}
+		if anchor.IsZero() {
+			anchor = st.readyAt
+		}
+		if anchor.IsZero() {
+			anchor = time.Now()
+		}
+		pr.deadline = anchor.Add(pr.req.Budget)
+	}
+	if req.Op == kvproto.OpPut && zc && !st.shed503 && x.srv.sharded.ShardFor(req.Key) == x.shard {
 		// The zero-copy path writes through the executor's direct store
 		// pointer, so it must not ingest into a shard the sharded router
 		// has quarantined — the copy path routes through the router, which
@@ -1180,6 +1331,25 @@ func (x *executor) dispatch(st *connState, pr *pendingReq, staged bool) {
 	if pr.parseErr != nil {
 		x.lp.stats.errors.Add(1)
 		st.resp = httpmsg.AppendResponse(st.resp, 400, 0)
+		return
+	}
+	if st.shed503 {
+		// CoDel shed: the queue controller decided this connection's
+		// pending requests push the standing queue past target. Parsing
+		// kept the pipeline synchronized; the answer is a 503 with the
+		// pacing hint, and none of the expensive work (staging, fences,
+		// store reads) happens.
+		st.resp = httpmsg.AppendResponseRetryAfter(st.resp, 503, 0,
+			x.srv.cfg.Overload.RetryAfter.Milliseconds())
+		return
+	}
+	if !pr.deadline.IsZero() && time.Now().After(pr.deadline) {
+		// Doomed-work elimination: the client's budget lapsed while the
+		// request waited — it has already timed out or retried, so
+		// executing now would burn capacity on an answer nobody reads.
+		x.lp.stats.expired.Add(1)
+		st.resp = httpmsg.AppendResponseRetryAfter(st.resp, 503, 0,
+			x.srv.cfg.Overload.RetryAfter.Milliseconds())
 		return
 	}
 	if staged && pr.req.Op != kvproto.OpPut && !x.commitGroup() {

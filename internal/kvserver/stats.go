@@ -19,6 +19,20 @@ type Stats struct {
 	// sweep (Config.IdleTimeout).
 	Sheds      uint64
 	IdleClosed uint64
+	// Overload-control counters (Config.Overload). Expired counts
+	// requests dropped unexecuted because their client budget
+	// (X-Budget-Us) lapsed before dispatch — doomed work eliminated.
+	// CoDelSheds counts run-queue shed decisions by the sojourn-time
+	// controller (each 503s one queued connection's pending requests).
+	// Brownouts counts entries into brownout (controller dropping
+	// state); BrownoutLoops is a gauge — loops currently browned out.
+	// QueueDelay accumulates run-queue sojourn over every claimed
+	// connection (the raw signal the controller integrates).
+	Expired       uint64
+	CoDelSheds    uint64
+	Brownouts     uint64
+	BrownoutLoops int
+	QueueDelay    time.Duration
 	// GroupCommits counts group-commit cycles that batched more than one
 	// connection; GroupedConns counts the connections they covered, so
 	// GroupedConns/GroupCommits is the achieved burst size.
@@ -87,6 +101,11 @@ func (s *Stats) merge(o Stats) {
 	s.SoftwareSums += o.SoftwareSums
 	s.Sheds += o.Sheds
 	s.IdleClosed += o.IdleClosed
+	s.Expired += o.Expired
+	s.CoDelSheds += o.CoDelSheds
+	s.Brownouts += o.Brownouts
+	s.BrownoutLoops += o.BrownoutLoops
+	s.QueueDelay += o.QueueDelay
 	s.GroupCommits += o.GroupCommits
 	s.GroupedConns += o.GroupedConns
 	s.AckAborts += o.AckAborts
@@ -117,6 +136,8 @@ type statsCounters struct {
 	zcPuts, zcGets                        atomic.Uint64
 	derivedSums, softwareSums             atomic.Uint64
 	sheds, idleClosed                     atomic.Uint64
+	expired, codelSheds, brownouts        atomic.Uint64
+	queueDelayNanos                       atomic.Int64
 	groupCommits, groupedConns            atomic.Uint64
 	ackAborts                             atomic.Uint64
 	steals, stolenOps, stealAborts        atomic.Uint64
@@ -134,6 +155,9 @@ func (c *statsCounters) Snapshot() Stats {
 		ZeroCopyPuts: c.zcPuts.Load(), ZeroCopyGets: c.zcGets.Load(),
 		DerivedSums: c.derivedSums.Load(), SoftwareSums: c.softwareSums.Load(),
 		Sheds: c.sheds.Load(), IdleClosed: c.idleClosed.Load(),
+		Expired: c.expired.Load(), CoDelSheds: c.codelSheds.Load(),
+		Brownouts:  c.brownouts.Load(),
+		QueueDelay: time.Duration(c.queueDelayNanos.Load()),
 		GroupCommits: c.groupCommits.Load(), GroupedConns: c.groupedConns.Load(),
 		AckAborts: c.ackAborts.Load(),
 		Steals:    c.steals.Load(), StolenOps: c.stolenOps.Load(),

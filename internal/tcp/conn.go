@@ -602,6 +602,30 @@ func (c *Conn) takeBufsLocked() []*pkt.Buf {
 	return bufs
 }
 
+// OldestRxTime returns the receive timestamp of the oldest pending
+// undelivered data on the connection — the NIC hardware stamp when
+// available, the stack's software stamp otherwise; zero when nothing is
+// pending. Because the stamp persists with the packet buffer through
+// the receive queue, a serving loop can anchor queue-delay measurement
+// at packet *arrival* rather than at its own wakeup, keeping delivery
+// and scheduling delays upstream of the run queue visible to overload
+// control.
+func (c *Conn) OldestRxTime() time.Time {
+	c.stk.mu.Lock()
+	defer c.stk.mu.Unlock()
+	b := c.rcvHead
+	if b == nil {
+		b = c.rcvQ.Peek()
+	}
+	if b == nil {
+		return time.Time{}
+	}
+	if !b.HWTime.IsZero() {
+		return b.HWTime
+	}
+	return b.Time
+}
+
 // EOF reports whether the peer sent FIN and all data has been consumed.
 func (c *Conn) EOF() bool {
 	c.stk.mu.Lock()

@@ -291,6 +291,10 @@ func (s *Stack) rxLoop(q int) {
 
 // handle processes one received packet. It consumes the buffer reference.
 func (s *Stack) handle(b *pkt.Buf) {
+	// Software receive stamp (the NIC's hardware stamp, when offloaded,
+	// was taken earlier): rides with the buffer into the receive queue so
+	// consumers can measure true queueing delay from arrival.
+	b.Time = time.Now()
 	release := true
 	defer func() {
 		if release {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"packetstore/internal/hdrhist"
@@ -74,6 +75,30 @@ type Config struct {
 	// retry layer redials internally, which would invalidate a computed
 	// alignment.
 	Retry *kvclient.RetryConfig
+	// Rate, when > 0, switches the generator to open loop: arrivals are
+	// a Poisson process at Rate requests/second total (split evenly
+	// across connections), scheduled independently of completions — the
+	// load a congested server faces from the outside world, where slow
+	// responses do not slow the offered stream. Each connection splits
+	// into a paced sender and an in-order receiver; arrivals that find
+	// the in-flight window full are dropped client-side and counted
+	// (Result.ClientDrops) rather than back-pressured. Requires
+	// Duration; incompatible with Retry and Pipeline (ignored).
+	Rate float64
+	// Budget, in open-loop mode, is both the wire latency budget and the
+	// client SLO: each request carries the budget *remaining* at send
+	// time (X-Budget-Us, aged by client-side queue wait), arrivals whose
+	// budget lapses before they reach the wire are dropped client-side
+	// as doomed, and a response counts toward Result.Good only if it
+	// lands within Budget of its scheduled arrival. 0 means no budget:
+	// every accepted response is good.
+	Budget time.Duration
+	// InFlight caps requests outstanding per connection in open-loop
+	// mode (default 1024). A small cap is client-side containment: work
+	// that would queue beyond what the budget can survive is dropped at
+	// the client (Result.ClientDrops) instead of aging in socket buffers
+	// where no server-side controller can see its true age.
+	InFlight int
 }
 
 // Result aggregates a run.
@@ -85,6 +110,17 @@ type Result struct {
 	Retries uint64
 	Elapsed time.Duration
 	Hist    hdrhist.Hist
+	// Open-loop accounting (Config.Rate > 0). Offered counts scheduled
+	// arrivals in the measured window; Good counts responses accepted
+	// (non-503) within the Budget SLO; Shed counts overload rejections —
+	// server 503s plus arrivals whose budget lapsed client-side before
+	// the wire; ClientDrops counts arrivals dropped because the
+	// connection's in-flight window was full. Offered ≥ Good + Shed +
+	// ClientDrops (the remainder: errors and SLO-missing responses).
+	Offered     uint64
+	Good        uint64
+	Shed        uint64
+	ClientDrops uint64
 }
 
 // GetPct is the GET share of the mix: whatever PutPct and DeletePct
@@ -98,6 +134,14 @@ func (r Result) Throughput() float64 {
 		return 0
 	}
 	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// Goodput returns SLO-compliant completions per second (open loop).
+func (r Result) Goodput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Good) / r.Elapsed.Seconds()
 }
 
 // String summarizes the result.
@@ -128,14 +172,22 @@ func Run(cfg Config, dial Dialer) (Result, error) {
 	if cfg.Retry != nil {
 		cfg.Pipeline = 1
 	}
+	if cfg.Rate > 0 && cfg.Duration <= 0 {
+		cfg.Duration = time.Second // open loop is duration-bounded
+	}
 	if cfg.ZipfS == 0 {
 		cfg.ZipfS = 1.1
 	}
 
 	type connResult struct {
 		reqs, errs, retries uint64
+		offered, good       uint64
+		shed, clientDrops   uint64
 		hist                hdrhist.Hist
 		err                 error
+	}
+	if cfg.Retry != nil {
+		cfg.Rate = 0 // open loop drives raw clients; retry redials internally
 	}
 	results := make([]connResult, cfg.Conns)
 	var wg sync.WaitGroup
@@ -230,6 +282,15 @@ func Run(cfg Config, dial Dialer) (Result, error) {
 				return makeKey(keyID)
 			}
 
+			if cfg.Rate > 0 && cl != nil {
+				os, err := runOpenLoop(cfg, cl, ci, rng, nextKey, startMeasure, stop)
+				res.reqs, res.errs = os.reqs, os.errs
+				res.offered, res.good = os.offered, os.good
+				res.shed, res.clientDrops = os.shed, os.clientDrops
+				res.hist = os.hist
+				res.err = err
+				return
+			}
 			measured := 0
 			if cfg.Pipeline > 1 {
 				// Windowed pipelining: keep up to Pipeline requests in
@@ -370,6 +431,10 @@ func Run(cfg Config, dial Dialer) (Result, error) {
 		out.Requests += results[i].reqs
 		out.Errors += results[i].errs
 		out.Retries += results[i].retries
+		out.Offered += results[i].offered
+		out.Good += results[i].good
+		out.Shed += results[i].shed
+		out.ClientDrops += results[i].clientDrops
 		out.Hist.Merge(&results[i].hist)
 		if results[i].err != nil && firstErr == nil {
 			firstErr = results[i].err
@@ -381,4 +446,156 @@ func Run(cfg Config, dial Dialer) (Result, error) {
 		out.Elapsed = time.Since(startMeasure)
 	}
 	return out, firstErr
+}
+
+// openStats is one connection's open-loop tally.
+type openStats struct {
+	reqs, errs        uint64
+	offered, good     uint64
+	shed, clientDrops uint64
+	hist              hdrhist.Hist
+}
+
+// runOpenLoop drives one connection at a Poisson-paced offered rate.
+// The sender schedules arrivals from an exponential inter-arrival
+// stream and never waits for responses; the receiver consumes them in
+// request order (the protocol is pipelined FIFO). A bounded in-flight
+// window keeps client memory finite: arrivals beyond it are dropped
+// and counted, not queued — queueing them would quietly convert the
+// generator back to closed loop.
+func runOpenLoop(cfg Config, cl *kvclient.Client, ci int, rng *rand.Rand, nextKey func() []byte, startMeasure, stop time.Time) (openStats, error) {
+	var st openStats
+	perRate := cfg.Rate / float64(cfg.Conns)
+
+	type rec struct {
+		t0 time.Time // scheduled arrival: latency includes client queue wait
+		op int       // 0 put, 1 delete, 2 get
+	}
+	window := cfg.InFlight
+	if window <= 0 {
+		window = 1024
+	}
+	sendCh := make(chan rec, window)
+	// Bound every Recv: a response overdue by many budgets is never
+	// going to be good, and an unbounded wait would wedge the drain if
+	// the transport stalls under the very overload being generated.
+	if cfg.Budget > 0 {
+		to := 10 * cfg.Budget
+		if to < 2*time.Second {
+			to = 2 * time.Second
+		}
+		cl.SetTimeout(to)
+	}
+	// After the first Recv failure the response stream is
+	// desynchronized: the connection is wedged, every remaining
+	// in-flight request is an error, and the sender must stop offering
+	// into it. The flag is the cross-goroutine fail-stop signal.
+	var failed atomic.Bool
+	var rdWG sync.WaitGroup
+	rdWG.Add(1)
+	go func() {
+		defer rdWG.Done()
+		for o := range sendCh {
+			var status int
+			var err error
+			if !failed.Load() {
+				status, _, err = cl.Recv()
+				if err != nil {
+					failed.Store(true)
+				}
+			}
+			if !o.t0.After(startMeasure) {
+				continue
+			}
+			st.reqs++
+			switch {
+			case failed.Load():
+				st.errs++
+			case status == 503:
+				st.shed++
+			case status == 200 || status == 201 || status == 204 ||
+				(o.op != 0 && status == 404):
+				lat := time.Since(o.t0)
+				st.hist.Record(lat)
+				if cfg.Budget <= 0 || lat <= cfg.Budget {
+					st.good++
+				}
+			default:
+				st.errs++
+			}
+		}
+	}()
+
+	// Dedicated arrival stream so pacing does not perturb the op/key
+	// stream shared with the closed-loop modes.
+	arr := rand.New(rand.NewSource(cfg.Seed + int64(ci)*15485863 + 7))
+	var offered, lapsed, drops uint64
+	var sendErr error
+	value := make([]byte, cfg.ValueSize)
+	arr.Read(value)
+	next := time.Now()
+	for {
+		next = next.Add(time.Duration(arr.ExpFloat64() / perRate * float64(time.Second)))
+		if next.After(stop) {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		if failed.Load() {
+			break
+		}
+		measured := next.After(startMeasure)
+		if measured {
+			offered++
+		}
+		budget := cfg.Budget
+		if budget > 0 {
+			// Age the budget by the client-side wait already incurred: the
+			// server sees only what remains. A lapsed budget is doomed work
+			// — drop it here instead of shipping it.
+			budget -= time.Since(next)
+			if budget <= 0 {
+				if measured {
+					lapsed++
+				}
+				continue
+			}
+		}
+		key := nextKey()
+		op := rng.Intn(100)
+		var method, path string
+		var body []byte
+		kind := 2
+		switch {
+		case op < cfg.PutPct:
+			method, path, body, kind = "PUT", kvproto.KeyPath(key), value, 0
+		case op < cfg.PutPct+cfg.DeletePct:
+			method, path, kind = "DELETE", kvproto.KeyPath(key), 1
+		default:
+			method, path = "GET", kvproto.KeyPath(key)
+		}
+		select {
+		case sendCh <- rec{t0: next, op: kind}:
+		default:
+			if measured {
+				drops++
+			}
+			continue
+		}
+		if err := cl.SendBudget(method, path, body, budget); err != nil {
+			// A send failure on a connection the reader already declared
+			// wedged is the same per-connection outcome, not a run error.
+			if !failed.Load() {
+				sendErr = err
+			}
+			break
+		}
+	}
+	close(sendCh)
+	rdWG.Wait()
+	st.offered += offered
+	st.shed += lapsed
+	st.clientDrops += drops
+	return st, sendErr
 }

@@ -150,3 +150,140 @@ func TestRunDialFailure(t *testing.T) {
 		t.Fatalf("got %v", err)
 	}
 }
+
+// blockConn is a fake server whose Read blocks until a response is
+// pending — what the open-loop split sender/receiver pair needs (the
+// receiver runs concurrently with the sender and must wait, not error,
+// when it races ahead).
+type blockConn struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending bytes.Buffer
+	parser  *httpmsg.RequestParser
+	closed  bool
+	status  int // forced response status; 0 means per-method defaults
+	budgets int64
+}
+
+func newBlockConn(status int) *blockConn {
+	c := &blockConn{parser: httpmsg.NewRequestParser(0), status: status}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *blockConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, errors.New("closed")
+	}
+	rest := p
+	for len(rest) > 0 {
+		res := c.parser.Feed(rest)
+		if res.Err != nil {
+			return 0, res.Err
+		}
+		rest = rest[res.Consumed:]
+		if res.Done {
+			req := c.parser.Request()
+			if req.BudgetUs > 0 {
+				c.budgets++
+			}
+			status := c.status
+			if status == 0 {
+				switch req.Method {
+				case "PUT":
+					status = 200
+				case "DELETE":
+					status = 204
+				default:
+					status = 404
+				}
+			}
+			c.pending.Write(httpmsg.AppendResponse(nil, status, 0))
+			c.parser.Reset()
+		}
+	}
+	c.cond.Broadcast()
+	return len(p), nil
+}
+
+func (c *blockConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.pending.Len() == 0 {
+		if c.closed {
+			return 0, io.EOF
+		}
+		c.cond.Wait()
+	}
+	return c.pending.Read(p)
+}
+
+func (c *blockConn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return nil
+}
+
+func TestOpenLoopGoodput(t *testing.T) {
+	var mu sync.Mutex
+	var conns []*blockConn
+	dial := func() (kvclient.Conn, error) {
+		c := newBlockConn(0)
+		mu.Lock()
+		conns = append(conns, c)
+		mu.Unlock()
+		return c, nil
+	}
+	res, err := Run(Config{
+		Conns: 2, Duration: 200 * time.Millisecond,
+		Rate: 2000, Budget: 100 * time.Millisecond,
+		ValueSize: 32, KeySpace: 100, PutPct: 100, Seed: 7,
+	}, dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered == 0 {
+		t.Fatal("open loop offered nothing")
+	}
+	if res.Good == 0 || res.Goodput() <= 0 {
+		t.Fatalf("no goodput: %+v", res)
+	}
+	if res.Shed != 0 || res.Errors != 0 {
+		t.Fatalf("unexpected sheds/errors against an instant server: %+v", res)
+	}
+	if res.Good > res.Offered {
+		t.Fatalf("good %d > offered %d", res.Good, res.Offered)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var budgets int64
+	for _, c := range conns {
+		c.mu.Lock()
+		budgets += c.budgets
+		c.mu.Unlock()
+	}
+	if budgets == 0 {
+		t.Fatal("no request carried an X-Budget-Us header")
+	}
+}
+
+func TestOpenLoopShedClassification(t *testing.T) {
+	dial := func() (kvclient.Conn, error) { return newBlockConn(503), nil }
+	res, err := Run(Config{
+		Conns: 1, Duration: 150 * time.Millisecond,
+		Rate: 1000, ValueSize: 32, KeySpace: 100, PutPct: 100, Seed: 9,
+	}, dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Good != 0 {
+		t.Fatalf("503s counted as good: %+v", res)
+	}
+	if res.Shed == 0 {
+		t.Fatalf("no sheds recorded: %+v", res)
+	}
+}
