@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	pktbench -experiment table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|heal|steal|erase|readmix|surge|all \
+//	pktbench -experiment table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|heal|steal|erase|readmix|surge|numa|all \
 //	         [-profile paper|fast|off] [-requests N] [-duration D] [-conns 1,25,50,75,100] \
 //	         [-shards 1,2,4,8] [-batches 1,4,16,64] [-seeds N] [-json FILE]
 //
@@ -25,7 +25,10 @@
 // and warm/cold/reconstruct rebuild times, and writes BENCH_erase.json.
 // The readmix experiment sweeps GET-heavy mixes (50/90/99% reads x
 // connection counts) with the lock-free read fast path forced off and
-// on, and writes BENCH_readmix.json.
+// on, and writes BENCH_readmix.json. The numa experiment sweeps socket
+// placements (flat, aligned, interleaved, anti-aligned) of PM
+// partitions vs queues/loops on a modeled 2-socket machine and writes
+// BENCH_numa.json.
 package main
 
 import (
@@ -43,7 +46,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|heal|steal|erase|readmix|surge|all")
+		experiment = flag.String("experiment", "all", "table1|figure2|table2|ablation|figure3|recovery|metasize|scaling|torture|batch|heal|steal|erase|readmix|surge|numa|all")
 		seeds      = flag.Int("seeds", 256, "torture runs for the crash mode (other modes scale down)")
 		profile    = flag.String("profile", "paper", "latency profile: paper|fast|off")
 		requests   = flag.Int("requests", 4000, "requests per RTT measurement")
@@ -259,6 +262,37 @@ func main() {
 			out := *jsonPath
 			if out == "" || *experiment == "all" {
 				out = "BENCH_readmix.json"
+			}
+			blob, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", out)
+			return nil
+		})
+	}
+	if want("numa") {
+		run("E16 numa", func() error {
+			// The locality sweep runs one fixed deployment shape on a
+			// modeled 2-socket machine: the largest -shards entry, capped
+			// at 4 — two shards per socket give the full locality
+			// contrast, and more loops than cores just adds scheduler
+			// noise that blurs the p50 comparison.
+			ns := shards[len(shards)-1]
+			if ns > 4 {
+				ns = 4
+			}
+			res, err := bench.RunNUMA(prof, ns, 2, *duration, 0)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+			out := *jsonPath
+			if out == "" || *experiment == "all" {
+				out = "BENCH_numa.json"
 			}
 			blob, err := json.MarshalIndent(res, "", "  ")
 			if err != nil {

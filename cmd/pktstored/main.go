@@ -25,6 +25,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -46,6 +47,7 @@ func main() {
 		heal      = flag.Bool("heal", true, "run the self-healing supervisor (background scrub + online shard rebuild)")
 		scrubIval = flag.Duration("scrub-interval", 5*time.Millisecond, "pause between scrub budget slices")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof (plus a /healthz JSON mirror) on this address, e.g. localhost:6060 (empty = off)")
+		numaNodes = flag.Int("numa-nodes", 1, "model this many NUMA sockets: shard i's PM partition lands on node i mod N and /healthz reports local vs remote line traffic (1 = flat)")
 
 		overload   = flag.Bool("overload", false, "enable overload control: requests whose X-Budget-Us lapsed are answered 503 unexecuted")
 		ovTarget   = flag.Duration("overload-target", 0, "acceptable queue sojourn before shedding starts (0 = 2ms default)")
@@ -71,6 +73,21 @@ func main() {
 	ss, err := core.OpenSharded(r, cfg, *shards)
 	if err != nil {
 		fatal(err)
+	}
+	if *numaNodes > 1 {
+		// Real-socket mode runs without latency emulation, so the NUMA
+		// model contributes accounting only: /healthz shows how many PM
+		// lines each placement kept node-local. Shard i goes to node
+		// i mod N, matching the simulated aligned deployment.
+		shardNode := make([]int, *shards)
+		for i := range shardNode {
+			shardNode[i] = i % *numaNodes
+		}
+		if err := ss.SetNUMAPlacement(calib.Off().NUMA, *numaNodes, shardNode); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pktstored: NUMA accounting on (%d nodes, shard i -> node i mod %d)\n",
+			*numaNodes, *numaNodes)
 	}
 	fmt.Printf("pktstored: %d records recovered from %s (%d shards)\n",
 		ss.Len(), *pmPath, ss.Shards())
@@ -103,6 +120,11 @@ func main() {
 	}
 
 	if *pprofAddr != "" {
+		// Contention profiles are off by default in the runtime; a server
+		// asked to expose pprof wants them, and the sampling rates below
+		// are cheap enough to leave on while serving.
+		runtime.SetMutexProfileFraction(100)
+		runtime.SetBlockProfileRate(int(time.Millisecond))
 		// The main listener speaks the store's own wire protocol, so the
 		// stdlib profiling handlers get their own HTTP listener. The
 		// /healthz mirror serves the same report as the native endpoint,

@@ -101,6 +101,17 @@ type deployOptions struct {
 	pmBytes    int             // region size for rawpm / novelsm
 	noPersist  bool            // zero the PM flush/fence latencies (Table 1 methodology)
 	noChecksum bool            // disable the LSM's checksum phase
+
+	// NUMA shape (pktstore sharded deployments only). numaNodes <= 1
+	// keeps the flat single-socket model. With a model installed,
+	// numaShardNode places shard i's PM partition (nil = page-interleaved
+	// across nodes), numaQueueNodes pins each RSS queue's interrupt, and
+	// numaLoopNodes overrides each event loop's declared node (default:
+	// its queue's interrupt node).
+	numaNodes      int
+	numaShardNode  []int
+	numaQueueNodes []int
+	numaLoopNodes  []int
 }
 
 func deploy(opt deployOptions) (*deployment, error) {
@@ -154,6 +165,15 @@ func deploy(opt deployOptions) (*deployment, error) {
 			ss, err := core.OpenSharded(d.pm, cfg, opt.shards)
 			if err != nil {
 				return nil, err
+			}
+			if opt.numaNodes > 1 {
+				// Placement must precede server construction: the server
+				// caches the deployment's socket count when wiring loops.
+				if err := ss.SetNUMAPlacement(prof.NUMA, opt.numaNodes, opt.numaShardNode); err != nil {
+					return nil, err
+				}
+				hostOpt.ServerQueueNodes = opt.numaQueueNodes
+				opt.srvCfg.LoopNodes = opt.numaLoopNodes
 			}
 			d.ss = ss
 			d.store = ss.Shard(0)

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"packetstore/internal/calib"
+)
+
+// TestRunNUMASmoke runs a small locality sweep through the bench
+// wrapper; the full measurement is pktbench -experiment numa. It
+// validates the deterministic, counter-based properties — placement
+// shapes the remote-line share exactly, the modeled penalty is
+// charged, flat never touches the NUMA counters — not wall-clock
+// latency contrasts, which a timeshared 1-CPU host (and the ~10x
+// -race slowdown in CI) cannot resolve at smoke durations.
+func TestRunNUMASmoke(t *testing.T) {
+	dur, rounds := 200*time.Millisecond, 2
+	if testing.Short() {
+		dur, rounds = 120*time.Millisecond, 1
+	}
+	res, err := RunNUMA(calib.Fast(), 2, 2, dur, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 8 {
+		t.Fatalf("want 8 points (4 placements x 2 conn counts), got %d", len(res.Points))
+	}
+	for _, conns := range []int{16, 100} {
+		flat := res.point("flat", conns)
+		if flat == nil || flat.Throughput <= 0 {
+			t.Fatalf("flat point at %d conns missing or empty: %+v", conns, flat)
+		}
+		if flat.LocalLines != 0 || flat.RemoteLines != 0 {
+			t.Errorf("flat (Nodes=1) placement moved NUMA counters: %+v", flat)
+		}
+		al := res.point("aligned", conns)
+		if al == nil || al.LocalLines == 0 {
+			t.Fatalf("aligned point at %d conns charged no local lines: %+v", conns, al)
+		}
+		if al.RemoteLines != 0 {
+			t.Errorf("aligned placement charged %d remote lines, want 0", al.RemoteLines)
+		}
+		anti := res.point("anti", conns)
+		if anti == nil || anti.RemoteShare != 1 {
+			t.Fatalf("anti placement remote share = %+v, want 1.0", anti)
+		}
+		if il := res.point("interleaved", conns); il == nil ||
+			il.RemoteShare < 0.2 || il.RemoteShare > 0.8 {
+			t.Errorf("page-interleaved remote share = %+v, want roughly even split", il)
+		}
+		if res.ModeledPenaltyUs(conns) <= 0 {
+			t.Errorf("anti placement at %d conns charged no modeled penalty", conns)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("recovered")) {
+		t.Fatal("print output missing the recovery summary")
+	}
+}

@@ -58,6 +58,37 @@ type Profile struct {
 	PMFlushLine time.Duration
 	// PMFence is the cost of the sfence ordering a batch of flushes.
 	PMFence time.Duration
+
+	// NUMA holds the remote-socket PM surcharge model. The zero value
+	// means "no NUMA model": remote access costs the same as local.
+	NUMA NUMAProfile
+}
+
+// NUMAProfile models the extra cost of touching persistent memory that
+// lives on a different socket than the accessing core. "Observations on
+// Porting In-memory KV stores to Persistent Memory" measures remote PM
+// access at roughly 2–3× local — a far steeper penalty than the DRAM
+// NUMA ratio — because the access serializes the interconnect hop with
+// the already-slow media. Fields are absolute per-line costs on the
+// remote path (they replace, not add to, the local per-line cost), plus
+// a per-hop interconnect charge for topologies more than one hop wide.
+type NUMAProfile struct {
+	// RemoteReadLine replaces PMReadLine when the line's home node
+	// differs from the accessing node (≈2.5× local per the Optane
+	// cross-socket characterization).
+	RemoteReadLine time.Duration
+	// RemoteWriteLine replaces PMWriteLine across sockets: stores still
+	// land in the remote DIMM's write-pending queue, but only after the
+	// interconnect transfer.
+	RemoteWriteLine time.Duration
+	// RemoteFlushLine replaces PMFlushLine across sockets: the flush
+	// cannot complete until the line reaches the remote DIMM's ADR
+	// domain, so the hop is on the critical path.
+	RemoteFlushLine time.Duration
+	// HopCost is added once per line per interconnect hop beyond the
+	// first (distance-1 remote access pays only the Remote*Line rates;
+	// each further hop adds HopCost).
+	HopCost time.Duration
 }
 
 // Paper returns the profile calibrated against the paper's testbed
@@ -74,6 +105,12 @@ func Paper() Profile {
 		PMWriteLine:    60 * time.Nanosecond,
 		PMFlushLine:    115 * time.Nanosecond,
 		PMFence:        30 * time.Nanosecond,
+		NUMA: NUMAProfile{
+			RemoteReadLine:  625 * time.Nanosecond, // 2.5× local: cross-socket PM load per the porting study
+			RemoteWriteLine: 150 * time.Nanosecond, // 2.5× local: interconnect transfer before the remote WPQ
+			RemoteFlushLine: 290 * time.Nanosecond, // ~2.5× local: hop on the flush critical path
+			HopCost:         75 * time.Nanosecond,  // extra interconnect hop beyond the first
+		},
 	}
 }
 
@@ -90,6 +127,12 @@ func Fast() Profile {
 	p.PMWriteLine = 0
 	p.PMFlushLine = 12 * time.Nanosecond
 	p.PMFence = 0
+	p.NUMA = NUMAProfile{
+		RemoteReadLine:  62 * time.Nanosecond,
+		RemoteWriteLine: 15 * time.Nanosecond,
+		RemoteFlushLine: 29 * time.Nanosecond,
+		HopCost:         8 * time.Nanosecond,
+	}
 	return p
 }
 

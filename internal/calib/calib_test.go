@@ -1,6 +1,9 @@
 package calib
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 func TestByName(t *testing.T) {
 	for _, name := range []string{"paper", "fast", "off"} {
@@ -38,5 +41,78 @@ func TestPaperRoughCalibration(t *testing.T) {
 	// 26.71µs networking figure, leaving room for stack costs.
 	if rt := 2 * p.WireLatency; rt.Microseconds() > 15 {
 		t.Errorf("wire RTT %v too large", rt)
+	}
+}
+
+// TestPaperGolden pins the paper profile's exact constants: drift here
+// silently recalibrates every recorded benchmark, so a change must be
+// deliberate (update this table alongside the provenance comments).
+func TestPaperGolden(t *testing.T) {
+	p := Paper()
+	golden := []struct {
+		name string
+		got  time.Duration
+		want time.Duration
+	}{
+		{"WireLatency", p.WireLatency, 3 * time.Microsecond},
+		{"NICPerPacket", p.NICPerPacket, 500 * time.Nanosecond},
+		{"StackPerPacket", p.StackPerPacket, 500 * time.Nanosecond},
+		{"PMReadLine", p.PMReadLine, 250 * time.Nanosecond},
+		{"PMWriteLine", p.PMWriteLine, 60 * time.Nanosecond},
+		{"PMFlushLine", p.PMFlushLine, 115 * time.Nanosecond},
+		{"PMFence", p.PMFence, 30 * time.Nanosecond},
+		{"NUMA.RemoteReadLine", p.NUMA.RemoteReadLine, 625 * time.Nanosecond},
+		{"NUMA.RemoteWriteLine", p.NUMA.RemoteWriteLine, 150 * time.Nanosecond},
+		{"NUMA.RemoteFlushLine", p.NUMA.RemoteFlushLine, 290 * time.Nanosecond},
+		{"NUMA.HopCost", p.NUMA.HopCost, 75 * time.Nanosecond},
+	}
+	for _, g := range golden {
+		if g.got != g.want {
+			t.Errorf("Paper().%s = %v, want %v", g.name, g.got, g.want)
+		}
+	}
+	if p.WireBandwidth != 25e9 {
+		t.Errorf("Paper().WireBandwidth = %v, want 25e9", p.WireBandwidth)
+	}
+	// The remote rates must model the porting study's 2-3x penalty.
+	for _, r := range []struct {
+		name          string
+		local, remote time.Duration
+	}{
+		{"read", p.PMReadLine, p.NUMA.RemoteReadLine},
+		{"write", p.PMWriteLine, p.NUMA.RemoteWriteLine},
+		{"flush", p.PMFlushLine, p.NUMA.RemoteFlushLine},
+	} {
+		lo, hi := 2*r.local, 3*r.local
+		if r.remote < lo || r.remote > hi {
+			t.Errorf("remote %s rate %v outside [2x, 3x] of local %v", r.name, r.remote, r.local)
+		}
+	}
+}
+
+// TestByNameNUMARoundTrip checks each named profile carries its NUMA
+// section through ByName intact, and that off stays modelless.
+func TestByNameNUMARoundTrip(t *testing.T) {
+	for _, name := range []string{"paper", "fast"} {
+		p, ok := ByName(name)
+		if !ok {
+			t.Fatalf("ByName(%q) not found", name)
+		}
+		var want NUMAProfile
+		switch name {
+		case "paper":
+			want = Paper().NUMA
+		case "fast":
+			want = Fast().NUMA
+		}
+		if p.NUMA != want {
+			t.Errorf("ByName(%q).NUMA = %+v, want %+v", name, p.NUMA, want)
+		}
+		if p.NUMA == (NUMAProfile{}) {
+			t.Errorf("profile %q has a zero NUMA section", name)
+		}
+	}
+	if p, _ := ByName("off"); p.NUMA != (NUMAProfile{}) {
+		t.Errorf("off profile should have no NUMA model, got %+v", p.NUMA)
 	}
 }

@@ -121,7 +121,7 @@ func (s *Store) commitStagedLocked() {
 	// Phase A. Parity deltas fold in first so the parity lines join the
 	// same batch and persist under the same fence as the data they cover.
 	s.applyParityLocked()
-	s.r.FlushBatch(&s.fs)
+	s.r.FlushBatchFrom(s.nd(), &s.fs)
 	s.r.Fence()
 
 	// Phase B.
@@ -133,11 +133,11 @@ func (s *Store) commitStagedLocked() {
 		}
 		live++
 		off := s.slotOff(p.slot)
-		s.r.WriteUint64(off+oSeq, p.seq)
+		s.r.WriteUint64From(s.nd(), off+oSeq, p.seq)
 		s.fs.Add(off+oSeq, 8)
 		s.fs.Add(p.linkOff, 4)
 	}
-	s.r.FlushBatch(&s.fs)
+	s.r.FlushBatchFrom(s.nd(), &s.fs)
 	s.r.Fence()
 
 	// Phase C.
@@ -145,13 +145,13 @@ func (s *Store) commitStagedLocked() {
 	for i := range s.staged {
 		if p := &s.staged[i]; p.old >= 0 {
 			o := s.slotOff(p.old) + oSeq
-			s.r.WriteUint64(o, 0)
+			s.r.WriteUint64From(s.nd(), o, 0)
 			s.fs.Add(o, 8)
 			clears = true
 		}
 	}
 	if clears {
-		s.r.FlushBatch(&s.fs)
+		s.r.FlushBatchFrom(s.nd(), &s.fs)
 		s.r.Fence()
 		for i := range s.staged {
 			if p := &s.staged[i]; p.old >= 0 {
@@ -197,7 +197,7 @@ func (s *Store) recycleRecordLocked(idx int) {
 	for chain >= 0 {
 		cs := s.slot(chain)
 		next := int(binary.LittleEndian.Uint32(cs[oChainNext:])) - 1
-		s.r.WriteUint32(s.slotOff(chain)+oMagic, 0)
+		s.r.WriteUint32From(s.nd(), s.slotOff(chain)+oMagic, 0)
 		s.metaFree = append(s.metaFree, chain)
 		chain = next
 	}

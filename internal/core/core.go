@@ -380,7 +380,27 @@ type Store struct {
 	fastGets         atomic.Uint64
 	fastGetRetries   atomic.Uint64
 	fastGetFallbacks atomic.Uint64
+
+	// numaNode is the NUMA node of the core currently driving this
+	// store — stamped by the serving event loop (its own node when it
+	// owns the shard, the thief's node during a stolen cycle) and passed
+	// to every node-aware pmem charge. Atomic because the lock-free read
+	// path loads it concurrently with restamps; approximate for reads
+	// that overlap a stamp, exact for the single-writer mutation path.
+	// Zero until a placement is configured, which keeps Nodes=1
+	// deployments on the pre-NUMA charge arithmetic.
+	numaNode atomic.Int32
 }
+
+// SetNUMANode declares which NUMA node the core currently driving this
+// store runs on. The kvserver executor stamps it at cycle start.
+func (s *Store) SetNUMANode(n int) { s.numaNode.Store(int32(n)) }
+
+// NUMANode reports the last stamped driving node.
+func (s *Store) NUMANode() int { return int(s.numaNode.Load()) }
+
+// nd is the caller-node shorthand for pmem *From charges.
+func (s *Store) nd() int { return int(s.numaNode.Load()) }
 
 // Open formats (fresh region) or recovers (existing) a Store over r.
 func Open(r *pmem.Region, cfg Config) (*Store, error) {
@@ -561,7 +581,7 @@ func (s *Store) headNext(level int) int {
 }
 
 func (s *Store) setHeadNext(level, idx int) {
-	s.r.WriteUint32(s.base+sbOTower+4*level, uint32(idx+1))
+	s.r.WriteUint32From(s.nd(), s.base+sbOTower+4*level, uint32(idx+1))
 	// Mirror the head link for lock-free readers (fastget.go).
 	s.fastHead[level].Store(uint32(idx + 1))
 }
@@ -611,7 +631,7 @@ func (s *Store) compareKey(key []byte, kp uint64, sl []byte, charge bool) int {
 	}
 	koff := int(binary.LittleEndian.Uint32(sl[oKOff:]))
 	if charge {
-		s.r.Touch(koff, min(klen, 64))
+		s.r.TouchFrom(s.nd(), koff, min(klen, 64))
 	}
 	return bytes.Compare(key, s.r.Slice(koff, klen))
 }
@@ -633,7 +653,7 @@ func (s *Store) findGE(key []byte, prev *[maxHeight]int) int {
 			// Model warm caches at the upper tower levels (few, hot
 			// nodes); PM read latency bills at the bottom two levels.
 			if level <= 1 {
-				s.r.Touch(s.slotOff(nxt), 64)
+				s.r.TouchFrom(s.nd(), s.slotOff(nxt), 64)
 			}
 			if s.compareKey(key, kp, s.slot(nxt), level <= 1) > 0 {
 				x = nxt
@@ -796,7 +816,7 @@ func (s *Store) AllocDataSlot() int {
 }
 
 // WriteData writes bytes into the data area (key-arena writes).
-func (s *Store) WriteData(off int, b []byte) { s.r.Write(off, b) }
+func (s *Store) WriteData(off int, b []byte) { s.r.WriteFrom(s.nd(), off, b) }
 
 // DataBufSize returns the data slot size.
 func (s *Store) DataBufSize() int { return s.cfg.DataBufSize }

@@ -176,7 +176,7 @@ func (s *Store) cmpDesc(key []byte, kp uint64, d *nodeDesc, charge bool) int {
 		}
 	}
 	if charge {
-		s.r.Touch(d.koff, min(len(d.key), 64))
+		s.r.TouchFrom(s.nd(), d.koff, min(len(d.key), 64))
 	}
 	return bytes.Compare(key, d.key)
 }
@@ -209,7 +209,7 @@ func (s *Store) fastFindGE(key []byte, kp uint64) (ge *nodeDesc, ok bool) {
 				return nil, false
 			}
 			if level <= 1 {
-				s.r.Touch(s.slotOff(nxt), 64)
+				s.r.TouchFrom(s.nd(), s.slotOff(nxt), 64)
 			}
 			if s.cmpDesc(key, kp, d, level <= 1) > 0 {
 				cur = d
@@ -417,7 +417,11 @@ func (s *Store) fastGet(key []byte) (val []byte, ok, done bool) {
 			pos += e.Len
 			nl += lineSpan(e.Off, e.Len)
 		}
-		s.r.TouchLines(nl)
+		off0 := 0
+		if len(d.exts) > 0 {
+			off0 = d.exts[0].Off
+		}
+		s.r.TouchLinesFrom(s.nd(), off0, nl)
 		s.unpinFast(d.exts)
 		if s.mutSeq.Load() != seq0 {
 			// A mutation (possibly fault injection into our pinned bytes —

@@ -149,7 +149,7 @@ func (s *Store) ScrubSlots(cursor, n int) ScrubResult {
 			continue // uncommitted or deleted
 		}
 		res.Checked++
-		s.r.Touch(s.slotOff(i), s.cfg.SlotSize)
+		s.r.TouchFrom(s.nd(), s.slotOff(i), s.cfg.SlotSize)
 		if err := s.validateSlot(sl); err != nil {
 			res.Bad++
 			s.scrubStamp[i] = 0
@@ -187,7 +187,7 @@ func (s *Store) ScrubSlots(cursor, n int) ScrubResult {
 		}
 		var acc checksum.Accumulator
 		for _, e := range exts {
-			s.r.Touch(e.Off, e.Len)
+			s.r.TouchFrom(s.nd(), e.Off, e.Len)
 			acc.Add(s.r.Slice(e.Off, e.Len))
 		}
 		want := binary.LittleEndian.Uint32(sl[oVCsum:])

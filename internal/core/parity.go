@@ -352,7 +352,7 @@ func (s *Store) valueChecksumOKLocked(sl []byte) bool {
 		// A validation sweep misses cache by construction (the bytes were
 		// not recently served), so it pays PM read latency — same charge
 		// the scrubber's value re-read pays.
-		s.r.Touch(e.Off, e.Len)
+		s.r.TouchFrom(s.nd(), e.Off, e.Len)
 		acc.Add(s.r.Slice(e.Off, e.Len))
 	}
 	want := binary.LittleEndian.Uint32(sl[oVCsum:])
@@ -451,8 +451,8 @@ func (s *Store) repairRecordLocked(idx int, groupHeld bool) error {
 	rt.unlockPeers(peers)
 	rollback := func() {
 		for i, rg := range ranges {
-			s.r.Write(rg[0], saved[i])
-			s.r.Persist(rg[0], len(saved[i]))
+			s.r.WriteFrom(s.nd(), rg[0], saved[i])
+			s.r.PersistFrom(s.nd(), rg[0], len(saved[i]))
 		}
 	}
 	if skipped > 0 {

@@ -77,7 +77,7 @@ func (s *Store) putCopy(key, value []byte, staged bool) error {
 	// The key occupies the head of the first slot; value bytes follow and
 	// spill into subsequent slots.
 	var exts []Extent
-	s.r.Write(slots[0], key)
+	s.r.WriteFrom(s.nd(), slots[0], key)
 	vOffInSlot := len(key)
 	rest := value
 	for i, base := range slots {
@@ -89,7 +89,7 @@ func (s *Store) putCopy(key, value []byte, staged bool) error {
 		}
 		n := min(room, len(rest))
 		if n > 0 {
-			s.r.Write(start, rest[:n])
+			s.r.WriteFrom(s.nd(), start, rest[:n])
 			exts = append(exts, Extent{Off: start, Len: n})
 			rest = rest[n:]
 		}
@@ -239,7 +239,7 @@ func (s *Store) stagePutLocked(key []byte, vlen int, opt PutOptions) error {
 	// line with the key, or two slots sharing a line, costs one clwb).
 	tFlush := s.tnow()
 	off := s.slotOff(slotIdx)
-	s.r.Write(off, img)
+	s.r.WriteFrom(s.nd(), off, img)
 	for _, e := range exts {
 		s.fs.Add(e.Off, e.Len)
 	}
@@ -315,7 +315,7 @@ func (s *Store) stagePutLocked(key []byte, vlen int, opt PutOptions) error {
 }
 
 func (s *Store) writeSlotNextLocked(idx, level, next int) {
-	s.r.WriteUint32(s.slotOff(idx)+oTower+4*level, uint32(next+1))
+	s.r.WriteUint32From(s.nd(), s.slotOff(idx)+oTower+4*level, uint32(next+1))
 	// Mirror the link into the published descriptor, if any, so the
 	// lock-free walk (fastget.go) tracks every retarget.
 	if d := s.recs[idx].Load(); d != nil {
@@ -347,7 +347,7 @@ func (s *Store) writeChainsLocked(chains []int, exts []Extent) {
 		}
 		binary.LittleEndian.PutUint32(img[oSlotSum:], chainSum(img))
 		off := s.slotOff(idx)
-		s.r.Write(off, img)
+		s.r.WriteFrom(s.nd(), off, img)
 		s.fs.Add(off, s.cfg.SlotSize)
 	}
 }
@@ -401,8 +401,8 @@ func (s *Store) readExtentsLocked(sl []byte) ([]Extent, error) {
 // from (or replaced it in) the index.
 func (s *Store) freeRecordLocked(idx int) {
 	off := s.slotOff(idx)
-	s.r.WriteUint64(off+oSeq, 0)
-	s.r.Persist(off+oSeq, 8)
+	s.r.WriteUint64From(s.nd(), off+oSeq, 0)
+	s.r.PersistFrom(s.nd(), off+oSeq, 8)
 	s.recycleRecordLocked(idx)
 }
 
@@ -497,7 +497,11 @@ func (s *Store) Get(key []byte) ([]byte, bool, error) {
 	// One batched latency charge for the whole value instead of a
 	// per-extent Touch: span-by-span charging paid the scheduler
 	// hand-off per extent (the read-path twin of XorDeltaBatch's fix).
-	s.r.TouchLines(nl)
+	off0 := 0
+	if len(ref.Extents) > 0 {
+		off0 = ref.Extents[0].Off
+	}
+	s.r.TouchLinesFrom(s.nd(), off0, nl)
 	s.mu.Unlock()
 	if s.cfg.VerifyOnGet && checksum.Norm16(checksum.Fold(acc.Sum())) != checksum.Norm16(checksum.Fold(ref.Csum)) {
 		return nil, false, fmt.Errorf("%w: checksum mismatch for key %q", ErrCorrupt, key)
@@ -534,9 +538,9 @@ func (s *Store) Delete(key []byte) (bool, error) {
 		}
 	}
 	if prev[0] < 0 {
-		s.r.Persist(s.base+sbOTower, 4)
+		s.r.PersistFrom(s.nd(), s.base+sbOTower, 4)
 	} else {
-		s.r.Persist(s.slotOff(prev[0])+oTower, 4)
+		s.r.PersistFrom(s.nd(), s.slotOff(prev[0])+oTower, 4)
 	}
 	s.freeRecordLocked(idx)
 	s.count--

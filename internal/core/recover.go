@@ -262,9 +262,9 @@ func (s *Store) rescan(mode rescanMode) error {
 		}
 	}
 	// Persist the rebuilt level-0 chain and head.
-	s.r.Flush(s.base+sbOTower, 4*maxHeight)
+	s.r.FlushFrom(s.nd(), s.base+sbOTower, 4*maxHeight)
 	for _, rv := range survivors {
-		s.r.Flush(s.slotOff(rv.idx)+oTower, 4*maxHeight)
+		s.r.FlushFrom(s.nd(), s.slotOff(rv.idx)+oTower, 4*maxHeight)
 	}
 	s.r.Fence()
 
@@ -347,8 +347,8 @@ func (s *Store) inDataArea(off, n int) bool {
 func (s *Store) clearSeqLocked(idx int) {
 	s.clearDescLocked(idx)
 	off := s.slotOff(idx)
-	s.r.WriteUint64(off+oSeq, 0)
-	s.r.Persist(off+oSeq, 8)
+	s.r.WriteUint64From(s.nd(), off+oSeq, 0)
+	s.r.PersistFrom(s.nd(), off+oSeq, 8)
 }
 
 // Record is one entry reported by iteration. Value is populated only by
@@ -384,7 +384,7 @@ func (s *Store) Ascend(start []byte, fn func(rec Record) bool) error {
 			idx = slotNext(sl, 0)
 			continue
 		}
-		s.r.Touch(s.slotOff(idx), 64)
+		s.r.TouchFrom(s.nd(), s.slotOff(idx), 64)
 		exts, err := s.readExtentsLocked(sl)
 		if err != nil {
 			return err
@@ -445,7 +445,7 @@ func (s *Store) Verify() ([][]byte, error) {
 	err := s.Ascend(nil, func(rec Record) bool {
 		var acc checksum.Accumulator
 		for _, e := range rec.Ref.Extents {
-			s.r.Touch(e.Off, e.Len)
+			s.r.TouchFrom(s.nd(), e.Off, e.Len)
 			acc.Add(s.r.Slice(e.Off, e.Len))
 		}
 		if checksum.Norm16(checksum.Fold(acc.Sum())) != checksum.Norm16(checksum.Fold(rec.Ref.Csum)) {

@@ -90,6 +90,11 @@ type ShardedStore struct {
 	// redundancy is off). Built once by initParity, immutable afterwards;
 	// Rebuild re-attaches entries to freshly opened Stores.
 	parity []*parityRT
+
+	// NUMA placement (SetNUMAPlacement): socket count and each shard's
+	// home node. Written once before serving, read-only afterwards.
+	numaNodes int
+	homeNodes []int
 }
 
 // OpenSharded formats or recovers a ShardedStore of shards partitions

@@ -43,6 +43,10 @@ type Options struct {
 	// per-shard PM pools so every flow's payloads land in the partition
 	// of the shard serving its queue. Overrides ServerRxPool.
 	ServerRxPools []*pkt.Pool
+	// ServerQueueNodes pins each server RSS queue's interrupt to a NUMA
+	// node (nic.Config.QueueNodes); the serving loops read the mapping
+	// to place themselves on the interrupt's socket.
+	ServerQueueNodes []int
 	// RxPoolBufs sizes the DRAM receive pools (default 4096).
 	RxPoolBufs int
 	// Loss/Reorder/Duplicate/Corrupt inject fabric impairments (tests
@@ -90,7 +94,7 @@ func NewTestbed(opt Options) *Testbed {
 	}
 	pa, pb := netsim.NewLink(link)
 
-	mk := func(id int, name string, port *netsim.Port, rxPool *pkt.Pool, rxPools []*pkt.Pool) *Host {
+	mk := func(id int, name string, port *netsim.Port, rxPool *pkt.Pool, rxPools []*pkt.Pool, queueNodes []int) *Host {
 		if rxPool == nil && len(rxPools) == 0 {
 			rxPool = pkt.NewPool(2048, opt.RxPoolBufs)
 		}
@@ -103,6 +107,7 @@ func NewTestbed(opt Options) *Testbed {
 			MAC:         h.MAC,
 			RxPool:      rxPool,
 			RxPools:     rxPools,
+			QueueNodes:  queueNodes,
 			Offloads:    off,
 			PerPacket:   opt.Profile.NICPerPacket,
 			PerPacketSW: opt.Profile.StackPerPacket,
@@ -111,8 +116,8 @@ func NewTestbed(opt Options) *Testbed {
 		return h
 	}
 	tb := &Testbed{
-		Client: mk(1, "client", pa, nil, nil),
-		Server: mk(2, "server", pb, opt.ServerRxPool, opt.ServerRxPools),
+		Client: mk(1, "client", pa, nil, nil, nil),
+		Server: mk(2, "server", pb, opt.ServerRxPool, opt.ServerRxPools, opt.ServerQueueNodes),
 	}
 	tb.Client.Stack.AddNeighbor(tb.Server.IP, tb.Server.MAC)
 	tb.Server.Stack.AddNeighbor(tb.Client.IP, tb.Client.MAC)

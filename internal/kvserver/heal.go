@@ -407,20 +407,24 @@ func (h *Healer) Health() HealthReport {
 	src := h.loopSrc
 	brkSrc := h.breakerSrc
 	h.mu.Unlock()
+	var crossSteals uint64
 	if src != nil {
 		var ov OverloadHealth
 		for q, ls := range src() {
 			rep.Loops = append(rep.Loops, LoopHealth{
 				Queue:       q,
 				QueueDepth:  ls.QueueDepth,
+				Node:        ls.Node,
 				Requests:    ls.Requests,
 				Steals:      ls.Steals,
 				StolenOps:   ls.StolenOps,
 				StealAborts: ls.StealAborts,
+				CrossSteals: ls.CrossSteals,
 				Brownout:    ls.BrownoutLoops > 0,
 				Expired:     ls.Expired,
 				CoDelSheds:  ls.CoDelSheds,
 			})
+			crossSteals += ls.CrossSteals
 			ov.Sheds += ls.Sheds
 			ov.IdleClosed += ls.IdleClosed
 			ov.Expired += ls.Expired
@@ -436,6 +440,20 @@ func (h *Healer) Health() HealthReport {
 			rep.Overload = &OverloadHealth{}
 		}
 		rep.Overload.BreakerOpens = brkSrc()
+	}
+	if nodes := h.ss.NUMANodes(); nodes > 1 {
+		rs := h.ss.Region().Stats()
+		nh := &NUMAHealth{
+			Nodes:         nodes,
+			LocalLines:    rs.LocalLines,
+			RemoteLines:   rs.RemoteLines,
+			RemoteExtraMs: float64(rs.RemoteExtra) / float64(time.Millisecond),
+			CrossSteals:   crossSteals,
+		}
+		if total := nh.LocalLines + nh.RemoteLines; total > 0 {
+			nh.RemoteShare = float64(nh.RemoteLines) / float64(total)
+		}
+		rep.NUMA = nh
 	}
 	return rep
 }
@@ -466,10 +484,12 @@ type ScrubHealth struct {
 type LoopHealth struct {
 	Queue       int    `json:"queue"`
 	QueueDepth  int    `json:"queue_depth"`
+	Node        int    `json:"node"`
 	Requests    uint64 `json:"requests"`
 	Steals      uint64 `json:"steals"`
 	StolenOps   uint64 `json:"stolen_ops"`
 	StealAborts uint64 `json:"steal_aborts"`
+	CrossSteals uint64 `json:"cross_steals,omitempty"`
 	// Overload view: whether the loop's CoDel controller is currently
 	// shedding (brownout), and its doomed-work/shed counters.
 	Brownout   bool   `json:"brownout,omitempty"`
@@ -506,6 +526,20 @@ type ReadPathHealth struct {
 	FastGetFallbacks uint64 `json:"fast_get_fallbacks"`
 }
 
+// NUMAHealth is the placement section of the healthz report, present
+// only when a multi-node placement is installed: the region's node-
+// attributed line counters (remote share ~0 means the placement is
+// aligned), the total modeled cross-socket surcharge, and how many
+// stolen cycles crossed sockets for the balance they bought.
+type NUMAHealth struct {
+	Nodes         int     `json:"nodes"`
+	LocalLines    uint64  `json:"local_lines"`
+	RemoteLines   uint64  `json:"remote_lines"`
+	RemoteShare   float64 `json:"remote_share"`
+	RemoteExtraMs float64 `json:"remote_extra_ms"`
+	CrossSteals   uint64  `json:"cross_steals"`
+}
+
 // HealthReport is the GET /healthz body. Ready is true only when every
 // shard serves — the poll-for-readiness signal the heal experiment (and
 // an operator's load balancer) watches.
@@ -516,6 +550,7 @@ type HealthReport struct {
 	Loops    []LoopHealth    `json:"loops,omitempty"`
 	Reads    *ReadPathHealth `json:"reads,omitempty"`
 	Overload *OverloadHealth `json:"overload,omitempty"`
+	NUMA     *NUMAHealth     `json:"numa,omitempty"`
 }
 
 func healthFromStates(states []core.ShardStatus, st *HealStats) HealthReport {

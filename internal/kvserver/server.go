@@ -67,6 +67,13 @@ type Config struct {
 	MaxBatch int
 	// Steal configures the work-stealing scheduler.
 	Steal StealConfig
+	// LoopNodes declares each event loop's NUMA node, indexed by RSS
+	// queue: the loop's executor stamps the node onto whatever store it
+	// drives so the PM simulator bills cross-socket lines at the remote
+	// rate, and the steal policy prefers same-node victims. Nil falls
+	// back to the NIC's per-queue interrupt nodes (nic.Config.QueueNodes),
+	// which default to node 0 everywhere — the single-socket no-op.
+	LoopNodes []int
 	// Overload configures deadline-aware admission and the CoDel
 	// run-queue controller (see OverloadConfig). Disabled by default.
 	Overload OverloadConfig
@@ -98,6 +105,10 @@ type Server struct {
 	loops []*loop
 	done  chan struct{}
 	ret   chan struct{}
+	// numaOn caches whether a multi-node placement is installed on the
+	// backing store: the per-cycle node stamp is skipped entirely when
+	// single-node, keeping Nodes=1 a strict no-op on the hot path.
+	numaOn bool
 }
 
 // sched is one loop's scheduling core: the table of connections homed on
@@ -131,6 +142,7 @@ type loop struct {
 	q     int
 	store *core.Store // home shard for the zero-copy paths; nil = copy only
 	shard int         // index of store within srv.sharded (-1 if none)
+	node  int         // NUMA node this loop's core runs on (Config.LoopNodes)
 	stats statsCounters
 
 	sched sched
@@ -218,8 +230,12 @@ func NewWithConfig(stk *tcp.Stack, port uint16, backend Backend, cfg Config) (*S
 			srv:    s,
 			q:      q,
 			shard:  -1,
+			node:   stk.NIC().NodeOfQueue(q),
 			wake:   make(chan struct{}, 1),
 			arenas: make(map[int]*keyArena),
+		}
+		if q < len(cfg.LoopNodes) {
+			lp.node = cfg.LoopNodes[q]
 		}
 		lp.sched.conns = make(map[*tcp.Conn]*connState)
 		lp.sched.cd = codel{target: cfg.Overload.Target, interval: cfg.Overload.Interval}
@@ -236,6 +252,7 @@ func NewWithConfig(stk *tcp.Stack, port uint16, backend Backend, cfg Config) (*S
 		}
 		s.loops[q] = lp
 	}
+	s.numaOn = s.sharded != nil && s.sharded.NUMANodes() > 1
 	return s, nil
 }
 
@@ -270,6 +287,7 @@ func (s *Server) LoopStats() []Stats {
 	for i, lp := range s.loops {
 		out[i] = lp.stats.Snapshot()
 		out[i].QueueDepth = lp.depth()
+		out[i].Node = lp.node
 		if lp.brownout.Load() {
 			out[i].BrownoutLoops = 1
 		}
@@ -703,6 +721,38 @@ func (lp *loop) gather(rx <-chan *tcp.Conn) {
 // a gated thief starves even as the victim's queue grows.) A round that
 // found a deep victim but no claimable connection counts as a
 // StealAbort — the backlog was contended away or is all mid-service.
+// pickVictim is the distance-aware victim selection: every PM line a
+// stolen cycle touches lives in the victim's partition, so a
+// cross-socket steal pays the remote rate per line. Same-node victims
+// are drained first; only when no same-node backlog clears minDepth
+// does the thief go cross-node — balance still beats locality once the
+// local sockets are level. depth is a parameter so the policy is
+// testable against fabricated backlogs.
+func pickVictim(lp *loop, loops []*loop, minDepth int, depth func(*loop) int) *loop {
+	var victim *loop
+	best := minDepth
+	for _, v := range loops {
+		if v == lp || v.shard < 0 || v.node != lp.node {
+			continue
+		}
+		if d := depth(v); d >= best {
+			best, victim = d, v
+		}
+	}
+	if victim == nil {
+		best = minDepth
+		for _, v := range loops {
+			if v == lp || v.shard < 0 || v.node == lp.node {
+				continue
+			}
+			if d := depth(v); d >= best {
+				best, victim = d, v
+			}
+		}
+	}
+	return victim
+}
+
 func (lp *loop) trySteal() bool {
 	s := lp.srv
 	if s.sharded == nil || !s.cfg.Steal.Enabled {
@@ -715,16 +765,7 @@ func (lp *loop) trySteal() bool {
 	if lp.queuedLen() > 0 || s.stk.ReadyLenQ(lp.q) > 0 || lp.brownout.Load() {
 		return false
 	}
-	var victim *loop
-	best := s.cfg.Steal.MinDepth
-	for _, v := range s.loops {
-		if v == lp || v.shard < 0 {
-			continue
-		}
-		if d := v.depth(); d >= best {
-			best, victim = d, v
-		}
-	}
+	victim := pickVictim(lp, s.loops, s.cfg.Steal.MinDepth, (*loop).depth)
 	if victim == nil {
 		return false
 	}
@@ -758,6 +799,9 @@ pull:
 	x.runCycle(lp.burst)
 	lp.stats.steals.Add(1)
 	lp.stats.stolenOps.Add(x.ops)
+	if victim.node != lp.node {
+		lp.stats.crossSteals.Add(1)
+	}
 	victim.doneWith(lp.burst)
 	return true
 }
@@ -987,6 +1031,12 @@ func (x *executor) beginCycle() {
 	x.cycleBad = false
 	if x.store != nil {
 		x.cycleEpoch = x.store.Epoch()
+		if x.srv.numaOn {
+			// Declare which socket drives this cycle: the home loop's own
+			// node, or the thief's on a stolen cycle — every PM charge the
+			// cycle issues bills cross-socket lines at the remote rate.
+			x.store.SetNUMANode(x.lp.node)
+		}
 	}
 }
 

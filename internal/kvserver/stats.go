@@ -48,9 +48,16 @@ type Stats struct {
 	// StealAborts counts steal rounds that picked a deep victim but found
 	// no claimable connection — the backlog was contended away by the
 	// home loop (or another thief) before this one could claim it.
+	// CrossSteals is the subset of Steals whose victim lived on another
+	// NUMA node — cycles that paid the remote PM rate per line for the
+	// balance they bought (always 0 when placement is single-node).
 	Steals      uint64
 	StolenOps   uint64
 	StealAborts uint64
+	CrossSteals uint64
+	// Node is a gauge: the NUMA node this loop declared (per-loop
+	// snapshots only; aggregation leaves it 0).
+	Node int
 	// ZeroCopyFallbacks counts PUT payloads that arrived in a packet
 	// buffer outside the serving shard's PM partition — the executing
 	// loop's rx pool was not the shard's pool — and fell back to the
@@ -112,6 +119,7 @@ func (s *Stats) merge(o Stats) {
 	s.Steals += o.Steals
 	s.StolenOps += o.StolenOps
 	s.StealAborts += o.StealAborts
+	s.CrossSteals += o.CrossSteals
 	s.ZeroCopyFallbacks += o.ZeroCopyFallbacks
 	s.QueueDepth += o.QueueDepth
 	s.ShardsDown += o.ShardsDown
@@ -141,6 +149,7 @@ type statsCounters struct {
 	groupCommits, groupedConns            atomic.Uint64
 	ackAborts                             atomic.Uint64
 	steals, stolenOps, stealAborts        atomic.Uint64
+	crossSteals                           atomic.Uint64
 	zcFallbacks                           atomic.Uint64
 	parseNanos                            atomic.Int64
 	busyNanos                             atomic.Int64
@@ -156,12 +165,13 @@ func (c *statsCounters) Snapshot() Stats {
 		DerivedSums: c.derivedSums.Load(), SoftwareSums: c.softwareSums.Load(),
 		Sheds: c.sheds.Load(), IdleClosed: c.idleClosed.Load(),
 		Expired: c.expired.Load(), CoDelSheds: c.codelSheds.Load(),
-		Brownouts:  c.brownouts.Load(),
-		QueueDelay: time.Duration(c.queueDelayNanos.Load()),
+		Brownouts:    c.brownouts.Load(),
+		QueueDelay:   time.Duration(c.queueDelayNanos.Load()),
 		GroupCommits: c.groupCommits.Load(), GroupedConns: c.groupedConns.Load(),
 		AckAborts: c.ackAborts.Load(),
 		Steals:    c.steals.Load(), StolenOps: c.stolenOps.Load(),
 		StealAborts:       c.stealAborts.Load(),
+		CrossSteals:       c.crossSteals.Load(),
 		ZeroCopyFallbacks: c.zcFallbacks.Load(),
 		ParseTime:         time.Duration(c.parseNanos.Load()),
 		BusyTime:          time.Duration(c.busyNanos.Load()),

@@ -71,6 +71,14 @@ type Config struct {
 	PerPacketSW time.Duration
 	// MSS is the TCP maximum segment size used by TSO (default 1460).
 	MSS int
+	// QueueNodes pins each RSS queue's interrupt (and therefore its rx
+	// pool, when the pool is the shard's PM data area) to a NUMA node:
+	// queue q fires on node QueueNodes[q]. Nil means node 0 for every
+	// queue. The NIC itself charges no node-dependent cost — DMA writes
+	// land wherever the pool lives — but the serving stack reads the
+	// mapping (NodeOfQueue) to place each queue's event loop on the
+	// interrupt's socket.
+	QueueNodes []int
 }
 
 // Stats holds NIC counters.
@@ -175,6 +183,15 @@ func (n *NIC) RxQueueLen(q int) int { return len(n.rxqs[q]) }
 
 // Queues returns the RSS queue count.
 func (n *NIC) Queues() int { return len(n.rxqs) }
+
+// NodeOfQueue reports the NUMA node queue q's interrupt fires on
+// (Config.QueueNodes; node 0 when unconfigured).
+func (n *NIC) NodeOfQueue(q int) int {
+	if q < 0 || q >= len(n.cfg.QueueNodes) {
+		return 0
+	}
+	return n.cfg.QueueNodes[q]
+}
 
 // Stats returns a snapshot of the counters.
 func (n *NIC) Stats() Stats {

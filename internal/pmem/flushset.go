@@ -137,8 +137,15 @@ type BatchStats struct {
 // the deduplicated dirty-line count only, and Stats.Flushes increments
 // by one. The set is reset afterwards. Durability still requires a
 // Fence, exactly as for Flush.
-func (r *Region) FlushBatch(fs *FlushSet) BatchStats {
+func (r *Region) FlushBatch(fs *FlushSet) BatchStats { return r.FlushBatchFrom(0, fs) }
+
+// FlushBatchFrom is FlushBatch issued from the given NUMA node: each
+// freshly written-back line whose home socket differs pays the remote
+// flush rate plus interconnect hops.
+func (r *Region) FlushBatchFrom(node int, fs *FlushSet) BatchStats {
 	bs := BatchStats{Coalesced: fs.normalize()}
+	numa := r.numaNodes > 1
+	var acc nodeAcc
 	for _, sp := range fs.spans {
 		bs.Lines += sp.last - sp.first + 1
 	}
@@ -175,13 +182,21 @@ func (r *Region) FlushBatch(fs *FlushSet) BatchStats {
 				}
 				r.pending[w] |= bit
 				bs.Flushed++
+				if numa {
+					r.accLine(&acc, node, l, r.flushLine, r.remoteFlush)
+				}
 			case r.pending[w]&bit != 0:
 				bs.Wasted++
 			}
 		}
 	}
 	r.mu.Unlock()
-	r.charge(time.Duration(bs.Flushed) * r.flushLine)
+	cost := time.Duration(bs.Flushed) * r.flushLine
+	if numa {
+		cost = acc.cost
+		r.commitAcc(&acc)
+	}
+	r.charge(cost)
 	r.statsMu.Lock()
 	r.stats.Flushes++
 	r.stats.BatchFlushes++

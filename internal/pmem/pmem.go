@@ -114,7 +114,16 @@ type Stats struct {
 	// group members by XorReconstruct on the repair path.
 	ParityLines        uint64
 	ReconstructedLines uint64
-	Charged            time.Duration // total emulated delay
+	// LocalLines / RemoteLines attribute charged line accesses to the
+	// accessor's socket when a NUMA map is installed (SetNUMA with
+	// nodes > 1); both stay zero on single-node regions. RemoteExtra is
+	// the total surcharge remote lines paid over the local rate — the
+	// modeled cross-socket penalty a perfectly aligned placement would
+	// have avoided.
+	LocalLines  uint64
+	RemoteLines uint64
+	RemoteExtra time.Duration
+	Charged     time.Duration // total emulated delay
 }
 
 // Region is a simulated PM device. All mutating methods are safe for
@@ -150,6 +159,24 @@ type Region struct {
 	writeLine time.Duration
 	flushLine time.Duration
 	fence     time.Duration
+
+	// NUMA model (SetNUMA): lineNode maps each cache line to its home
+	// socket; accesses from another socket are charged the remote rates
+	// plus per-hop interconnect cost. numaNodes <= 1 means no NUMA model
+	// and every *From method degenerates to exactly the pre-NUMA
+	// arithmetic with zero extra work on the hot path. The table and
+	// rates are written only by SetNUMA on a quiescent region (before
+	// serving) and read-only afterwards, so lock-free readers are safe.
+	numaNodes   int
+	lineNode    []int8
+	remoteRead  time.Duration
+	remoteWrite time.Duration
+	remoteFlush time.Duration
+	hopCost     time.Duration
+
+	localLines    atomic.Uint64
+	remoteLines   atomic.Uint64
+	remoteExtraNs atomic.Int64
 
 	// multiCore: the region serves several simulated cores (sharded
 	// stores with one event loop each), so a PM stall must yield the
@@ -291,21 +318,30 @@ func (r *Region) Slice(off, n int) []byte {
 
 // Touch charges the PM read latency for a cache-missing read of [off,
 // off+n). Index walks use it to model pointer-chasing loads.
-func (r *Region) Touch(off, n int) {
+func (r *Region) Touch(off, n int) { r.TouchFrom(0, off, n) }
+
+// TouchFrom is Touch issued from the given NUMA node: lines whose home
+// socket differs are charged the remote read rate plus interconnect
+// hops. Without a NUMA map (SetNUMA not called, or nodes <= 1) it is
+// exactly Touch.
+func (r *Region) TouchFrom(node, off, n int) {
 	r.check(off, n)
 	nl := lines(off, n)
-	r.charge(time.Duration(nl) * r.readLine)
+	r.charge(r.spanCost(node, off, nl, r.readLine, r.remoteRead))
 	r.statsMu.Lock()
 	r.stats.Reads += uint64(nl)
 	r.statsMu.Unlock()
 }
 
 // Read copies [off, off+len(dst)) into dst, charging read latency.
-func (r *Region) Read(dst []byte, off int) {
+func (r *Region) Read(dst []byte, off int) { r.ReadFrom(0, dst, off) }
+
+// ReadFrom is Read issued from the given NUMA node.
+func (r *Region) ReadFrom(node int, dst []byte, off int) {
 	r.check(off, len(dst))
 	copy(dst, r.buf[off:])
 	nl := lines(off, len(dst))
-	r.charge(time.Duration(nl) * r.readLine)
+	r.charge(r.spanCost(node, off, nl, r.readLine, r.remoteRead))
 	r.statsMu.Lock()
 	r.stats.Reads += uint64(nl)
 	r.statsMu.Unlock()
@@ -313,13 +349,18 @@ func (r *Region) Read(dst []byte, off int) {
 
 // Write copies src into the region at off, marks the covered lines dirty,
 // and charges write latency.
-func (r *Region) Write(off int, src []byte) {
+func (r *Region) Write(off int, src []byte) { r.WriteFrom(0, off, src) }
+
+// WriteFrom is Write issued from the given NUMA node: the store still
+// lands in the target DIMM's write-pending queue, but a cross-socket
+// store pays the interconnect transfer first.
+func (r *Region) WriteFrom(node, off int, src []byte) {
 	r.check(off, len(src))
 	r.mu.Lock()
 	copy(r.buf[off:], src)
 	r.markDirtyLocked(off, len(src))
 	r.mu.Unlock()
-	r.charge(time.Duration(lines(off, len(src))) * r.writeLine)
+	r.charge(r.spanCost(node, off, lines(off, len(src)), r.writeLine, r.remoteWrite))
 	r.statsMu.Lock()
 	r.stats.Writes++
 	r.stats.BytesWritten += uint64(len(src))
@@ -385,7 +426,13 @@ func (r *Region) markDirtyLocked(off, n int) {
 // the pending (flushed-but-unfenced) set and are charged flush latency.
 // Lines that are not dirty cost nothing, as clwb of a clean line retires
 // without a write-back.
-func (r *Region) Flush(off, n int) {
+func (r *Region) Flush(off, n int) { r.FlushFrom(0, off, n) }
+
+// FlushFrom is Flush issued from the given NUMA node: each freshly
+// written-back line whose home socket differs pays the remote flush
+// rate plus interconnect hops (the write-back cannot complete until the
+// line reaches the remote DIMM's ADR domain).
+func (r *Region) FlushFrom(node, off, n int) {
 	r.check(off, n)
 	if n == 0 {
 		return
@@ -393,6 +440,8 @@ func (r *Region) Flush(off, n int) {
 	first := off / LineSize
 	last := (off + n - 1) / LineSize
 	flushed := 0
+	numa := r.numaNodes > 1
+	var acc nodeAcc
 	r.mu.Lock()
 	if r.failed {
 		r.mu.Unlock()
@@ -416,12 +465,20 @@ func (r *Region) Flush(off, n int) {
 			}
 			r.pending[w] |= bit
 			flushed++
+			if numa {
+				r.accLine(&acc, node, l, r.flushLine, r.remoteFlush)
+			}
 		case r.pending[w]&bit != 0:
 			wasted++
 		}
 	}
 	r.mu.Unlock()
-	r.charge(time.Duration(flushed) * r.flushLine)
+	cost := time.Duration(flushed) * r.flushLine
+	if numa {
+		cost = acc.cost
+		r.commitAcc(&acc)
+	}
+	r.charge(cost)
 	r.statsMu.Lock()
 	r.stats.Flushes++
 	r.stats.LinesFlushed += uint64(flushed)
@@ -507,6 +564,32 @@ func (r *Region) Fence() {
 func (r *Region) Persist(off, n int) {
 	r.Flush(off, n)
 	r.Fence()
+}
+
+// PersistFrom is Persist issued from the given NUMA node.
+func (r *Region) PersistFrom(node, off, n int) {
+	r.FlushFrom(node, off, n)
+	r.Fence()
+}
+
+// WriteUint64From is WriteUint64 issued from the given NUMA node.
+func (r *Region) WriteUint64From(node, off int, v uint64) {
+	if off%8 != 0 {
+		panic("pmem: unaligned WriteUint64")
+	}
+	var b [8]byte
+	putUint64(b[:], v)
+	r.WriteFrom(node, off, b[:])
+}
+
+// WriteUint32From is WriteUint32 issued from the given NUMA node.
+func (r *Region) WriteUint32From(node, off int, v uint32) {
+	if off%4 != 0 {
+		panic("pmem: unaligned WriteUint32")
+	}
+	var b [4]byte
+	putUint32(b[:], v)
+	r.WriteFrom(node, off, b[:])
 }
 
 // crashLogger receives the seed of every injected crash. The default
@@ -620,8 +703,12 @@ func (r *Region) Close() error {
 // Stats returns a snapshot of the operation counters.
 func (r *Region) Stats() Stats {
 	r.statsMu.Lock()
-	defer r.statsMu.Unlock()
-	return r.stats
+	s := r.stats
+	r.statsMu.Unlock()
+	s.LocalLines = r.localLines.Load()
+	s.RemoteLines = r.remoteLines.Load()
+	s.RemoteExtra = time.Duration(r.remoteExtraNs.Load())
+	return s
 }
 
 // ResetStats zeroes the operation counters.
@@ -629,6 +716,9 @@ func (r *Region) ResetStats() {
 	r.statsMu.Lock()
 	r.stats = Stats{}
 	r.statsMu.Unlock()
+	r.localLines.Store(0)
+	r.remoteLines.Store(0)
+	r.remoteExtraNs.Store(0)
 }
 
 // DirtyLines reports how many lines are dirty (unflushed); tests use it to

@@ -31,3 +31,27 @@ func (r *Region) TouchLines(nl int) {
 	r.stats.Reads += uint64(nl)
 	r.statsMu.Unlock()
 }
+
+// TouchLinesFrom is TouchLines issued from the given NUMA node, with the
+// whole batch attributed to the node that owns the line containing off.
+// The batched read path stays within one shard's partition, which lives
+// on a single node, so one owner lookup covers every line of the batch.
+func (r *Region) TouchLinesFrom(node, off, nl int) {
+	if nl <= 0 {
+		return
+	}
+	cost := time.Duration(nl) * r.readLine
+	if r.numaNodes > 1 {
+		var acc nodeAcc
+		l := off / LineSize
+		for i := 0; i < nl; i++ {
+			r.accLine(&acc, node, l, r.readLine, r.remoteRead)
+		}
+		r.commitAcc(&acc)
+		cost = acc.cost
+	}
+	r.charge(cost)
+	r.statsMu.Lock()
+	r.stats.Reads += uint64(nl)
+	r.statsMu.Unlock()
+}
